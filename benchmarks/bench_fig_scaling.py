@@ -1,0 +1,71 @@
+"""Experiment F8 (extension) — how far does voting scale?
+
+The paper evaluates three representatives; this figure extends the
+analytic and message-cost models to suites of 3–11 equal-vote members
+under majority quorums, the regime later systems (Thomas-style
+majorities) actually deployed:
+
+* availability of reads/writes grows with suite size (more spare
+  votes), with diminishing returns;
+* message cost grows linearly — the price of every extra member;
+* the write quorum's latency is the median member's, so adding slower
+  members does not slow writes as long as a majority of fast ones
+  exists.
+"""
+
+import pytest
+
+from _support import print_table
+from repro.core import SuiteAnalysis, make_configuration, message_cost
+from repro.core.quorum import blocking_probability
+
+SIZES = [3, 5, 7, 9, 11]
+AVAILABILITY = 0.9
+
+
+def build(size):
+    servers = [(f"s{i}", 1) for i in range(size)]
+    quorum = size // 2 + 1
+    return make_configuration(
+        f"scale-{size}", servers, quorum, quorum,
+        latency_hints={f"s{i}": 10.0 + 5.0 * i for i in range(size)})
+
+
+def run_scaling():
+    rows = []
+    for size in SIZES:
+        config = build(size)
+        analysis = SuiteAnalysis(config, availability=AVAILABILITY)
+        costs = message_cost(config)
+        rows.append((size, config.read_quorum,
+                     analysis.write_availability(),
+                     analysis.write_latency(),
+                     costs["read"], costs["write"]))
+    return rows
+
+
+def test_fig_scaling(benchmark):
+    rows = benchmark(run_scaling)
+    print_table(
+        f"F8 — majority suites of growing size "
+        f"(per-replica availability {AVAILABILITY})",
+        ["members", "quorum", "op availability", "write latency ms",
+         "read msgs", "write msgs"],
+        rows)
+
+    availabilities = [row[2] for row in rows]
+    # More members → more availability, with diminishing returns.
+    assert availabilities == sorted(availabilities)
+    gains = [second - first for first, second
+             in zip(availabilities, availabilities[1:])]
+    assert gains == sorted(gains, reverse=True)
+    # Message cost grows linearly in the member count.
+    read_costs = [row[4] for row in rows]
+    deltas = {second - first for first, second
+              in zip(read_costs, read_costs[1:])}
+    assert len(deltas) == 1
+    # Write latency is the majority-th member's, not the slowest's.
+    for size, quorum, _avail, write_latency, _r, _w in rows:
+        slowest = 10.0 + 5.0 * (size - 1)
+        majority_member = 10.0 + 5.0 * (quorum - 1)
+        assert write_latency == majority_member < slowest

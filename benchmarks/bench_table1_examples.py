@@ -1,0 +1,51 @@
+"""Experiment T1 — the paper's Section-3 example table, analytically.
+
+Regenerates every row of Gifford's table of three example file suites
+from the closed-form model and asserts exact agreement with the
+published numbers (latencies exact; blocking probabilities to the
+paper's printed rounding).
+"""
+
+import pytest
+
+from _support import print_table
+from repro.core import EXACT, EXPECTED, example_analysis
+
+
+def build_table():
+    rows = []
+    for example in (1, 2, 3):
+        analysis = example_analysis(example)
+        rows.append((
+            f"Example {example}",
+            analysis.read_latency(),
+            analysis.read_blocking_probability(),
+            analysis.write_latency(),
+            analysis.write_blocking_probability(),
+        ))
+    return rows
+
+
+def test_table1_analytic(benchmark):
+    rows = benchmark(build_table)
+    print_table(
+        "T1 — example file suites (analytic model vs paper)",
+        ["configuration", "read lat ms", "read block",
+         "write lat ms", "write block"],
+        rows)
+    paper_rows = [(f"paper Ex{n}", EXPECTED[n]["read_latency"],
+                   EXPECTED[n]["read_blocking"],
+                   EXPECTED[n]["write_latency"],
+                   EXPECTED[n]["write_blocking"]) for n in (1, 2, 3)]
+    print_table("T1 — paper's published values",
+                ["configuration", "read lat ms", "read block",
+                 "write lat ms", "write block"], paper_rows)
+
+    for (label, read_lat, read_block, write_lat, write_block), n \
+            in zip(rows, (1, 2, 3)):
+        assert read_lat == EXPECTED[n]["read_latency"]
+        assert write_lat == EXPECTED[n]["write_latency"]
+        assert read_block == pytest.approx(EXACT[n]["read_blocking"],
+                                           rel=1e-12)
+        assert write_block == pytest.approx(EXACT[n]["write_blocking"],
+                                            rel=1e-12)

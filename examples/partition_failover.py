@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Network partitions: why quorum intersection prevents split brain.
+
+Five servers with weighted votes host a suite.  The network splits; the
+side holding a write quorum keeps accepting updates, the minority side
+blocks (instead of diverging).  After the partition heals, the minority
+catches up through background refresh and a reader that can only reach
+former-minority servers still sees every committed write.
+
+Run:  python examples/partition_failover.py
+"""
+
+from repro import QuorumUnavailableError, Testbed, make_configuration
+
+SERVERS = ["ny1", "ny2", "sf1", "sf2", "sf3"]
+
+
+def main() -> None:
+    bed = Testbed(servers=SERVERS, clients=["ny-app", "sf-app"])
+    # New York holds 2+2 votes, San Francisco 1+1+1; total 7,
+    # r = w = 4: any operational side must span the majority of votes.
+    config = make_configuration(
+        "orders",
+        [("ny1", 2), ("ny2", 2), ("sf1", 1), ("sf2", 1), ("sf3", 1)],
+        read_quorum=4, write_quorum=4,
+        latency_hints={"ny1": 5.0, "ny2": 6.0, "sf1": 40.0,
+                       "sf2": 41.0, "sf3": 42.0})
+
+    ny_suite = bed.install(config, b"order-book-v1", client="ny-app")
+    sf_suite = bed.suite(config, client="sf-app")
+    sf_suite.max_attempts = 1
+
+    print("before partition:")
+    print(f"  ny reads  {bed.run(ny_suite.read()).data!r}")
+    print(f"  sf reads  {bed.run(sf_suite.read()).data!r}")
+
+    # Coast-to-coast links sever.  NY side: 4 votes (quorum).  SF side:
+    # 3 votes (no quorum).
+    bed.partition([["ny-app", "ny1", "ny2"],
+                   ["sf-app", "sf1", "sf2", "sf3"]])
+    print("\n-- partition: {ny-app, ny1, ny2} | {sf-app, sf1, sf2, sf3}")
+
+    write = bed.run(ny_suite.write(b"order-book-v2"))
+    print(f"  ny write committed at version {write.version} "
+          f"via {write.quorum}")
+
+    try:
+        bed.run(sf_suite.write(b"sf-divergence"))
+        print("  sf write succeeded — split brain! (should not happen)")
+    except QuorumUnavailableError as error:
+        print(f"  sf write blocked: {error}")
+    try:
+        bed.run(sf_suite.read())
+    except QuorumUnavailableError as error:
+        print(f"  sf read blocked:  {error}")
+
+    bed.heal()
+    bed.settle()
+    print("\n-- partition healed, background refresh ran")
+
+    sf_read = bed.run(sf_suite.read())
+    print(f"  sf reads  {sf_read.data!r} (version {sf_read.version})")
+
+    # Even a reader confined to former-minority servers sees the write:
+    # any read quorum must include vote weight that intersected the
+    # NY-side write quorum — and refresh has already converged them.
+    versions = {name: node.server.fs.stat("suite:orders").version
+                for name, node in bed.servers.items()}
+    print(f"  per-server versions after heal: {versions}")
+    assert len(set(versions.values())) == 1, "replicas must converge"
+    print("\nno divergence at any point: quorum intersection held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's network, literally: a shared ~3 Mb/s Ethernet.
+
+Gifford's testbed hosts all sat on one experimental Ethernet — a
+broadcast medium where concurrent transfers queue behind each other.
+This example runs the same suite workload on a point-to-point network
+and on a shared medium, showing contention appear exactly where the
+paper's environment would have it: concurrent bulk transfers stretch,
+while tiny version-number inquiries barely notice.
+
+Run:  python examples/shared_ethernet.py
+"""
+
+from repro import Testbed, make_configuration
+from repro.sim import SharedMedium
+
+DATA = b"x" * 6_000
+#: ~3 Mb/s ≈ 375 bytes/ms → ~0.0027 ms per byte.
+ETHERNET_BYTE_TIME = 1.0 / 375.0
+
+
+def build(shared: bool):
+    bed = Testbed(servers=["s1", "s2", "s3"], clients=["app1", "app2"],
+                  seed=3)
+    if shared:
+        bed.network.medium = SharedMedium(bed.sim,
+                                          byte_time=ETHERNET_BYTE_TIME)
+    config = make_configuration(
+        "file", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+        latency_hints={"s1": 1.0, "s2": 2.0, "s3": 3.0})
+    suite_one = bed.install(config, DATA, client="app1")
+    suite_two = bed.suite(config, client="app2")
+    return bed, suite_one, suite_two
+
+
+def concurrent_reads(bed, suite_one, suite_two):
+    """Two clients read the 6 KB file at the same instant."""
+    def timed(suite):
+        start = bed.sim.now
+        yield from suite.read()
+        return bed.sim.now - start
+
+    first = bed.sim.spawn(timed(suite_one), name="r1")
+    second = bed.sim.spawn(timed(suite_two), name="r2")
+    results = bed.sim.run_until(bed.sim.all_of([first, second]))
+    return results
+
+
+def main() -> None:
+    for shared in (False, True):
+        bed, suite_one, suite_two = build(shared)
+        label = "shared 3 Mb/s Ethernet" if shared else "point-to-point"
+        durations = concurrent_reads(bed, suite_one, suite_two)
+        wire = ""
+        if shared:
+            medium = bed.network.medium
+            wire = (f"  (wire busy {medium.busy_time:.1f} ms over "
+                    f"{medium.transmissions} frames)")
+        print(f"{label:>24}: concurrent 6KB reads took "
+              f"{durations[0]:6.1f} and {durations[1]:6.1f} ms{wire}")
+
+    print("\nOn the shared wire the second transfer queues behind the "
+          "first —\nthe contention Gifford's testbed really had, and "
+          "one more reason\nversion inquiries (tens of bytes) are "
+          "cheap while data moves once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Baseline replica-control schemes Gifford compares against.
+
+Read-one/write-all (SDD-1), primary copy (distributed INGRES), and
+Thomas' majority consensus — all running over the same simulated
+substrate as the file suite, so comparisons isolate the protocol.
+"""
+
+from .base import ProtocolResult, ReplicaProtocolClient
+from .majority import (MajorityConsensusClient, majority_configuration,
+                       majority_quorum)
+from .primary_copy import PrimaryCopyClient
+from .rowa import ReadOneWriteAllClient
+
+__all__ = [
+    "MajorityConsensusClient", "PrimaryCopyClient", "ProtocolResult",
+    "ReadOneWriteAllClient", "ReplicaProtocolClient",
+    "majority_configuration", "majority_quorum",
+]

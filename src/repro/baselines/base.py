@@ -1,0 +1,130 @@
+"""Shared machinery for baseline replica-control protocols.
+
+The baselines implement the same abstract operations as the file suite
+(read bytes / write bytes, each a transaction with retries), so the
+comparison benches can drive any protocol through one interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+from ..errors import ReproError
+from ..core.suite import RETRYABLE
+from ..sim.metrics import MetricsRegistry
+from ..txn.coordinator import Transaction, TransactionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+
+@dataclass
+class ProtocolResult:
+    """Uniform outcome record for a baseline operation."""
+
+    data: bytes
+    version: int
+    replicas: List[str]
+    attempts: int = 1
+
+
+class ReplicaProtocolClient:
+    """Base class: owns the transaction/retry loop of every baseline."""
+
+    #: Subclasses set this (used for file naming and metrics).
+    protocol_name = "abstract"
+
+    def __init__(self, manager: TransactionManager, object_name: str,
+                 servers: List[str],
+                 call_timeout: float = 1_000.0,
+                 max_attempts: int = 4,
+                 retry_backoff: float = 50.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if not servers:
+            raise ValueError("need at least one replica server")
+        self.manager = manager
+        self.sim = manager.sim
+        self.object_name = object_name
+        self.servers = list(servers)
+        self.call_timeout = call_timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.metrics = metrics or MetricsRegistry()
+
+    @property
+    def file_name(self) -> str:
+        return f"{self.protocol_name}:{self.object_name}"
+
+    # -- public API ------------------------------------------------------
+
+    def read(self) -> Generator[Any, Any, ProtocolResult]:
+        started = self.sim.now
+        result = yield from self._with_retries(self._read_once)
+        self.metrics.counter(f"{self.protocol_name}.reads").increment()
+        self.metrics.histogram(
+            f"{self.protocol_name}.read_latency").observe(
+            self.sim.now - started)
+        return result
+
+    def write(self, data: bytes) -> Generator[Any, Any, ProtocolResult]:
+        started = self.sim.now
+        result = yield from self._with_retries(self._write_once, data)
+        self.metrics.counter(f"{self.protocol_name}.writes").increment()
+        self.metrics.histogram(
+            f"{self.protocol_name}.write_latency").observe(
+            self.sim.now - started)
+        return result
+
+    def install(self, initial_data: bytes = b"",
+                ) -> Generator[Any, Any, None]:
+        """Create the replicated object on every server."""
+        txn = self.manager.begin()
+        try:
+            calls = [txn.call(server, "txn.stage_write",
+                              name=self.file_name, data=initial_data,
+                              version=1, create=True,
+                              timeout=self.call_timeout)
+                     for server in self.servers]
+            yield self.sim.all_of(calls)
+            yield from txn.commit()
+        except ReproError:
+            yield from txn.abort()
+            raise
+
+    # -- to be provided by subclasses --------------------------------------
+
+    def _read_once(self, txn: Transaction
+                   ) -> Generator[Any, Any, ProtocolResult]:
+        raise NotImplementedError
+
+    def _write_once(self, txn: Transaction, data: bytes
+                    ) -> Generator[Any, Any, ProtocolResult]:
+        raise NotImplementedError
+
+    # -- retry loop ----------------------------------------------------------
+
+    def _with_retries(self, operation, *args) -> Generator[Any, Any, Any]:
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            txn = self.manager.begin()
+            try:
+                result = yield from operation(txn, *args)
+                yield from txn.commit()
+                result.attempts = attempt + 1
+                return result
+            except RETRYABLE as exc:
+                yield from txn.abort()
+                last_error = exc
+                if self.retry_backoff > 0 \
+                        and attempt + 1 < self.max_attempts:
+                    yield self.sim.timeout(
+                        self.retry_backoff * (2 ** attempt))
+            except GeneratorExit:
+                raise  # killed process: must not yield during close()
+            except BaseException:
+                yield from txn.abort()
+                raise
+        self.metrics.counter(f"{self.protocol_name}.failures").increment()
+        assert last_error is not None
+        raise last_error

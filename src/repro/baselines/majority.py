@@ -1,0 +1,55 @@
+"""Majority consensus (Thomas, 1979) — the unweighted-voting baseline.
+
+Thomas' scheme gives every copy exactly one vote and requires a simple
+majority for both reads and writes.  As Gifford observes, it is the
+special case of weighted voting with a uniform vote assignment and
+``r = w = ⌈(n+1)/2⌉`` — so the baseline is built *as* a file suite with
+that configuration, exercising exactly the same machinery.
+
+(The original paper uses timestamps and a request-daemon update loop;
+for availability/latency comparisons, which is what the benches measure,
+the quorum structure is the determining factor and version numbers play
+the timestamps' role.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.suite import FileSuiteClient
+from ..core.votes import Representative, SuiteConfiguration
+from ..txn.coordinator import TransactionManager
+
+
+def majority_quorum(num_copies: int) -> int:
+    """The simple-majority threshold for ``num_copies`` equal votes."""
+    if num_copies < 1:
+        raise ValueError("need at least one copy")
+    return num_copies // 2 + 1
+
+
+def majority_configuration(object_name: str, servers: List[str],
+                           latency_hints: Optional[Dict[str, float]] = None,
+                           ) -> SuiteConfiguration:
+    """A uniform one-vote-per-copy, majority-read/majority-write suite."""
+    hints = latency_hints or {}
+    quorum = majority_quorum(len(servers))
+    reps = tuple(
+        Representative(rep_id=f"rep-{server}", server=server, votes=1,
+                       latency_hint=hints.get(server, 0.0))
+        for server in servers)
+    return SuiteConfiguration(suite_name=object_name,
+                              representatives=reps,
+                              read_quorum=quorum, write_quorum=quorum)
+
+
+class MajorityConsensusClient(FileSuiteClient):
+    """A file-suite client pinned to Thomas' majority configuration."""
+
+    @classmethod
+    def build(cls, manager: TransactionManager, object_name: str,
+              servers: List[str],
+              latency_hints: Optional[Dict[str, float]] = None,
+              **kwargs) -> "MajorityConsensusClient":
+        config = majority_configuration(object_name, servers, latency_hints)
+        return cls(manager, config, **kwargs)

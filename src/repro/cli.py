@@ -1,0 +1,292 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Subcommands::
+
+    python -m repro table1                     # the paper's example table
+    python -m repro simulate --example 2       # full-stack measurement
+    python -m repro sweep                      # availability sweep (F1)
+    python -m repro tune --read-fraction 0.9 \\
+        --server fast:10:0.99 --server slow:200:0.95
+    python -m repro demo                       # quickstart scenario
+
+All output is plain text; everything runs in simulated time and
+finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core import (EXPECTED, ServerProfile, SuiteAnalysis,
+                   best_configuration, example_analysis,
+                   example_configuration, make_configuration)
+from .errors import InvalidConfigurationError
+from .testbed import Testbed, example_data, example_testbed
+
+
+def _print_rows(columns: Sequence[str], rows: Sequence[Sequence]) -> None:
+    widths = [max(len(str(column)), 12) for column in columns]
+    print("  ".join(str(column).rjust(width)
+                    for column, width in zip(columns, widths)))
+    for row in rows:
+        cells = []
+        for cell, width in zip(row, widths):
+            if isinstance(cell, float):
+                text = f"{cell:.6g}"
+            else:
+                text = str(cell)
+            cells.append(text.rjust(width))
+        print("  ".join(cells))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    print("Gifford's example file suites (analytic model)")
+    rows = []
+    for example in (1, 2, 3):
+        analysis = example_analysis(example)
+        rows.append((f"example {example}",
+                     analysis.read_latency(),
+                     analysis.read_blocking_probability(),
+                     analysis.write_latency(),
+                     analysis.write_blocking_probability()))
+    _print_rows(["configuration", "read ms", "read block",
+                 "write ms", "write block"], rows)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    bed, config = example_testbed(args.example, seed=args.seed)
+    suite = bed.install(config, example_data())
+
+    def timed(operation):
+        start = bed.sim.now
+        result = yield from operation
+        return bed.sim.now - start, result
+
+    read_latency, read = bed.run(timed(suite.read()))
+    write_latency, write = bed.run(
+        timed(suite.write(example_data(b"w"))))
+    bed.settle()
+    expected = EXPECTED[args.example]
+    print(f"example {args.example} on the full simulated stack:")
+    _print_rows(
+        ["operation", "simulated ms", "paper ms", "detail"],
+        [("read", read_latency, expected["read_latency"],
+          f"served by {read.served_by}"),
+         ("write", write_latency, expected["write_latency"],
+          f"quorum {','.join(write.quorum)}")])
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = example_configuration(args.example)
+    print(f"blocking probability vs availability, example {args.example}")
+    rows = []
+    for availability in (0.5, 0.7, 0.9, 0.95, 0.99, 0.999):
+        analysis = SuiteAnalysis(config, availability=availability)
+        rows.append((availability,
+                     analysis.read_blocking_probability(),
+                     analysis.write_blocking_probability()))
+    _print_rows(["availability", "read block", "write block"], rows)
+    return 0
+
+
+def _parse_server(text: str) -> ServerProfile:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"{text!r}: expected NAME:LATENCY:AVAILABILITY")
+    name, latency, availability = parts
+    try:
+        return ServerProfile(name=name, latency=float(latency),
+                             availability=float(availability))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    servers = args.server or [
+        ServerProfile("local", 75.0, 0.99),
+        ServerProfile("near", 100.0, 0.99),
+        ServerProfile("far", 750.0, 0.99),
+    ]
+    try:
+        best = best_configuration(
+            servers, read_fraction=args.read_fraction,
+            min_read_availability=args.min_read_availability,
+            min_write_availability=args.min_write_availability,
+            max_votes_per_rep=args.max_votes)
+    except InvalidConfigurationError as error:
+        print(f"no feasible configuration: {error}", file=sys.stderr)
+        return 1
+    config = best.config
+    print(f"best configuration for read fraction "
+          f"{args.read_fraction:.2f}:")
+    _print_rows(
+        ["server", "votes", "latency ms", "availability"],
+        [(profile.name,
+          config.representative(f"rep-{profile.name}").votes,
+          profile.latency, profile.availability)
+         for profile in servers])
+    print(f"\n  r = {config.read_quorum}, w = {config.write_quorum}, "
+          f"N = {config.total_votes}")
+    _print_rows(
+        ["metric", "value"],
+        [("read latency ms", best.read_latency),
+         ("write latency ms", best.write_latency),
+         ("read availability", best.read_availability),
+         ("write availability", best.write_availability),
+         ("mean latency ms", best.mean_latency)])
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Build a demo deployment, degrade it, and show the admin view."""
+    from .core import suite_status, verify_invariants
+
+    bed = Testbed(servers=["s1", "s2", "s3"], seed=args.seed)
+    config = make_configuration(
+        "demo", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+        latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+    suite = bed.install(config, b"status-demo")
+    suite.refresher.enabled = False
+    bed.run(suite.write(b"v2"))        # leaves one representative stale
+    suite.inquiry_timeout = 200.0
+    bed.crash("s3")
+
+    status = bed.run(suite_status(suite))
+    print(f"suite {status.suite_name!r} "
+          f"(configuration v{status.config_version}):")
+    _print_rows(
+        ["representative", "server", "votes", "reachable", "version"],
+        [(rep.rep_id, rep.server, rep.votes, str(rep.reachable),
+          rep.version if rep.version is not None else "-")
+         for rep in status.representatives])
+    print(f"\n  current version: {status.current_version}")
+    print(f"  reachable votes: {status.reachable_votes} "
+          f"(read needs {config.read_quorum}, "
+          f"write needs {config.write_quorum})")
+    print(f"  stale: {[rep.rep_id for rep in status.stale]}")
+    print(f"  unreachable: "
+          f"{[rep.rep_id for rep in status.unreachable]}")
+    report = bed.run(verify_invariants(suite))
+    print(f"  invariants: {'OK' if report.ok else report.problems}")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    """Majority suites of growing size: availability and message cost."""
+    from .core import SuiteAnalysis
+    from .core.analysis import message_cost
+
+    print(f"majority quorums, per-replica availability "
+          f"{args.availability}")
+    rows = []
+    for size in (3, 5, 7, 9, 11):
+        servers = [(f"s{i}", 1) for i in range(size)]
+        quorum = size // 2 + 1
+        config = make_configuration(f"scale-{size}", servers, quorum,
+                                    quorum)
+        analysis = SuiteAnalysis(config, availability=args.availability)
+        costs = message_cost(config)
+        rows.append((size, quorum, analysis.write_availability(),
+                     costs["read"], costs["write"]))
+    _print_rows(["members", "quorum", "op availability", "read msgs",
+                 "write msgs"], rows)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    bed = Testbed(servers=["s1", "s2", "s3"], seed=args.seed)
+    config = make_configuration(
+        "demo", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+        latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+    suite = bed.install(config, b"hello, 1979")
+    read = bed.run(suite.read())
+    print(f"read {read.data!r} at version {read.version} "
+          f"(served by {read.served_by})")
+    write = bed.run(suite.write(b"weighted voting works"))
+    print(f"wrote version {write.version} to quorum {write.quorum}")
+    bed.crash("s1")
+    read = bed.run(suite.read())
+    print(f"with s1 crashed, read {read.data!r} "
+          f"(served by {read.served_by})")
+    bed.restart("s1")
+    bed.settle()
+    versions = sorted(node.server.fs.stat("suite:demo").version
+                      for node in bed.servers.values())
+    print(f"after background refresh, versions: {versions}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weighted Voting for Replicated Data (SOSP 1979) — "
+                    "reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser(
+        "table1", help="print the paper's example table (analytic)")
+    table1.set_defaults(handler=cmd_table1)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="measure one example on the full stack")
+    simulate.add_argument("--example", type=int, choices=(1, 2, 3),
+                          default=2)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="blocking probability vs availability")
+    sweep.add_argument("--example", type=int, choices=(1, 2, 3),
+                       default=3)
+    sweep.set_defaults(handler=cmd_sweep)
+
+    tune = subparsers.add_parser(
+        "tune", help="search for the best vote assignment")
+    tune.add_argument("--server", action="append", type=_parse_server,
+                      metavar="NAME:LATENCY:AVAIL",
+                      help="candidate server (repeatable)")
+    tune.add_argument("--read-fraction", type=float, default=0.9)
+    tune.add_argument("--min-read-availability", type=float, default=0.0)
+    tune.add_argument("--min-write-availability", type=float,
+                      default=0.0)
+    tune.add_argument("--max-votes", type=int, default=3)
+    tune.set_defaults(handler=cmd_tune)
+
+    demo = subparsers.add_parser("demo", help="run the quickstart demo")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(handler=cmd_demo)
+
+    status = subparsers.add_parser(
+        "status", help="admin view of a (degraded) demo suite")
+    status.add_argument("--seed", type=int, default=0)
+    status.set_defaults(handler=cmd_status)
+
+    scaling = subparsers.add_parser(
+        "scaling", help="availability and message cost vs suite size")
+    scaling.add_argument("--availability", type=float, default=0.9)
+    scaling.set_defaults(handler=cmd_scaling)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Client-resident weak representatives.
+
+The paper notes that a weak representative can live anywhere the data
+is useful — including in a workstation's own memory as a *temporary*
+copy.  :class:`CachingSuiteClient` implements exactly that: it keeps
+the last data it observed and, on a read, performs only the (cheap)
+version-number inquiry; when the cached version is still current the
+data transfer is skipped entirely.
+
+Consistency is identical to a normal read: the inquiry takes shared
+locks on a read quorum, so the moment it completes the cached value is
+provably the current committed state — the same argument that lets any
+weak representative serve a read.  A cache, like any weak
+representative, holds no votes and can never affect availability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+from .suite import FileSuiteClient, ReadResult, WriteResult
+
+
+class CachingSuiteClient(FileSuiteClient):
+    """A suite client with an in-process weak representative."""
+
+    def __init__(self, *args: Any, cache_enabled: bool = True,
+                 **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.cache_enabled = cache_enabled
+        self._cached: Optional[Tuple[int, bytes]] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_version(self) -> Optional[int]:
+        return self._cached[0] if self._cached else None
+
+    def invalidate(self) -> None:
+        """Drop the cached copy (e.g. on reconnection)."""
+        self._cached = None
+
+    # ------------------------------------------------------------------
+
+    def read(self) -> Generator[Any, Any, ReadResult]:
+        """Read, serving the data locally when the cache is current."""
+        if not self.cache_enabled or self._cached is None:
+            result = yield from super().read()
+            self._store(result.version, result.data)
+            return result
+
+        cached_version, cached_data = self._cached
+        started = self.sim.now
+        current = yield from self.current_version()
+        if current == cached_version:
+            self.metrics.counter("cache.hits").increment()
+            self.metrics.counter("suite.reads").increment()
+            self.metrics.histogram("suite.read_latency").observe(
+                self.sim.now - started)
+            return ReadResult(data=cached_data, version=cached_version,
+                              served_by="client-cache", quorum=[],
+                              stale=[])
+        self.metrics.counter("cache.misses").increment()
+        result = yield from super().read()
+        self._store(result.version, result.data)
+        return result
+
+    def write(self, data: bytes) -> Generator[Any, Any, WriteResult]:
+        """Write through: the cache holds the value we just committed."""
+        result = yield from super().write(data)
+        if self.cache_enabled:
+            self._store(result.version, data)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _store(self, version: int, data: bytes) -> None:
+        if self.cache_enabled:
+            self._cached = (version, bytes(data))

@@ -1,0 +1,94 @@
+"""Vote gathering: collect responses until a quorum condition is met.
+
+The heart of the online protocol is "poll representatives in parallel
+and stop as soon as enough votes have answered".  :func:`gather_until`
+implements exactly that over any mapping of keys to reply events: it
+resolves replies in arrival order, feeds each into an ``enough``
+predicate, and returns as soon as the predicate is satisfied (or every
+reply has settled).
+
+Late responses are *not* cancelled — they simply settle after the
+gather has returned, which mirrors real datagram RPC; the transaction
+layer tracks every attempted server so their locks are cleaned up at
+commit/abort time.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Generator, Hashable,
+                    Mapping)
+
+from ..sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+
+class GatherResult:
+    """Outcome of a gather: successes, failures, and the stop reason."""
+
+    __slots__ = ("successes", "failures", "satisfied")
+
+    def __init__(self, successes: Dict[Hashable, Any],
+                 failures: Dict[Hashable, BaseException],
+                 satisfied: bool) -> None:
+        self.successes = successes
+        self.failures = failures
+        self.satisfied = satisfied
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GatherResult(ok={sorted(map(str, self.successes))}, "
+                f"failed={sorted(map(str, self.failures))}, "
+                f"satisfied={self.satisfied})")
+
+
+def gather_until(sim: "Simulator", calls: Mapping[Hashable, Event],
+                 enough: Callable[[Dict[Hashable, Any],
+                                   Dict[Hashable, BaseException]], bool],
+                 ) -> Generator[Any, Any, GatherResult]:
+    """Await ``calls`` in completion order until ``enough(successes,
+    failures)``.
+
+    ``calls`` maps an arbitrary key (e.g. a representative) to a reply
+    event.  Returns a :class:`GatherResult`; ``satisfied`` records
+    whether the predicate was met before replies ran out.  This function
+    never raises on individual call failures — they are collected in
+    ``failures`` and it is the caller's policy what a failed inquiry
+    means (the predicate sees them, e.g. to stop waiting for an
+    optional responder that turned out to be down).
+    """
+    successes: Dict[Hashable, Any] = {}
+    failures: Dict[Hashable, BaseException] = {}
+    if enough(successes, failures):
+        return GatherResult(successes, failures, True)
+
+    def wrap(key: Hashable, event: Event):
+        try:
+            value = yield event
+            return (key, True, value)
+        except BaseException as exc:  # noqa: BLE001 - reported, not lost
+            return (key, False, exc)
+
+    pending = {sim.spawn(wrap(key, event), name=f"gather:{key}")
+               for key, event in calls.items()}
+    while pending:
+        settled_event, outcome = yield sim.any_of(pending)
+        pending.discard(settled_event)
+        key, ok, value = outcome
+        if ok:
+            successes[key] = value
+        else:
+            failures[key] = value
+        if enough(successes, failures):
+            return GatherResult(successes, failures, True)
+    return GatherResult(successes, failures, False)
+
+
+def votes_predicate(threshold: int,
+                    votes_of_key: Callable[[Hashable], int],
+                    ) -> Callable[..., bool]:
+    """An ``enough`` predicate: collected keys hold >= ``threshold`` votes."""
+    def enough(successes: Dict[Hashable, Any],
+               failures: Dict[Hashable, BaseException]) -> bool:
+        return sum(votes_of_key(key) for key in successes) >= threshold
+    return enough

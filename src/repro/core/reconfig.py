@@ -1,0 +1,153 @@
+"""Changing a suite's vote configuration.
+
+Gifford treats the vote assignment and quorum sizes as part of the
+replicated file itself, so reconfiguration is *just a write* performed
+under the **old** configuration's rules:
+
+1. gather an old-configuration write quorum (exclusive locks);
+2. read the current contents;
+3. stage the same contents, with the **new** configuration in the
+   property map and ``version = current + 1``, at the old write quorum
+   *and* at every representative new to the suite (created on the spot);
+4. commit atomically.
+
+Safety: any later operation under the old configuration must gather a
+quorum that intersects the old write quorum used here (``r + w > N``
+and ``2w > N``), so it meets a representative carrying the new
+configuration, adopts it
+(:class:`~repro.errors.StaleConfigurationError` → retry), and proceeds
+under the new rules.  Representatives dropped from the suite are
+deleted best-effort in the background after commit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import InvalidConfigurationError, ReproError
+from ..txn.coordinator import Transaction
+from ..txn.locks import EXCLUSIVE
+from .quorum import cheapest_quorum
+from .suite import FileSuiteClient, RETRYABLE
+from .votes import SuiteConfiguration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+
+def change_configuration(client: FileSuiteClient,
+                         new_config: SuiteConfiguration,
+                         ) -> Generator[Any, Any, SuiteConfiguration]:
+    """Install ``new_config`` on ``client``'s suite.
+
+    Returns the installed configuration (its ``config_version`` is
+    forced to ``old + 1``).  Retries transient failures like any suite
+    write.  Raises :class:`InvalidConfigurationError` if ``new_config``
+    names a different suite.
+    """
+    if new_config.suite_name != client.config.suite_name:
+        raise InvalidConfigurationError(
+            f"configuration is for suite {new_config.suite_name!r}, "
+            f"client handles {client.config.suite_name!r}")
+
+    last_error: Optional[BaseException] = None
+    for attempt in range(client.max_attempts):
+        old_config = client.config
+        installed = new_config.evolve(
+            config_version=old_config.config_version + 1,
+            suite_name=old_config.suite_name)
+        txn = client.manager.begin()
+        try:
+            yield from _reconfigure_once(client, txn, old_config, installed)
+            yield from txn.commit()
+        except RETRYABLE as exc:
+            yield from txn.abort()
+            last_error = exc
+            if client.retry_backoff > 0:
+                yield client.sim.timeout(
+                    client.retry_backoff * (2 ** attempt))
+            continue
+        except ReproError:
+            yield from txn.abort()
+            raise
+        # Adopt locally, propagate in the background, clean up removals.
+        client.config = installed
+        _spread_and_cleanup(client, old_config, installed)
+        return installed
+    raise last_error if last_error is not None else \
+        InvalidConfigurationError("reconfiguration failed")
+
+
+def _reconfigure_once(client: FileSuiteClient, txn: Transaction,
+                      old_config: SuiteConfiguration,
+                      installed: SuiteConfiguration,
+                      ) -> Generator[Any, Any, None]:
+    # 1. Old-configuration write quorum, exclusive.
+    gathered = yield from client._inquire(
+        txn, old_config.write_quorum, mode=EXCLUSIVE, include_weak=False)
+    current = max(stat["version"] for stat in gathered.successes.values())
+    new_version = current + 1
+
+    # 2. Current contents, from a current responder.
+    current_reps = sorted(
+        (rep for rep, stat in gathered.successes.items()
+         if stat["version"] == current),
+        key=lambda rep: (rep.latency_hint, rep.rep_id))
+    data = None
+    for rep in current_reps:
+        try:
+            data, _version = yield txn.call(
+                rep.server, "txn.read", name=old_config.file_name,
+                timeout=client.data_timeout)
+            break
+        except RETRYABLE:
+            continue
+    if data is None:
+        raise ReproError("no current representative reachable for data")
+
+    # 3. Stage at the old write quorum plus all newly added servers.
+    properties = {"config": installed.to_json(),
+                  "stamp": installed.config_version}
+    quorum = cheapest_quorum(list(gathered.successes),
+                             old_config.write_quorum)
+    old_servers = {rep.server for rep in old_config.representatives}
+    targets = {rep.server for rep in quorum}
+    new_servers = [rep.server for rep in installed.representatives
+                   if rep.server not in old_servers]
+    calls = [
+        txn.call(server, "txn.stage_write", name=old_config.file_name,
+                 data=data, version=new_version, properties=properties,
+                 create=True, timeout=client.data_timeout)
+        for server in sorted(targets) + new_servers
+    ]
+    yield client.sim.all_of(calls)
+
+
+def _spread_and_cleanup(client: FileSuiteClient,
+                        old_config: SuiteConfiguration,
+                        installed: SuiteConfiguration) -> None:
+    """Post-commit: refresh remaining members, delete removed ones."""
+    new_servers = {rep.server for rep in installed.representatives}
+    if client.refresher is not None:
+        remaining = [rep.rep_id for rep in installed.representatives]
+        client.refresher.schedule(client, remaining, 0)
+    removed = [rep for rep in old_config.representatives
+               if rep.server not in new_servers]
+    for rep in removed:
+        client.sim.spawn(
+            _delete_representative(client, rep.server,
+                                   old_config.file_name),
+            name=f"reconfig-cleanup:{rep.rep_id}")
+
+
+def _delete_representative(client: FileSuiteClient, server: str,
+                           file_name: str) -> Generator[Any, Any, None]:
+    txn = client.manager.begin()
+    try:
+        yield txn.call(server, "txn.stage_delete", name=file_name,
+                       timeout=client.data_timeout)
+        yield from txn.commit()
+    except ReproError:
+        yield from txn.abort()
+        # Best effort: an unreachable removed representative keeps its
+        # (now unreferenced) copy; it can never affect a quorum again.

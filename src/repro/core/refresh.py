@@ -1,0 +1,162 @@
+"""Background refresh of stale representatives.
+
+The paper keeps foreground operations fast by never making them wait
+for obsolete copies: when a read or write discovers representatives
+behind the current version (or leaves some behind by writing only a
+quorum), those copies are brought current *in the background*.
+
+Each refresh runs as its own transaction:
+
+1. read the suite's current data through a normal read quorum (so the
+   refresher can never propagate uncommitted or stale data);
+2. stage the data at each target with ``only_if_newer`` — the
+   representative's exclusive lock makes the version check stable, so a
+   refresh can never move a version number backwards, even racing with
+   foreground writes;
+3. commit.
+
+Duplicate suppression: one in-flight refresh per (suite, representative)
+at a time; a refresh request for a version already achieved is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..errors import ReproError
+from ..sim.metrics import MetricsRegistry
+from ..txn.coordinator import TransactionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+    from .suite import FileSuiteClient
+
+
+class BackgroundRefresher:
+    """Queues and executes stale-representative refreshes."""
+
+    def __init__(self, manager: TransactionManager, delay: float = 0.0,
+                 max_attempts: int = 3, retry_backoff: float = 100.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 enabled: bool = True) -> None:
+        self.manager = manager
+        self.sim = manager.sim
+        self.delay = delay
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.metrics = metrics or MetricsRegistry()
+        #: Ablation switch: with ``enabled=False`` every refresh request
+        #: is dropped, so stale copies persist (experiment F5).
+        self.enabled = enabled
+        self._in_flight: Set[Tuple[str, str]] = set()
+        #: Highest version anyone has asked each representative to reach.
+        #: A refresh already in flight re-runs if a newer request lands
+        #: while it works, so no update is ever silently dropped.
+        self._requested: Dict[Tuple[str, str], int] = {}
+
+    def schedule(self, suite: "FileSuiteClient", rep_ids: List[str],
+                 version: int) -> None:
+        """Request that ``rep_ids`` of ``suite`` be brought to ``version``.
+
+        Fire-and-forget: returns immediately, work happens in a
+        detached process.
+        """
+        if not self.enabled:
+            self.metrics.counter("refresh.dropped").increment()
+            return
+        suite_name = suite.config.suite_name
+        targets = []
+        for rep_id in rep_ids:
+            key = (suite_name, rep_id)
+            self._requested[key] = max(self._requested.get(key, 0),
+                                       version)
+            if key in self._in_flight:
+                continue  # the in-flight run will see _requested
+            self._in_flight.add(key)
+            targets.append(rep_id)
+        if not targets:
+            return
+        self.metrics.counter("refresh.scheduled").increment(len(targets))
+        self.sim.spawn(self._refresh(suite, targets),
+                       name=f"refresh:{suite_name}")
+
+    def _refresh(self, suite: "FileSuiteClient", rep_ids: List[str],
+                 ) -> Generator[Any, Any, None]:
+        suite_name = suite.config.suite_name
+        keys = [(suite_name, rep_id) for rep_id in rep_ids]
+        try:
+            if self.delay > 0:
+                yield self.sim.timeout(self.delay)
+            consecutive_failures = 0
+            while consecutive_failures < self.max_attempts:
+                achieved = yield from self._attempt(suite, rep_ids, 0)
+                if achieved is None:
+                    consecutive_failures += 1
+                    yield self.sim.timeout(
+                        self.retry_backoff * consecutive_failures)
+                    continue
+                consecutive_failures = 0  # progress was made
+                outstanding = any(self._requested.get(key, 0) > achieved
+                                  for key in keys)
+                if not outstanding:
+                    self.metrics.counter(
+                        "refresh.completed").increment(len(rep_ids))
+                    return
+                # A newer request landed while we worked: go again.
+            self.metrics.counter("refresh.abandoned").increment(len(rep_ids))
+        finally:
+            for key in keys:
+                self._in_flight.discard(key)
+                self._requested.pop(key, None)
+
+    def _attempt(self, suite: "FileSuiteClient", rep_ids: List[str],
+                 version: int) -> Generator[Any, Any, Optional[int]]:
+        """One refresh pass; returns the version installed, or None."""
+        # Phase 1 — its own read-only transaction: fetch the
+        # authoritative current state through a normal read quorum (it
+        # may already be newer than the requested version).  If a
+        # reconfiguration happened meanwhile, the read adopts it and
+        # raises, so by the time it succeeds `suite.config` is
+        # consistent with the version read.  Committing here releases
+        # the quorum's shared locks immediately, so a refresh never
+        # starves foreground writers of the suite.
+        read_txn = self.manager.begin()
+        try:
+            result = yield from suite.read_in(read_txn)
+            yield from read_txn.commit()
+        except ReproError:
+            yield from read_txn.abort()
+            return None
+
+        # Phase 2 — a narrow write transaction locking *only* the stale
+        # targets.  The gap between the phases is harmless: every stage
+        # uses ``only_if_newer`` under the target's exclusive lock, so a
+        # foreground write that slipped in between simply makes this a
+        # no-op — versions can never move backwards.
+        config = suite.config
+        properties = {"config": config.to_json(),
+                      "stamp": config.config_version}
+        write_txn = self.manager.begin()
+        try:
+            calls = []
+            for rep_id in rep_ids:
+                try:
+                    rep = config.representative(rep_id)
+                except KeyError:
+                    continue  # removed by a reconfiguration meanwhile
+                calls.append(write_txn.call(
+                    rep.server, "txn.stage_write", name=config.file_name,
+                    data=result.data, version=result.version,
+                    properties=properties, only_if_newer=True, create=True,
+                    timeout=suite.data_timeout))
+            if calls:
+                yield self.sim.all_of(calls)
+            yield from write_txn.commit()
+            self.metrics.counter("refresh.transactions").increment()
+            suite.tracer.record(f"suite:{config.suite_name}", "refresh",
+                                version=result.version,
+                                targets=",".join(sorted(rep_ids)))
+            return result.version
+        except ReproError:
+            yield from write_txn.abort()
+            return None

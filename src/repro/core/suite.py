@@ -1,0 +1,483 @@
+"""The file suite: weighted-voting reads and writes.
+
+This module implements the paper's algorithm over the transaction
+substrate:
+
+**Read** — poll representatives for their version numbers (a *version
+number inquiry*, which moves no data and takes shared locks) until
+representatives holding at least ``r`` votes have answered.  The highest
+version number in the quorum is the *current* version: because
+``r + w > N``, the quorum must include a member of the most recent write
+quorum.  Read the data from the cheapest representative that is current
+— which may be a zero-vote **weak representative** (a cache), since
+currency, not votes, qualifies a representative to serve data.
+
+**Write** — poll voting representatives (exclusive locks) until ``w``
+votes have answered, compute ``new version = current + 1``, stage the
+new data at a cheapest write quorum, and commit via two-phase commit so
+the whole quorum moves atomically.  Because ``2w > N``, two writes can
+never commit against disjoint quorums, so version numbers totally order
+writes.
+
+Representatives discovered to be stale, and representatives outside the
+write quorum (including weak ones), are handed to the **background
+refresher** (:mod:`repro.core.refresh`) — bringing copies current never
+adds latency to the foreground operation.
+
+Every operation runs inside a transaction; by default each call manages
+its own transaction and retries transient failures (deadlock, lock
+timeout, lost quorum) with jittered backoff, exactly the discipline the
+paper assumes from its transactional storage system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Dict, Generator, List, Optional,
+                    Sequence)
+
+from ..errors import (DeadlockError, HostUnreachableError, LockTimeoutError,
+                      QuorumUnavailableError, RemoteError, ReproError,
+                      RpcTimeout, StaleConfigurationError, TransactionAborted)
+from ..sim.metrics import MetricsRegistry
+from ..sim.rng import RandomStreams
+from ..sim.trace import Tracer
+from ..txn.coordinator import Transaction, TransactionManager
+from ..txn.locks import EXCLUSIVE, SHARED
+from .gather import GatherResult, gather_until
+from .quorum import cheapest_quorum
+from .votes import Representative, SuiteConfiguration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+    from .refresh import BackgroundRefresher
+
+#: Errors that abort one attempt but are worth retrying with a fresh
+#: transaction.
+RETRYABLE = (DeadlockError, LockTimeoutError, QuorumUnavailableError,
+             RpcTimeout, HostUnreachableError, TransactionAborted,
+             RemoteError)
+
+
+@dataclass
+class ReadResult:
+    """Outcome of a suite read."""
+
+    data: bytes
+    version: int
+    served_by: str                      # rep_id that supplied the data
+    quorum: List[str]                   # rep_ids whose votes were counted
+    stale: List[str]                    # responders below the current version
+    attempts: int = 1
+
+
+@dataclass
+class WriteResult:
+    """Outcome of a suite write."""
+
+    version: int
+    quorum: List[str]                   # rep_ids written
+    stale: List[str]                    # reps left behind (refresh targets)
+    attempts: int = 1
+
+
+class FileSuiteClient:
+    """Client-side handle for one replicated file suite.
+
+    The client holds a copy of the suite configuration (vote assignment,
+    quorums, latency hints).  If any representative reports a newer
+    ``config_version``, the client adopts the new configuration and
+    retries — configuration is itself replicated data.
+    """
+
+    def __init__(self, manager: TransactionManager,
+                 config: SuiteConfiguration,
+                 inquiry_timeout: float = 1_000.0,
+                 weak_inquiry_timeout: Optional[float] = None,
+                 data_timeout: float = 5_000.0,
+                 max_attempts: int = 4,
+                 retry_backoff: float = 50.0,
+                 refresher: Optional["BackgroundRefresher"] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 streams: Optional[RandomStreams] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.manager = manager
+        self.sim = manager.sim
+        self.config = config
+        self.inquiry_timeout = inquiry_timeout
+        #: How long a read waits for a silent weak representative before
+        #: giving up on the cache.  Weak reps are normally local and
+        #: answer fast; a short bound here caps the cost of a dead one.
+        self.weak_inquiry_timeout = (weak_inquiry_timeout
+                                     if weak_inquiry_timeout is not None
+                                     else inquiry_timeout)
+        self.data_timeout = data_timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.refresher = refresher
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or Tracer(manager.sim, enabled=False)
+        streams = streams or RandomStreams(seed=0)
+        self._rng = streams.stream(
+            f"suite:{config.suite_name}:{manager.endpoint.host.name}")
+
+    # ------------------------------------------------------------------
+    # Public operations (each manages its own transaction + retries)
+    # ------------------------------------------------------------------
+
+    def read(self) -> Generator[Any, Any, ReadResult]:
+        """Read the current contents of the suite."""
+        started = self.sim.now
+        result = yield from self._with_retries(self._read_once)
+        self.metrics.counter("suite.reads").increment()
+        self.metrics.histogram("suite.read_latency").observe(
+            self.sim.now - started)
+        return result
+
+    def write(self, data: bytes) -> Generator[Any, Any, WriteResult]:
+        """Replace the contents of the suite."""
+        started = self.sim.now
+        result = yield from self._with_retries(self._write_once, data)
+        self.metrics.counter("suite.writes").increment()
+        self.metrics.histogram("suite.write_latency").observe(
+            self.sim.now - started)
+        return result
+
+    def current_version(self) -> Generator[Any, Any, int]:
+        """Version-number inquiry only: collect a read quorum, no data."""
+        def inquire(txn: Transaction):
+            gathered = yield from self._inquire(
+                txn, self.config.read_quorum, mode=SHARED,
+                include_weak=False)
+            return self._current_version_from(gathered)
+
+        result = yield from self._with_retries(inquire)
+        return result
+
+    # -- single-attempt versions usable inside a caller's transaction ----
+
+    def read_in(self, txn: Transaction, for_update: bool = False,
+                ) -> Generator[Any, Any, ReadResult]:
+        """One read attempt inside an existing transaction (no retries).
+
+        ``for_update`` declares that the transaction will write the
+        suite after reading it: the version inquiry then takes
+        *exclusive* locks on a write quorum's worth of votes up front,
+        so two concurrent read-modify-writes serialize instead of
+        deadlocking on shared→exclusive upgrades.
+        """
+        return (yield from self._read_once(txn, for_update=for_update))
+
+    def write_in(self, txn: Transaction,
+                 data: bytes) -> Generator[Any, Any, WriteResult]:
+        """One write attempt inside an existing transaction (no retries).
+
+        The caller owns the commit; background refresh of the
+        representatives left behind is scheduled automatically when (and
+        only when) that commit succeeds.
+        """
+        return (yield from self._write_once(txn, data))
+
+    def transact(self, operation) -> Generator[Any, Any, Any]:
+        """Run a read-modify-write atomically, with the suite's retries.
+
+        ``operation(txn)`` is a generator receiving a fresh transaction
+        per attempt; combine :meth:`read_in` and :meth:`write_in` inside
+        it.  Two-phase locking makes the whole sequence serializable —
+        this is how applications (e.g. the Violet calendar) update
+        structured data stored in a suite without lost updates::
+
+            def add_item(txn):
+                current = yield from suite.read_in(txn)
+                items = decode(current.data) + [item]
+                return (yield from suite.write_in(txn, encode(items)))
+
+            result = yield from suite.transact(add_item)
+        """
+        return (yield from self._with_retries(operation))
+
+    # ------------------------------------------------------------------
+    # Protocol internals
+    # ------------------------------------------------------------------
+
+    def _read_once(self, txn: Transaction, for_update: bool = False,
+                   ) -> Generator[Any, Any, ReadResult]:
+        config = self.config
+        if for_update:
+            threshold = max(config.read_quorum, config.write_quorum)
+            mode = EXCLUSIVE
+        else:
+            threshold = config.read_quorum
+            mode = SHARED
+        gathered = yield from self._inquire(
+            txn, threshold, mode=mode, include_weak=not for_update)
+        current = self._current_version_from(gathered)
+
+        candidates = sorted(
+            (rep for rep, stat in gathered.successes.items()
+             if stat["version"] == current),
+            key=lambda rep: (rep.latency_hint, rep.rep_id))
+        stale = [rep for rep, stat in gathered.successes.items()
+                 if stat["version"] < current]
+
+        data: Optional[bytes] = None
+        served_by = ""
+        for rep in candidates:
+            try:
+                data, version = yield txn.call(
+                    rep.server, "txn.read", name=config.file_name,
+                    timeout=self.data_timeout)
+            except RETRYABLE:
+                continue
+            served_by = rep.rep_id
+            if rep.weak:
+                self.metrics.counter("suite.weak_reads").increment()
+            break
+        if data is None:
+            raise QuorumUnavailableError("read-data", 1, 0)
+
+        self._schedule_refresh(stale, current)
+        quorum_ids = [rep.rep_id for rep in gathered.successes
+                      if rep.votes > 0]
+        self.tracer.record(f"suite:{config.suite_name}", "read",
+                           version=current, served_by=served_by,
+                           quorum=",".join(sorted(quorum_ids)),
+                           stale=len(stale))
+        return ReadResult(data=data, version=current, served_by=served_by,
+                          quorum=quorum_ids,
+                          stale=[rep.rep_id for rep in stale])
+
+    def _write_once(self, txn: Transaction,
+                    data: bytes) -> Generator[Any, Any, WriteResult]:
+        config = self.config
+        gathered = yield from self._inquire(
+            txn, config.write_quorum, mode=EXCLUSIVE, include_weak=False)
+        current = self._current_version_from(gathered,
+                                             threshold=config.write_quorum,
+                                             kind="write")
+        new_version = current + 1
+
+        responders = list(gathered.successes)
+        quorum = cheapest_quorum(responders, config.write_quorum)
+        stage_calls = [
+            txn.call(rep.server, "txn.stage_write", name=config.file_name,
+                     data=data, version=new_version,
+                     timeout=self.data_timeout)
+            for rep in quorum
+        ]
+        # Every staging must succeed; a failure aborts this attempt.
+        yield self.sim.all_of(stage_calls)
+
+        quorum_ids = {rep.rep_id for rep in quorum}
+        left_behind = [rep for rep in config.representatives
+                       if rep.rep_id not in quorum_ids]
+        # Representatives outside the write quorum become stale the
+        # moment this commits; hand them to the background refresher —
+        # but only if the commit actually happens.
+        txn.after_commit(
+            lambda: self._schedule_refresh(left_behind, new_version))
+        txn.after_commit(
+            lambda: self.tracer.record(
+                f"suite:{config.suite_name}", "write",
+                version=new_version,
+                quorum=",".join(sorted(quorum_ids)),
+                left_behind=len(left_behind)))
+        return WriteResult(version=new_version,
+                           quorum=sorted(quorum_ids),
+                           stale=[rep.rep_id for rep in left_behind])
+
+    def _inquire(self, txn: Transaction, threshold: int, mode: str,
+                 include_weak: bool) -> Generator[Any, Any, GatherResult]:
+        """Version-number inquiry until ``threshold`` votes respond.
+
+        Weak representatives are polled too on reads (their answers are
+        free candidates for serving the data) but never counted toward
+        the quorum.
+        """
+        config = self.config
+        calls = {}
+        for rep in config.representatives:
+            if rep.weak and not include_weak:
+                continue
+            # Weak representatives only ever serve reads: shared mode.
+            rep_mode = SHARED if rep.weak else mode
+            timeout = (self.weak_inquiry_timeout if rep.weak
+                       else self.inquiry_timeout)
+            calls[rep] = txn.call(rep.server, "txn.stat",
+                                  name=config.file_name, mode=rep_mode,
+                                  timeout=timeout)
+
+        def enough(successes, failures):
+            votes = sum(rep.votes for rep in successes)
+            if votes < threshold:
+                return False
+            if not include_weak:
+                return True
+            # A weak representative cheaper than the best responding
+            # voting candidate is worth waiting for — serving the data
+            # from it is the whole point of caching.  Weak reps slower
+            # than the best candidate never delay the read.
+            settled = set(successes) | set(failures)
+            best_voting = min((rep.latency_hint for rep in successes
+                               if rep.votes > 0), default=float("inf"))
+            for rep in calls:
+                if rep.weak and rep not in settled \
+                        and rep.latency_hint < best_voting:
+                    return False
+            return True
+
+        gathered = yield from gather_until(self.sim, calls, enough)
+        yield from self._check_configuration(txn, gathered)
+        if not gathered.satisfied:
+            votes = sum(rep.votes for rep in gathered.successes)
+            self.metrics.counter("suite.quorum_failures").increment()
+            raise QuorumUnavailableError(
+                "read" if mode == SHARED else "write", threshold, votes)
+        return gathered
+
+    def _current_version_from(self, gathered: GatherResult,
+                              threshold: Optional[int] = None,
+                              kind: str = "read") -> int:
+        versions = [stat["version"]
+                    for stat in gathered.successes.values()]
+        if not versions:
+            raise QuorumUnavailableError(kind, threshold or 1, 0)
+        return max(versions)
+
+    def _check_configuration(self, txn: Transaction,
+                             gathered: GatherResult,
+                             ) -> Generator[Any, Any, None]:
+        """Adopt a newer configuration if any representative has one.
+
+        Inquiries carry only a small ``stamp`` (the configuration
+        version); the full configuration is fetched in a follow-up call
+        only when the stamp shows ours is stale — so the steady-state
+        inquiry stays tens of bytes.
+        """
+        newest_rep: Optional[Representative] = None
+        newest_stamp = self.config.config_version
+        for rep, stat in gathered.successes.items():
+            stamp = stat.get("stamp", 0)
+            if stamp > newest_stamp:
+                newest_stamp = stamp
+                newest_rep = rep
+        if newest_rep is None:
+            return
+        detail = yield txn.call(newest_rep.server, "txn.stat",
+                                name=self.config.file_name, mode=SHARED,
+                                detail=True, timeout=self.inquiry_timeout)
+        raw = detail.get("properties", {}).get("config")
+        if raw and raw["config_version"] > self.config.config_version:
+            self.config = SuiteConfiguration.from_json(raw)
+            self.metrics.counter("suite.config_refreshes").increment()
+            raise StaleConfigurationError(
+                f"adopted configuration v{self.config.config_version}; "
+                "retrying under it")
+
+    def _schedule_refresh(self, stale: Sequence[Representative],
+                          version: int) -> None:
+        if self.refresher is not None and stale:
+            self.refresher.schedule(self, [rep.rep_id for rep in stale],
+                                    version)
+
+    # ------------------------------------------------------------------
+    # Transaction + retry wrapper
+    # ------------------------------------------------------------------
+
+    def _with_retries(self, operation, *args) -> Generator[Any, Any, Any]:
+        last_error: Optional[BaseException] = None
+        attempts = 0
+        config_refreshes = 0
+        while attempts < self.max_attempts:
+            txn = self.manager.begin()
+            try:
+                result = yield from operation(txn, *args)
+                yield from txn.commit()
+            except StaleConfigurationError as exc:
+                # Not a failure: we learned a newer configuration.
+                # Bounded separately so a pathological loop still ends.
+                yield from txn.abort()
+                config_refreshes += 1
+                if config_refreshes > 3:
+                    raise
+                last_error = exc
+                continue
+            except RETRYABLE as exc:
+                yield from txn.abort()
+                attempts += 1
+                last_error = exc
+                self.metrics.counter("suite.retries").increment()
+                if attempts < self.max_attempts and self.retry_backoff > 0:
+                    jitter = 0.5 + self._rng.random()
+                    yield self.sim.timeout(
+                        self.retry_backoff * (2 ** (attempts - 1)) * jitter)
+                continue
+            except GeneratorExit:
+                raise  # killed process: must not yield during close()
+            except BaseException:
+                # Application-level error (e.g. a calendar conflict):
+                # not retryable, but the transaction must still release
+                # its locks before the error propagates.
+                yield from txn.abort()
+                raise
+            if isinstance(result, (ReadResult, WriteResult)):
+                result.attempts = attempts + 1
+            return result
+        self.metrics.counter("suite.failures").increment()
+        raise last_error if last_error is not None else \
+            QuorumUnavailableError("operation", 0, 0)
+
+
+def install_suite(manager: TransactionManager, config: SuiteConfiguration,
+                  initial_data: bytes = b"",
+                  ) -> Generator[Any, Any, None]:
+    """Create a suite: install the file at *every* representative.
+
+    Creation requires all representatives (voting and weak) to be
+    reachable — a deliberate, one-time strictness so the suite starts
+    with every copy current at version 1 and every copy carrying the
+    configuration.
+    """
+    txn = manager.begin()
+    try:
+        properties = {"config": config.to_json(),
+                      "stamp": config.config_version}
+        calls = [
+            txn.call(rep.server, "txn.stage_write", name=config.file_name,
+                     data=initial_data, version=1, properties=properties,
+                     create=True)
+            for rep in config.representatives
+        ]
+        yield manager.sim.all_of(calls)
+        yield from txn.commit()
+    except ReproError:
+        yield from txn.abort()
+        raise
+
+
+def delete_suite(manager: TransactionManager, config: SuiteConfiguration,
+                 strict: bool = False) -> Generator[Any, Any, List[str]]:
+    """Remove the suite from its representatives.
+
+    By default best-effort (unreachable representatives keep their —
+    now unusable — copies, exactly like members removed by a
+    reconfiguration); ``strict=True`` demands every representative
+    participate, aborting the whole deletion if any is unreachable.
+    Returns the rep_ids whose copies were removed.
+    """
+    txn = manager.begin()
+    removed: List[str] = []
+    try:
+        for rep in config.representatives:
+            try:
+                yield txn.call(rep.server, "txn.stage_delete",
+                               name=config.file_name)
+                removed.append(rep.rep_id)
+            except ReproError:
+                if strict:
+                    raise
+        yield from txn.commit()
+        return removed
+    except ReproError:
+        yield from txn.abort()
+        raise

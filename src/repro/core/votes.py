@@ -1,0 +1,202 @@
+"""Vote assignments and suite configurations.
+
+A *file suite* is a set of representatives, each holding a non-negative
+integer number of votes, plus a read quorum ``r`` and a write quorum
+``w``.  :class:`SuiteConfiguration` validates Gifford's correctness
+rules:
+
+* ``r + w > N`` (N = total votes) — every read quorum intersects every
+  write quorum, so a read quorum always contains a current
+  representative;
+* ``w > N / 2`` — every two write quorums intersect, so version numbers
+  totally order writes;
+* ``1 <= r <= N`` and ``1 <= w <= N`` — both operations are possible at
+  all;
+* at least one representative holds a vote.
+
+Representatives with **zero votes are weak representatives**: pure
+performance devices (caches) that can hold data and serve reads once
+verified current, but can never contribute to a quorum.
+
+The configuration is itself replicated state: it is stored in the
+property map of every representative's file and carries a
+``config_version`` so clients can detect that they hold a stale
+configuration (see :mod:`repro.core.reconfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..errors import InvalidConfigurationError
+
+
+@dataclass(frozen=True)
+class Representative:
+    """One member of a file suite.
+
+    ``rep_id`` names the representative; ``server`` is the host that
+    stores it; ``votes`` is its weight (0 = weak); ``latency_hint`` is
+    the client's estimate of round-trip time to it, used to pick the
+    cheapest quorum — the paper assumes clients know the performance
+    characteristics of each representative.
+    """
+
+    rep_id: str
+    server: str
+    votes: int
+    latency_hint: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.votes < 0:
+            raise InvalidConfigurationError(
+                f"representative {self.rep_id}: negative votes")
+        if self.latency_hint < 0:
+            raise InvalidConfigurationError(
+                f"representative {self.rep_id}: negative latency hint")
+
+    @property
+    def weak(self) -> bool:
+        """True for a zero-vote (weak) representative."""
+        return self.votes == 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rep_id": self.rep_id, "server": self.server,
+                "votes": self.votes, "latency_hint": self.latency_hint}
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "Representative":
+        return cls(rep_id=raw["rep_id"], server=raw["server"],
+                   votes=raw["votes"],
+                   latency_hint=raw.get("latency_hint", 0.0))
+
+
+@dataclass(frozen=True)
+class SuiteConfiguration:
+    """The replicated description of a file suite."""
+
+    suite_name: str
+    representatives: Tuple[Representative, ...]
+    read_quorum: int
+    write_quorum: int
+    config_version: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- derived properties ---------------------------------------------------
+
+    @property
+    def total_votes(self) -> int:
+        return sum(rep.votes for rep in self.representatives)
+
+    @property
+    def voting(self) -> Tuple[Representative, ...]:
+        return tuple(rep for rep in self.representatives if rep.votes > 0)
+
+    @property
+    def weak(self) -> Tuple[Representative, ...]:
+        return tuple(rep for rep in self.representatives if rep.weak)
+
+    @property
+    def file_name(self) -> str:
+        """The name under which every representative stores this suite."""
+        return f"suite:{self.suite_name}"
+
+    def representative(self, rep_id: str) -> Representative:
+        for rep in self.representatives:
+            if rep.rep_id == rep_id:
+                return rep
+        raise KeyError(f"no representative {rep_id!r} in suite "
+                       f"{self.suite_name!r}")
+
+    def on_server(self, server: str) -> Optional[Representative]:
+        for rep in self.representatives:
+            if rep.server == server:
+                return rep
+        return None
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Enforce the quorum-intersection rules; raise if violated."""
+        if not self.representatives:
+            raise InvalidConfigurationError("a suite needs representatives")
+        seen_ids = set()
+        seen_servers = set()
+        for rep in self.representatives:
+            if rep.rep_id in seen_ids:
+                raise InvalidConfigurationError(
+                    f"duplicate representative id {rep.rep_id!r}")
+            if rep.server in seen_servers:
+                raise InvalidConfigurationError(
+                    f"two representatives on server {rep.server!r}")
+            seen_ids.add(rep.rep_id)
+            seen_servers.add(rep.server)
+        total = self.total_votes
+        if total == 0:
+            raise InvalidConfigurationError(
+                "at least one representative must hold a vote")
+        r, w = self.read_quorum, self.write_quorum
+        if not 1 <= r <= total:
+            raise InvalidConfigurationError(
+                f"read quorum {r} outside [1, {total}]")
+        if not 1 <= w <= total:
+            raise InvalidConfigurationError(
+                f"write quorum {w} outside [1, {total}]")
+        if r + w <= total:
+            raise InvalidConfigurationError(
+                f"r + w = {r + w} must exceed total votes {total}: "
+                "otherwise a read quorum can miss the latest write")
+        if 2 * w <= total:
+            raise InvalidConfigurationError(
+                f"2w = {2 * w} must exceed total votes {total}: "
+                "otherwise two writes can commit against disjoint quorums")
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "suite_name": self.suite_name,
+            "representatives": [rep.to_json()
+                                for rep in self.representatives],
+            "read_quorum": self.read_quorum,
+            "write_quorum": self.write_quorum,
+            "config_version": self.config_version,
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "SuiteConfiguration":
+        return cls(
+            suite_name=raw["suite_name"],
+            representatives=tuple(Representative.from_json(rep)
+                                  for rep in raw["representatives"]),
+            read_quorum=raw["read_quorum"],
+            write_quorum=raw["write_quorum"],
+            config_version=raw.get("config_version", 1),
+        )
+
+    def evolve(self, **changes: Any) -> "SuiteConfiguration":
+        """A copy with ``changes`` applied and ``config_version`` bumped."""
+        changes.setdefault("config_version", self.config_version + 1)
+        return replace(self, **changes)
+
+
+def make_configuration(suite_name: str,
+                       assignment: Sequence[Tuple[str, int]],
+                       read_quorum: int, write_quorum: int,
+                       latency_hints: Optional[Dict[str, float]] = None,
+                       ) -> SuiteConfiguration:
+    """Convenience constructor from ``[(server, votes), ...]``.
+
+    Representative ids are derived from server names.
+    """
+    hints = latency_hints or {}
+    reps = tuple(
+        Representative(rep_id=f"rep-{server}", server=server, votes=votes,
+                       latency_hint=hints.get(server, 0.0))
+        for server, votes in assignment)
+    return SuiteConfiguration(suite_name=suite_name, representatives=reps,
+                              read_quorum=read_quorum,
+                              write_quorum=write_quorum)

@@ -1,0 +1,10 @@
+"""Replicated suite naming: a directory of configurations, stored in a
+file suite of its own."""
+
+from .service import (DirectoryError, SuiteDirectory, decode_directory,
+                      empty_directory_data, encode_directory)
+
+__all__ = [
+    "DirectoryError", "SuiteDirectory", "decode_directory",
+    "empty_directory_data", "encode_directory",
+]

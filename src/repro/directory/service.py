@@ -1,0 +1,129 @@
+"""A replicated directory of file suites.
+
+Clients need a suite's configuration (members, votes, quorums) before
+they can gather their first quorum — a bootstrap problem the paper
+solves the same way Violet names files: the naming data is *itself* a
+replicated file.  A :class:`SuiteDirectory` stores a map of suite name
+→ configuration inside an ordinary file suite, so the directory gets
+replication, availability tuning and serializable updates from the same
+machinery it describes.
+
+Staleness is benign by construction: a directory entry only needs to be
+good enough to reach *some* quorum of the named suite — if the suite
+was reconfigured since the entry was written, the client discovers the
+newer configuration through the stamp check on its first operation and
+adopts it (see :mod:`repro.core.reconfig`).  ``bind`` after a
+reconfiguration keeps the directory fresh for brand-new clients.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Generator, List
+
+from ..core.suite import FileSuiteClient
+from ..core.votes import SuiteConfiguration
+from ..errors import ReproError
+from ..txn.coordinator import TransactionManager
+
+
+class DirectoryError(ReproError):
+    """Directory-level failures (unknown names, duplicate binds)."""
+
+
+def encode_directory(entries: Dict[str, Dict[str, Any]]) -> bytes:
+    return json.dumps(entries, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def decode_directory(blob: bytes) -> Dict[str, Dict[str, Any]]:
+    if not blob:
+        return {}
+    return json.loads(blob.decode())
+
+
+def empty_directory_data() -> bytes:
+    """Initial contents for a fresh directory suite."""
+    return encode_directory({})
+
+
+class SuiteDirectory:
+    """Name → configuration bindings stored in a file suite."""
+
+    def __init__(self, suite: FileSuiteClient) -> None:
+        self.suite = suite
+
+    @property
+    def manager(self) -> TransactionManager:
+        return self.suite.manager
+
+    # ------------------------------------------------------------------
+    # Updates (read-modify-write transactions)
+    # ------------------------------------------------------------------
+
+    def bind(self, config: SuiteConfiguration,
+             replace: bool = True) -> Generator[Any, Any, None]:
+        """Register (or update) the configuration for its suite name."""
+        def mutate(txn):
+            current = yield from self.suite.read_in(txn, for_update=True)
+            entries = decode_directory(current.data)
+            if not replace and config.suite_name in entries:
+                raise DirectoryError(
+                    f"suite {config.suite_name!r} is already bound")
+            existing = entries.get(config.suite_name)
+            if existing is not None and \
+                    existing["config_version"] > config.config_version:
+                raise DirectoryError(
+                    f"directory already holds a newer configuration "
+                    f"(v{existing['config_version']}) for "
+                    f"{config.suite_name!r}")
+            entries[config.suite_name] = config.to_json()
+            yield from self.suite.write_in(txn,
+                                           encode_directory(entries))
+            return None
+
+        yield from self.suite.transact(mutate)
+
+    def unbind(self, suite_name: str) -> Generator[Any, Any, None]:
+        """Remove a binding; unknown names raise."""
+        def mutate(txn):
+            current = yield from self.suite.read_in(txn, for_update=True)
+            entries = decode_directory(current.data)
+            if suite_name not in entries:
+                raise DirectoryError(f"no suite bound as {suite_name!r}")
+            del entries[suite_name]
+            yield from self.suite.write_in(txn,
+                                           encode_directory(entries))
+            return None
+
+        yield from self.suite.transact(mutate)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def lookup(self, suite_name: str,
+               ) -> Generator[Any, Any, SuiteConfiguration]:
+        """The bound configuration for ``suite_name``."""
+        result = yield from self.suite.read()
+        entries = decode_directory(result.data)
+        raw = entries.get(suite_name)
+        if raw is None:
+            raise DirectoryError(f"no suite bound as {suite_name!r}")
+        return SuiteConfiguration.from_json(raw)
+
+    def list_suites(self) -> Generator[Any, Any, List[str]]:
+        result = yield from self.suite.read()
+        return sorted(decode_directory(result.data))
+
+    def open_suite(self, suite_name: str, **suite_kwargs: Any,
+                   ) -> Generator[Any, Any, FileSuiteClient]:
+        """Look a suite up and return a ready client handle for it.
+
+        The handle shares this directory's transaction manager; pass
+        ``refresher=``/``metrics=`` etc. through ``suite_kwargs``.
+        """
+        config = yield from self.lookup(suite_name)
+        suite_kwargs.setdefault("refresher", self.suite.refresher)
+        suite_kwargs.setdefault("metrics", self.suite.metrics)
+        return FileSuiteClient(self.manager, config, **suite_kwargs)

@@ -1,0 +1,6 @@
+"""Request/response RPC over the simulated datagram network."""
+
+from .endpoint import RpcEndpoint, reconstruct_error
+from .messages import Reply, Request
+
+__all__ = ["Reply", "Request", "RpcEndpoint", "reconstruct_error"]

@@ -1,0 +1,268 @@
+"""RPC endpoints: request dispatch and client calls over the datagram net.
+
+An :class:`RpcEndpoint` gives a host both roles:
+
+* **server** — ``register(method, handler)``; handlers may be plain
+  functions or generator functions (simulation processes), so a handler
+  can perform timed disk I/O or nested RPCs.
+* **client** — ``call(destination, method, timeout=..., **args)``
+  returns an event that triggers with the reply value or fails with a
+  typed error (:class:`~repro.errors.RpcTimeout`,
+  :class:`~repro.errors.RemoteError`, ...).
+
+Failure semantics mirror real datagram RPC: requests and replies to
+down or partitioned hosts vanish, and the *client-side timeout* is the
+only way silence is detected.  A host crash kills the endpoint's server
+loop and every in-flight handler process (volatile state is gone), and
+fails that host's own outstanding client calls.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..errors import (HostUnreachableError, NoSuchMethodError, RemoteError,
+                      ReproError, RpcTimeout)
+from ..sim.events import Event
+from ..sim.network import Host
+from ..sim.process import Process
+from ..sim.queues import QueueClosed
+from .messages import Reply, Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+#: Known error classes that are re-raised as themselves on the client.
+_TYPED_ERRORS: Dict[str, type] = {}
+
+
+def _register_typed_errors() -> None:
+    from .. import errors as errors_module
+    for name in dir(errors_module):
+        obj = getattr(errors_module, name)
+        if isinstance(obj, type) and issubclass(obj, ReproError):
+            _TYPED_ERRORS[obj.__name__] = obj
+
+
+_register_typed_errors()
+
+
+def reconstruct_error(reply: Reply) -> BaseException:
+    """Turn a failure reply back into the most specific exception we can."""
+    error_class = _TYPED_ERRORS.get(reply.error_type or "")
+    if error_class is not None:
+        try:
+            return error_class(reply.error_detail)
+        except TypeError:
+            pass  # exception with a non-str signature: fall through
+    return RemoteError(reply.error_type or "unknown", reply.error_detail or "")
+
+
+class RpcEndpoint:
+    """Client+server RPC node bound to one host."""
+
+    def __init__(self, sim: "Simulator", host: Host,
+                 copy_payloads: bool = True) -> None:
+        self.sim = sim
+        self.host = host
+        self.copy_payloads = copy_payloads
+        self._handlers: Dict[str, Callable[..., Any]] = {}
+        self._pending: Dict[int, Event] = {}
+        self._next_call_id = 0
+        self._handler_processes: Dict[int, Process] = {}
+        self._next_handler_key = 0
+        # At-most-once execution: remember recent (source, call_id)s.
+        # A duplicate of an in-flight request is dropped (the original
+        # will reply); a duplicate of a completed one gets the cached
+        # reply resent instead of re-running the handler.
+        self._in_progress: set[Tuple[str, int]] = set()
+        self._completed: "OrderedDict[Tuple[str, int], Reply]" = \
+            OrderedDict()
+        self._completed_capacity = 1024
+        self.duplicates_suppressed = 0
+        self.retransmissions = 0
+        self._loop: Optional[Process] = None
+        self.requests_served = 0
+        self.calls_sent = 0
+        host.on_crash(self._on_crash)
+        host.on_restart(self._on_restart)
+        self._start_loop()
+
+    # -- server side -----------------------------------------------------
+
+    def register(self, method: str, handler: Callable[..., Any]) -> None:
+        """Register ``handler(**args)`` for ``method``.
+
+        Generator-function handlers run as processes; their return value
+        becomes the reply.  Exceptions become failure replies.
+        """
+        if method in self._handlers:
+            raise ValueError(f"duplicate handler for {method!r}")
+        self._handlers[method] = handler
+
+    def _start_loop(self) -> None:
+        self._loop = self.sim.spawn(self._serve(),
+                                    name=f"rpc-loop:{self.host.name}")
+
+    def _serve(self):
+        while True:
+            try:
+                message = yield self.host.receive()
+            except QueueClosed:
+                return
+            if isinstance(message, Request):
+                self._dispatch_request(message)
+            elif isinstance(message, Reply):
+                self._dispatch_reply(message)
+            # Anything else on the wire is noise; drop it.
+
+    def _dispatch_request(self, request: Request) -> None:
+        identity = (request.source, request.call_id)
+        if identity in self._in_progress:
+            self.duplicates_suppressed += 1
+            return
+        cached = self._completed.get(identity)
+        if cached is not None:
+            self.duplicates_suppressed += 1
+            self.host.send(request.source, cached)
+            return
+        self._in_progress.add(identity)
+        key = self._next_handler_key
+        self._next_handler_key += 1
+        process = self.sim.spawn(
+            self._handle(request, key),
+            name=f"rpc:{self.host.name}:{request.method}#{request.call_id}")
+        self._handler_processes[key] = process
+
+    def _handle(self, request: Request, key: int):
+        identity = (request.source, request.call_id)
+        try:
+            handler = self._handlers.get(request.method)
+            if handler is None:
+                reply = Reply.failure(
+                    request.call_id, NoSuchMethodError(request.method))
+            else:
+                try:
+                    result = handler(**request.args)
+                    if hasattr(result, "send"):  # generator handler
+                        result = yield from result
+                    reply = Reply.success(request.call_id,
+                                          self._copy(result))
+                    self.requests_served += 1
+                except ReproError as exc:
+                    reply = Reply.failure(request.call_id, exc)
+            self._remember(identity, reply)
+            self.host.send(request.source, reply)
+        finally:
+            self._in_progress.discard(identity)
+            self._handler_processes.pop(key, None)
+
+    def _remember(self, identity: Tuple[str, int], reply: Reply) -> None:
+        self._completed[identity] = reply
+        while len(self._completed) > self._completed_capacity:
+            self._completed.popitem(last=False)
+
+    # -- client side -------------------------------------------------------
+
+    def call(self, destination: str, method: str,
+             timeout: Optional[float] = None, attempts: int = 1,
+             **args: Any) -> Event:
+        """Send a request; returns an event for the reply.
+
+        ``timeout`` is the per-transmission deadline.  With
+        ``attempts > 1`` the *same* request (same call id) is
+        retransmitted on each timeout — safe against re-execution
+        because servers run at-most-once (duplicates are suppressed or
+        answered from the reply cache).  The event fails with
+        :class:`RpcTimeout` only after every transmission has gone
+        unanswered, so a single lost datagram costs one timeout, not a
+        failed call.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        call_id = self._next_call_id
+        self._next_call_id += 1
+        event = self.sim.event(name=f"call:{method}->{destination}")
+        self._pending[call_id] = event
+        self.calls_sent += 1
+        request = Request(call_id=call_id, source=self.host.name,
+                          method=method, args=self._copy(args))
+        self.host.send(destination, request)
+        if timeout is not None:
+            self.sim.schedule(timeout, self._retransmit_or_expire,
+                              request, destination, timeout, attempts - 1)
+        return event
+
+    def _retransmit_or_expire(self, request: Request, destination: str,
+                              timeout: float, remaining: int) -> None:
+        event = self._pending.get(request.call_id)
+        if event is None or not event.pending:
+            return  # answered meanwhile
+        if remaining <= 0 or not self.host.up:
+            self._expire(request.call_id, request.method, destination)
+            return
+        self.retransmissions += 1
+        self.host.send(destination, request)
+        self.sim.schedule(timeout, self._retransmit_or_expire, request,
+                          destination, timeout, remaining - 1)
+
+    def call_with_retries(self, destination: str, method: str,
+                          timeout: float, attempts: int = 3,
+                          backoff: float = 0.0, **args: Any
+                          ) -> Generator[Any, Any, Any]:
+        """Process generator: retry a call up to ``attempts`` times."""
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                result = yield self.call(destination, method,
+                                         timeout=timeout, **args)
+                return result
+            except (RpcTimeout, HostUnreachableError) as exc:
+                last_error = exc
+                if backoff > 0 and attempt + 1 < attempts:
+                    yield self.sim.timeout(backoff * (attempt + 1))
+        raise last_error or RpcTimeout(f"{method} -> {destination}")
+
+    def _expire(self, call_id: int, method: str, destination: str) -> None:
+        event = self._pending.pop(call_id, None)
+        if event is not None and event.pending:
+            event.fail(RpcTimeout(
+                f"{method} -> {destination}: no reply"))
+
+    def _dispatch_reply(self, reply: Reply) -> None:
+        event = self._pending.pop(reply.call_id, None)
+        if event is None or not event.pending:
+            return  # late reply after timeout: drop
+        if reply.ok:
+            event.trigger(reply.value)
+        else:
+            event.fail(reconstruct_error(reply))
+
+    # -- crash plumbing ------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        if self._loop is not None:
+            self._loop.kill()
+            self._loop = None
+        for process in list(self._handler_processes.values()):
+            process.kill()
+        self._handler_processes.clear()
+        self._in_progress.clear()
+        self._completed.clear()
+        pending, self._pending = self._pending, {}
+        for event in pending.values():
+            if event.pending:
+                event.fail(HostUnreachableError(
+                    f"local host {self.host.name} crashed mid-call"))
+
+    def _on_restart(self) -> None:
+        self._start_loop()
+
+    # -- internals -------------------------------------------------------------
+
+    def _copy(self, value: Any) -> Any:
+        if not self.copy_payloads:
+            return value
+        return copy.deepcopy(value)

@@ -1,0 +1,48 @@
+"""RPC wire messages.
+
+Requests and replies are plain dataclasses passed through the simulated
+datagram network.  Payloads are deep-copied at the endpoint boundary so
+simulated "remote" calls cannot accidentally share mutable state — the
+same isolation a real wire format would give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Request:
+    """A remote procedure call request."""
+
+    call_id: int
+    source: str
+    method: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """The response to a :class:`Request`.
+
+    ``ok`` distinguishes a successful result from a remote exception.
+    For failures, ``error_type`` carries the exception class name so the
+    client can re-raise a typed error, and ``error_detail`` the message.
+    """
+
+    call_id: int
+    ok: bool
+    value: Any = None
+    error_type: Optional[str] = None
+    error_detail: Optional[str] = None
+
+    @classmethod
+    def success(cls, call_id: int, value: Any) -> "Reply":
+        return cls(call_id=call_id, ok=True, value=value)
+
+    @classmethod
+    def failure(cls, call_id: int, exception: BaseException) -> "Reply":
+        return cls(call_id=call_id, ok=False,
+                   error_type=type(exception).__name__,
+                   error_detail=str(exception))

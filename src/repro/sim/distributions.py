@@ -1,0 +1,120 @@
+"""Latency / delay distributions.
+
+A *distribution* is anything with ``sample(rng) -> float`` and a ``mean``
+property.  The paper's model needs only fixed per-representative
+latencies (its table quotes single numbers), but the simulator supports
+richer shapes for the sweep experiments and robustness tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol
+
+
+class Distribution(Protocol):
+    """Protocol for delay distributions."""
+
+    @property
+    def mean(self) -> float: ...
+
+    def sample(self, rng: random.Random) -> float: ...
+
+
+class Constant:
+    """Always returns ``value`` — the paper's fixed-latency model."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latency must be non-negative")
+        self.value = float(value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Uniform:
+    """Uniform over ``[low, high]``."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Exponential:
+    """Exponential with the given ``mean`` (rate = 1/mean)."""
+
+    __slots__ = ("_mean",)
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self._mean)
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean})"
+
+
+class Lognormal:
+    """Lognormal parameterised by its actual mean and sigma of the log."""
+
+    __slots__ = ("_mean", "sigma", "_mu")
+
+    def __init__(self, mean: float, sigma: float = 0.5) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self._mean = float(mean)
+        self.sigma = float(sigma)
+        self._mu = math.log(mean) - sigma * sigma / 2.0
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self._mu, self.sigma)
+
+    def __repr__(self) -> str:
+        return f"Lognormal(mean={self._mean}, sigma={self.sigma})"
+
+
+def as_distribution(value: "Distribution | float | int") -> Distribution:
+    """Coerce a bare number into :class:`Constant`; pass distributions through."""
+    if isinstance(value, (int, float)):
+        return Constant(float(value))
+    if hasattr(value, "sample") and hasattr(value, "mean"):
+        return value
+    raise TypeError(f"cannot interpret {value!r} as a distribution")

@@ -1,0 +1,157 @@
+"""Generator-based simulation processes.
+
+A *process* is a Python generator driven by the simulator: every value it
+``yield``s must be an :class:`~repro.sim.events.Event` (a ``Timeout``,
+another ``Process``, a queue get, an RPC reply, ...).  The process sleeps
+until that event settles, then resumes with the event's value — or, if
+the event failed, the exception is thrown into the generator so ordinary
+``try``/``except`` works across virtual time.
+
+A :class:`Process` is itself an event: it triggers with the generator's
+return value when the generator finishes, which makes "spawn a child and
+join it" just ``result = yield child``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import Interrupt, ProcessKilled
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    Use :meth:`Simulator.spawn` rather than constructing directly.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_alive")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        # Start the process at the current simulation time.
+        sim.schedule(0.0, self._resume, None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished or been killed."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The process may catch the interrupt and keep running (e.g. a
+        server loop cleaning up a cancelled request).  Interrupting a
+        finished process is a no-op.
+        """
+        if not self._alive:
+            return
+        self._detach()
+        self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    def kill(self) -> None:
+        """Stop the process immediately without resuming it.
+
+        The generator is closed; anybody waiting on (joining) this
+        process sees :class:`~repro.errors.ProcessKilled`.  Used for
+        crash injection, where the dead server must not get a chance to
+        run cleanup code.
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        self._detach()
+        self.generator.close()
+        if self.pending:
+            self.fail(ProcessKilled(f"process {self.name!r} killed"))
+
+    def _detach(self) -> None:
+        """Forget the event we were waiting on (it may still settle later)."""
+        self._waiting_on = None
+
+    # -- generator driving -------------------------------------------------
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if not self._alive:
+            return
+        # Stale wake-up: we were interrupted/killed while this callback
+        # was in flight, and are no longer waiting on this event.
+        if event is not None and event is not self._waiting_on:
+            return
+        self._waiting_on = None
+        if event is not None and event.failed:
+            self._throw(event.value)
+            return
+        value = event.value if event is not None else None
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must capture process crash
+            self._crash(exc)
+            return
+        self._wait_for(target)
+
+    def _throw(self, exception: BaseException) -> None:
+        if not self._alive:
+            return
+        try:
+            target = self.generator.throw(exception)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001
+            if exc is exception and isinstance(exc, Interrupt):
+                # Uncaught interrupt simply terminates the process.
+                self._finish(None)
+                return
+            self._crash(exc)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            self._crash(TypeError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances"
+            ))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        if self.pending:
+            self.trigger(value)
+
+    def _crash(self, exception: BaseException) -> None:
+        self._alive = False
+        if self.pending:
+            had_waiters = bool(self._callbacks)
+            self.fail(exception)
+            if not had_waiters:
+                # Nobody is joining this process; surface the failure at
+                # Simulator.run() instead of losing it silently.
+                self.sim._note_orphan_failure(self, exception)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else self._state
+        return f"<Process {self.name!r} {state}>"

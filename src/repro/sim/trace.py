@@ -1,0 +1,69 @@
+"""Structured event tracing for debugging and experiment audit trails.
+
+A :class:`Tracer` records ``(time, component, event, details)`` tuples.
+Tracing is off by default and costs one predicate check per call, so
+production-style runs stay fast; tests flip it on to assert protocol
+behaviour (e.g. "the background refresher touched exactly the stale
+representatives").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    component: str
+    event: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time:10.3f}] {self.component:<20} {self.event} {detail}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = False,
+                 capacity: Optional[int] = None) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+
+    def record(self, component: str, event: str, **details: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            return
+        self.records.append(
+            TraceRecord(self.sim.now, component, event, details))
+
+    def matching(self, component: Optional[str] = None,
+                 event: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate records filtered by component and/or event name."""
+        for record in self.records:
+            if component is not None and record.component != component:
+                continue
+            if event is not None and record.event != event:
+                continue
+            yield record
+
+    def count(self, component: Optional[str] = None,
+              event: Optional[str] = None) -> int:
+        return sum(1 for _ in self.matching(component, event))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self) -> str:  # pragma: no cover - debugging aid
+        return "\n".join(str(record) for record in self.records)

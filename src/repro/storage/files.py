@@ -1,0 +1,373 @@
+"""A shadow-paging file system over stable storage.
+
+This is the "stable file system" layer of the paper's stack: named,
+versioned files whose whole-file updates are **atomic across crashes**.
+
+Layout
+------
+
+* Logical page 0 is the *root page*: it holds the head address of the
+  current directory chain and an epoch counter.
+* The directory is a JSON blob (name → version, length, data-chain head,
+  properties) stored in a chain of pages.
+* File data is stored in chains of pages; each page carries the address
+  of the next page and a chunk of bytes.
+
+Atomicity comes from shadow paging: an update writes the new data chain
+and a whole new directory chain into *free* pages, then flips the root
+page to point at the new directory.  The root flip is a single stable
+page write, so a crash at any earlier point leaves the old file system
+state fully intact; pages orphaned by a crash are reclaimed by the
+reachability sweep in :meth:`FileSystem.mount`.
+
+Every mutating operation is written as a *generator* that yields an
+``IoStep`` after each page write.  A timed caller (the storage server)
+charges disk time per step, and crash injection can kill the generator
+between steps — which is exactly how torn multi-page updates happen on
+real disks.  Synchronous ``*_sync`` wrappers drive the generators to
+completion for callers that do not model time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..errors import (FileExistsError_, NoSuchFileError, StorageError)
+from .stable import StableStore
+
+#: Address of the root page.
+ROOT_PAGE = 0
+
+#: Sentinel "no next page" address.
+END_OF_CHAIN = -1
+
+# Chain-page payload layout: 8-byte next address + 4-byte chunk length.
+_CHAIN_HEADER = struct.Struct("<qi")
+
+
+@dataclass(frozen=True)
+class IoStep:
+    """One page-level I/O performed by a file-system operation."""
+
+    kind: str       # "read" | "write-primary" | "write-shadow"
+    address: int
+
+
+@dataclass
+class FileStat:
+    """Metadata for one file, as recorded in the directory."""
+
+    name: str
+    version: int
+    length: int
+    head: int = END_OF_CHAIN
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "length": self.length,
+            "head": self.head,
+            "properties": self.properties,
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "FileStat":
+        return cls(name=raw["name"], version=raw["version"],
+                   length=raw["length"], head=raw["head"],
+                   properties=raw.get("properties", {}))
+
+
+FsOp = Generator[IoStep, None, Any]
+
+
+class FileSystem:
+    """Versioned files with crash-atomic whole-file updates."""
+
+    def __init__(self, store: StableStore) -> None:
+        self.store = store
+        self._entries: Dict[str, FileStat] = {}
+        self._free: List[int] = []
+        self._epoch = 0
+        self._directory_pages: List[int] = []
+        self._mounted = False
+
+    # ------------------------------------------------------------------
+    # Capacity helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def chunk_size(self) -> int:
+        """Data bytes that fit in one chain page."""
+        return self.store.payload_size - _CHAIN_HEADER.size
+
+    @property
+    def free_pages(self) -> int:
+        self._require_mounted()
+        return len(self._free)
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise StorageError("file system is not mounted")
+
+    # ------------------------------------------------------------------
+    # Format / mount
+    # ------------------------------------------------------------------
+
+    def format(self) -> None:
+        """Initialise an empty file system (destroys existing content)."""
+        self._epoch = 0
+        self._write_root_sync(directory_head=END_OF_CHAIN)
+        self.mount()
+
+    def mount(self) -> None:
+        """Recover stable storage, load the directory, rebuild the allocator.
+
+        Runs at server restart.  Pages not reachable from the root —
+        including any orphaned by a crash mid-update — become free.
+        """
+        self.store.recover()
+        root = json.loads(self.store.read(ROOT_PAGE).decode())
+        self._epoch = root["epoch"]
+        head = root["directory_head"]
+        used: Set[int] = {ROOT_PAGE}
+        self._entries = {}
+        self._directory_pages = []
+        if head != END_OF_CHAIN:
+            blob, chain = self._read_chain_sync(head)
+            self._directory_pages = chain
+            used.update(chain)
+            for raw in json.loads(blob.decode()):
+                stat = FileStat.from_json(raw)
+                self._entries[stat.name] = stat
+                used.update(self._chain_addresses_sync(stat.head))
+        self._free = [address for address in range(self.store.num_pages)
+                      if address not in used]
+        heapq.heapify(self._free)
+        self._mounted = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        self._require_mounted()
+        return name in self._entries
+
+    def stat(self, name: str) -> FileStat:
+        self._require_mounted()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise NoSuchFileError(name) from None
+
+    def list_files(self) -> List[str]:
+        self._require_mounted()
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    # Operations (generators yielding IoStep)
+    # ------------------------------------------------------------------
+
+    def create_file(self, name: str,
+                    properties: Optional[Dict[str, Any]] = None) -> FsOp:
+        """Create an empty file at version 0."""
+        self._require_mounted()
+        if name in self._entries:
+            raise FileExistsError_(name)
+        stat = FileStat(name=name, version=0, length=0,
+                        properties=dict(properties or {}))
+        return self._install_entry(name, stat, old_head=END_OF_CHAIN)
+
+    def write_file(self, name: str, data: bytes, version: int,
+                   properties: Optional[Dict[str, Any]] = None,
+                   create: bool = False) -> FsOp:
+        """Atomically replace a file's contents and set its version.
+
+        ``properties``, if given, replaces the stored property map.
+        With ``create=True`` a missing file is created.
+        """
+        self._require_mounted()
+        existing = self._entries.get(name)
+        if existing is None and not create:
+            raise NoSuchFileError(name)
+        return self._write_file_op(name, data, version, properties, existing)
+
+    def _write_file_op(self, name: str, data: bytes, version: int,
+                       properties: Optional[Dict[str, Any]],
+                       existing: Optional[FileStat]) -> FsOp:
+        new_head, new_chain = yield from self._write_chain(data)
+        if properties is None:
+            properties = dict(existing.properties) if existing else {}
+        stat = FileStat(name=name, version=version, length=len(data),
+                        head=new_head, properties=dict(properties))
+        old_head = existing.head if existing else END_OF_CHAIN
+        try:
+            result = yield from self._install_entry(name, stat,
+                                                    old_head=old_head)
+        except StorageError:
+            # Directory update failed: reclaim the new data chain.
+            self._release_chain(new_chain)
+            raise
+        return result
+
+    def delete_file(self, name: str) -> FsOp:
+        """Remove a file; its pages return to the free pool."""
+        self._require_mounted()
+        if name not in self._entries:
+            raise NoSuchFileError(name)
+        return self._delete_file_op(name)
+
+    def _delete_file_op(self, name: str) -> FsOp:
+        old = self._entries[name]
+        entries = {k: v for k, v in self._entries.items() if k != name}
+        yield from self._commit_directory(entries)
+        self._release_chain(self._chain_addresses_sync(old.head))
+        return None
+
+    def read_file(self, name: str) -> FsOp:
+        """Return ``(data, version)``; yields a step per page read."""
+        self._require_mounted()
+        if name not in self._entries:
+            raise NoSuchFileError(name)
+        return self._read_file_op(name)
+
+    def _read_file_op(self, name: str) -> FsOp:
+        stat = self._entries[name]
+        parts: List[bytes] = []
+        address = stat.head
+        while address != END_OF_CHAIN:
+            payload = self.store.read(address)
+            yield IoStep("read", address)
+            next_address, chunk_len = _CHAIN_HEADER.unpack_from(payload)
+            parts.append(payload[_CHAIN_HEADER.size:
+                                 _CHAIN_HEADER.size + chunk_len])
+            address = next_address
+        return b"".join(parts), stat.version
+
+    # ------------------------------------------------------------------
+    # Synchronous wrappers
+    # ------------------------------------------------------------------
+
+    def create_file_sync(self, name: str,
+                         properties: Optional[Dict[str, Any]] = None) -> None:
+        drive(self.create_file(name, properties))
+
+    def write_file_sync(self, name: str, data: bytes, version: int,
+                        properties: Optional[Dict[str, Any]] = None,
+                        create: bool = False) -> None:
+        drive(self.write_file(name, data, version, properties, create))
+
+    def read_file_sync(self, name: str) -> Tuple[bytes, int]:
+        return drive(self.read_file(name))
+
+    def delete_file_sync(self, name: str) -> None:
+        drive(self.delete_file(name))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _allocate(self, count: int) -> List[int]:
+        if count > len(self._free):
+            raise StorageError(
+                f"out of pages: need {count}, have {len(self._free)} free")
+        return [heapq.heappop(self._free) for _ in range(count)]
+
+    def _release_chain(self, addresses: List[int]) -> None:
+        for address in addresses:
+            heapq.heappush(self._free, address)
+
+    def _split(self, data: bytes) -> List[bytes]:
+        if not data:
+            return []
+        size = self.chunk_size
+        return [data[i:i + size] for i in range(0, len(data), size)]
+
+    def _write_chain(self, data: bytes) -> Generator[IoStep, None,
+                                                     Tuple[int, List[int]]]:
+        """Write ``data`` into freshly allocated pages; return (head, pages)."""
+        chunks = self._split(data)
+        if not chunks:
+            return END_OF_CHAIN, []
+        addresses = self._allocate(len(chunks))
+        next_address = END_OF_CHAIN
+        # Write back-to-front so each page can point at its successor.
+        for address, chunk in zip(reversed(addresses), reversed(chunks)):
+            payload = _CHAIN_HEADER.pack(next_address, len(chunk)) + chunk
+            self.store.write_primary(address, payload)
+            yield IoStep("write-primary", address)
+            self.store.write_shadow(address, payload)
+            yield IoStep("write-shadow", address)
+            next_address = address
+        return addresses[0], addresses
+
+    def _chain_addresses_sync(self, head: int) -> List[int]:
+        addresses: List[int] = []
+        address = head
+        while address != END_OF_CHAIN:
+            addresses.append(address)
+            payload = self.store.read(address)
+            address, _ = _CHAIN_HEADER.unpack_from(payload)
+        return addresses
+
+    def _read_chain_sync(self, head: int) -> Tuple[bytes, List[int]]:
+        parts: List[bytes] = []
+        addresses: List[int] = []
+        address = head
+        while address != END_OF_CHAIN:
+            addresses.append(address)
+            payload = self.store.read(address)
+            next_address, chunk_len = _CHAIN_HEADER.unpack_from(payload)
+            parts.append(payload[_CHAIN_HEADER.size:
+                                 _CHAIN_HEADER.size + chunk_len])
+            address = next_address
+        return b"".join(parts), addresses
+
+    def _install_entry(self, name: str, stat: FileStat,
+                       old_head: int) -> FsOp:
+        entries = dict(self._entries)
+        entries[name] = stat
+        yield from self._commit_directory(entries)
+        if old_head != END_OF_CHAIN:
+            self._release_chain(self._chain_addresses_sync(old_head))
+        return None
+
+    def _commit_directory(self, entries: Dict[str, FileStat]) -> FsOp:
+        """Write a new directory chain and flip the root to it."""
+        blob = json.dumps(
+            [entries[name].to_json() for name in sorted(entries)],
+            separators=(",", ":")).encode()
+        new_head, new_chain = yield from self._write_chain(blob)
+        root_payload = json.dumps(
+            {"epoch": self._epoch + 1, "directory_head": new_head},
+            separators=(",", ":")).encode()
+        self.store.write_primary(ROOT_PAGE, root_payload)
+        yield IoStep("write-primary", ROOT_PAGE)
+        self.store.write_shadow(ROOT_PAGE, root_payload)
+        yield IoStep("write-shadow", ROOT_PAGE)
+        # The flip is durable: now update the in-memory image.
+        self._epoch += 1
+        self._release_chain(self._directory_pages)
+        self._directory_pages = new_chain
+        self._entries = entries
+
+    def _write_root_sync(self, directory_head: int) -> None:
+        payload = json.dumps(
+            {"epoch": self._epoch, "directory_head": directory_head},
+            separators=(",", ":")).encode()
+        self.store.write(ROOT_PAGE, payload)
+
+
+def drive(operation: FsOp) -> Any:
+    """Run a file-system operation generator to completion, untimed."""
+    try:
+        while True:
+            next(operation)
+    except StopIteration as stop:
+        return stop.value

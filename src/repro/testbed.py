@@ -1,0 +1,229 @@
+"""One-call construction of a complete simulated deployment.
+
+A :class:`Testbed` wires the whole stack for a set of storage servers
+and client hosts: simulator, network, stable storage, transaction
+participants, RPC endpoints, client transaction managers, background
+refreshers and metrics.  Tests, examples and benchmarks all build on
+it, so a deployment is three lines::
+
+    bed = Testbed(servers=["s1", "s2", "s3"])
+    suite = bed.install(make_configuration("db", [("s1", 1), ("s2", 1),
+                                                  ("s3", 1)], 2, 2))
+    result = bed.run(suite.read())
+
+:func:`example_testbed` builds the deployment for one of the paper's
+three examples, with link bandwidths tuned so transferring the suite's
+data to/from representative *i* costs the example's per-representative
+latency, while version inquiries stay cheap — the cost model under the
+paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable, Optional, Sequence
+
+from .core.examples import LATENCIES, example_configuration
+from .core.refresh import BackgroundRefresher
+from .core.suite import FileSuiteClient, install_suite
+from .core.votes import SuiteConfiguration
+from .rpc.endpoint import RpcEndpoint
+from .sim.distributions import Distribution
+from .sim.metrics import MetricsRegistry
+from .sim.network import Host, Network
+from .sim.rng import RandomStreams
+from .sim.simulator import Simulator
+from .sim.trace import Tracer
+from .storage.server import StorageServer
+from .txn.coordinator import TransactionManager
+from .txn.participant import TransactionParticipant
+
+
+@dataclass
+class ServerNode:
+    """Everything running on one storage host."""
+
+    host: Host
+    server: StorageServer
+    endpoint: RpcEndpoint
+    participant: TransactionParticipant
+
+
+@dataclass
+class ClientNode:
+    """Everything running on one client host."""
+
+    host: Host
+    endpoint: RpcEndpoint
+    manager: TransactionManager
+    refresher: BackgroundRefresher
+
+
+class Testbed:
+    """A fully wired simulated deployment."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(self, servers: Sequence[str],
+                 clients: Sequence[str] = ("client",),
+                 seed: int = 0,
+                 default_latency: "Distribution | float" = 1.0,
+                 page_io_time: float = 0.0,
+                 num_pages: int = 4096,
+                 page_size: int = 512,
+                 lock_timeout: Optional[float] = 5_000.0,
+                 idle_abort_after: Optional[float] = 60_000.0,
+                 call_timeout: float = 2_000.0,
+                 refresh_delay: float = 0.0,
+                 refresh_enabled: bool = True,
+                 loss_probability: float = 0.0,
+                 trace: bool = False) -> None:
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=seed)
+        self.network = Network(self.sim, self.streams,
+                               default_latency=default_latency,
+                               loss_probability=loss_probability)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.sim, enabled=trace)
+        self.call_timeout = call_timeout
+        self.servers: Dict[str, ServerNode] = {}
+        self.clients: Dict[str, ClientNode] = {}
+        for name in servers:
+            self.add_server(name, page_io_time=page_io_time,
+                            num_pages=num_pages, page_size=page_size,
+                            lock_timeout=lock_timeout,
+                            idle_abort_after=idle_abort_after)
+        for name in clients:
+            self.add_client(name, refresh_delay=refresh_delay,
+                            refresh_enabled=refresh_enabled)
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_server(self, name: str, page_io_time: float = 0.0,
+                   num_pages: int = 4096, page_size: int = 512,
+                   lock_timeout: Optional[float] = 5_000.0,
+                   idle_abort_after: Optional[float] = 60_000.0,
+                   ) -> ServerNode:
+        host = self.network.add_host(name)
+        server = StorageServer(self.sim, host, num_pages=num_pages,
+                               page_size=page_size,
+                               page_io_time=page_io_time)
+        endpoint = RpcEndpoint(self.sim, host)
+        participant = TransactionParticipant(
+            server, lock_timeout=lock_timeout,
+            idle_abort_after=idle_abort_after)
+        participant.register_handlers(endpoint)
+        node = ServerNode(host=host, server=server, endpoint=endpoint,
+                          participant=participant)
+        self.servers[name] = node
+        return node
+
+    def add_client(self, name: str, refresh_delay: float = 0.0,
+                   refresh_enabled: bool = True) -> ClientNode:
+        host = self.network.add_host(name)
+        endpoint = RpcEndpoint(self.sim, host)
+        manager = TransactionManager(self.sim, endpoint,
+                                     call_timeout=self.call_timeout)
+        refresher = BackgroundRefresher(manager, delay=refresh_delay,
+                                        metrics=self.metrics,
+                                        enabled=refresh_enabled)
+        node = ClientNode(host=host, endpoint=endpoint, manager=manager,
+                          refresher=refresher)
+        self.clients[name] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Suites
+    # ------------------------------------------------------------------
+
+    def suite(self, config: SuiteConfiguration, client: str = "client",
+              **kwargs: Any) -> FileSuiteClient:
+        """A suite client handle bound to ``client``'s transaction manager."""
+        node = self.clients[client]
+        kwargs.setdefault("refresher", node.refresher)
+        kwargs.setdefault("metrics", self.metrics)
+        kwargs.setdefault("streams", self.streams)
+        kwargs.setdefault("tracer", self.tracer)
+        return FileSuiteClient(node.manager, config, **kwargs)
+
+    def install(self, config: SuiteConfiguration, initial_data: bytes = b"",
+                client: str = "client", **kwargs: Any) -> FileSuiteClient:
+        """Create the suite on its servers and return a client handle."""
+        handle = self.suite(config, client=client, **kwargs)
+        self.run(install_suite(self.clients[client].manager, config,
+                               initial_data))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution and failure injection
+    # ------------------------------------------------------------------
+
+    def run(self, process: Generator, limit: Optional[float] = None) -> Any:
+        """Spawn ``process`` and run the simulation until it finishes."""
+        return self.sim.run_process(process, limit=limit)
+
+    def settle(self, grace: float = 10_000.0) -> None:
+        """Let background work (refreshers, retries) run to quiescence."""
+        self.sim.run(until=self.sim.now + grace)
+
+    def crash(self, server: str) -> None:
+        self.network.host(server).crash()
+
+    def restart(self, server: str) -> None:
+        self.network.host(server).restart()
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        self.network.partition(groups)
+
+    def heal(self) -> None:
+        self.network.heal()
+
+    def set_client_link(self, client: str, server: str,
+                        latency: "Distribution | float",
+                        byte_time: float = 0.0) -> None:
+        """Configure the client↔server link (latency and bandwidth)."""
+        self.network.set_latency(client, server, latency)
+        if byte_time > 0.0:
+            self.network.set_byte_time(client, server, byte_time)
+
+
+#: Size of the suite data used by the example testbeds; link bandwidths
+#: are derived from it so one data transfer costs the paper's latency.
+EXAMPLE_DATA_SIZE = 8_192
+
+#: Base one-way message latency in the example testbeds (ms).
+EXAMPLE_BASE_LATENCY = 1.0
+
+
+def example_data(fill: bytes = b"v") -> bytes:
+    """A data blob of the size the example link model assumes."""
+    return fill * EXAMPLE_DATA_SIZE
+
+
+def example_testbed(number: int, seed: int = 0,
+                    clients: Sequence[str] = ("client",),
+                    **kwargs: Any) -> "tuple[Testbed, SuiteConfiguration]":
+    """Build the deployment for the paper's example ``number``.
+
+    Per-representative latency L_i is realised as: one-way message
+    latency of 1 ms plus a per-byte transfer time such that moving the
+    suite's data across the client↔server-i link costs ``L_i - 2`` ms.
+    A version-number inquiry therefore costs ≈2 ms round trip while a
+    data read costs ≈``L_i`` — matching the cost model the paper's
+    table assumes.
+    """
+    config = example_configuration(number)
+    servers = [rep.server for rep in config.representatives]
+    bed = Testbed(servers=servers, clients=clients, seed=seed,
+                  default_latency=EXAMPLE_BASE_LATENCY, **kwargs)
+    latencies = LATENCIES[number]
+    for client in clients:
+        for rep, latency in zip(config.representatives, latencies):
+            transfer_budget = latency - 2.0 * EXAMPLE_BASE_LATENCY
+            bed.set_client_link(
+                client, rep.server, EXAMPLE_BASE_LATENCY,
+                byte_time=transfer_budget / EXAMPLE_DATA_SIZE)
+    return bed, config

@@ -1,0 +1,302 @@
+"""Client-side transaction machinery: the facade and 2PC coordinator.
+
+A client begins a :class:`Transaction`, performs reads and staged writes
+against participants over RPC (each call tagged with the transaction
+id), then calls :meth:`Transaction.commit`, which drives two-phase
+commit:
+
+* **Phase 1** — ``prepare`` in parallel to every touched participant.
+  Any refusal, timeout, or unreachable participant aborts the whole
+  transaction (best-effort aborts are sent to the rest).
+* **Phase 2** — once all votes are in, the decision is final: ``commit``
+  is sent to every participant that voted *prepared* (read-only voters
+  already released).  Participants that cannot be reached are retried by
+  a detached background process until they acknowledge — they hold the
+  transaction in-doubt across their crashes, so the retries eventually
+  land.
+
+This is textbook *blocking* 2PC: if the coordinating client dies between
+the two phases, prepared participants stay in-doubt.  That matches the
+transaction substrate Gifford's design assumes; the weighted-voting
+layer above never depends on more.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Set, Tuple
+
+from ..errors import ReproError, TransactionAborted
+from ..rpc.endpoint import RpcEndpoint
+from .ids import TransactionId, TransactionIdGenerator
+from .participant import VOTE_PREPARED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+#: RPC methods that stage durable changes at a participant.
+_STAGING_METHODS = frozenset({"txn.stage_write", "txn.stage_delete"})
+
+#: States of a client-side transaction.
+ACTIVE = "active"
+COMMITTING = "committing"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class Transaction:
+    """A client-side transaction handle.
+
+    Use :meth:`call` for all participant RPCs so the touched-participant
+    set is tracked for commit.  The handle is not reusable: after
+    :meth:`commit` or :meth:`abort` it is finished.
+    """
+
+    def __init__(self, manager: "TransactionManager",
+                 txn_id: TransactionId) -> None:
+        self.manager = manager
+        self.txn_id = txn_id
+        #: Servers that replied to at least one call: they hold state for
+        #: us and take part in two-phase commit.
+        self.participants: Set[str] = set()
+        #: Servers we called at all.  A call whose reply was lost may
+        #: still have taken locks on the server, so ``attempted -
+        #: participants`` receives best-effort aborts at termination
+        #: (the participant's idle-abort sweeper is the backstop).
+        self.attempted: Set[str] = set()
+        #: Servers where this transaction staged a write or delete.
+        #: Empty set ⇒ read-only transaction, whose commit is a pure
+        #: lock release and need not be awaited.
+        self.staged: Set[str] = set()
+        self._after_commit: List[Any] = []
+        self.state = ACTIVE
+
+    def after_commit(self, callback) -> None:
+        """Run ``callback()`` if and when this transaction commits.
+
+        Used for post-commit side effects that must not happen on abort
+        — e.g. scheduling background refresh of the representatives a
+        write left behind.
+        """
+        self._after_commit.append(callback)
+
+    def _run_commit_hooks(self) -> None:
+        callbacks, self._after_commit = self._after_commit, []
+        for callback in callbacks:
+            callback()
+
+    @property
+    def sim(self) -> "Simulator":
+        return self.manager.sim
+
+    def call(self, server: str, method: str, timeout: Optional[float] = None,
+             **args: Any):
+        """RPC to a participant, tagged with this transaction's id."""
+        if self.state != ACTIVE:
+            raise TransactionAborted(self.txn_id,
+                                     f"call in state {self.state}")
+        self.attempted.add(server)
+        if method in _STAGING_METHODS:
+            self.staged.add(server)
+        effective = timeout if timeout is not None \
+            else self.manager.call_timeout
+        event = self.manager.endpoint.call(
+            server, method, timeout=effective,
+            attempts=self.manager.transport_attempts,
+            txn=str(self.txn_id), **args)
+
+        def confirm(settled, server=server):
+            if settled.triggered:
+                self.participants.add(server)
+
+        event.add_callback(confirm)
+        return event
+
+    def commit(self) -> Generator[Any, Any, None]:
+        """Run two-phase commit; raises :class:`TransactionAborted` on failure."""
+        yield from self.manager.commit(self)
+
+    def abort(self) -> Generator[Any, Any, None]:
+        """Abort everywhere (best effort)."""
+        yield from self.manager.abort(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Transaction {self.txn_id} {self.state}>"
+
+
+class TransactionManager:
+    """Creates transactions and coordinates their termination."""
+
+    def __init__(self, sim: "Simulator", endpoint: RpcEndpoint,
+                 call_timeout: float = 1_000.0,
+                 commit_retry_interval: float = 500.0,
+                 commit_retry_attempts: int = 20,
+                 transport_attempts: int = 3) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.call_timeout = call_timeout
+        #: Retransmissions per RPC (same call id; servers are
+        #: at-most-once, so this is safe).  One lost datagram then costs
+        #: a timeout, not an aborted transaction.
+        self.transport_attempts = transport_attempts
+        self.commit_retry_interval = commit_retry_interval
+        self.commit_retry_attempts = commit_retry_attempts
+        self._ids = TransactionIdGenerator(endpoint.host.name)
+        self.commits = 0
+        self.aborts = 0
+
+    def begin(self) -> Transaction:
+        return Transaction(self, self._ids.next_id())
+
+    # ------------------------------------------------------------------
+    # Two-phase commit
+    # ------------------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> Generator[Any, Any, None]:
+        if txn.state != ACTIVE:
+            raise TransactionAborted(txn.txn_id,
+                                     f"commit in state {txn.state}")
+        txn.state = COMMITTING
+        # Calls that never got a reply may still hold locks remotely:
+        # send them aborts (their idle sweeper is the backstop).
+        unconfirmed = txn.attempted - txn.participants
+        if unconfirmed:
+            self._spawn_aborts(txn.txn_id, sorted(unconfirmed))
+        if not txn.participants:
+            txn.state = COMMITTED
+            self.commits += 1
+            txn._run_commit_hooks()
+            return
+
+        if not txn.staged:
+            # Read-only transaction.  At this instant the client holds
+            # every shared lock it ever needed, so the reads already
+            # form a consistent (serializable) snapshot; the prepares
+            # below only *release* locks and nothing about this
+            # transaction can still fail.  Fire them without waiting —
+            # this is why a suite read does not pay a commit round trip
+            # to its slowest representative.  The detached retry keeps
+            # re-sending if the release message is lost, so a dropped
+            # datagram cannot strand a shared lock until the idle
+            # sweeper.
+            for server in sorted(txn.participants):
+                self._spawn_retry(txn.txn_id, server, "txn.prepare")
+            txn.state = COMMITTED
+            self.commits += 1
+            txn._run_commit_hooks()
+            return
+
+        votes = yield from self._gather_votes(txn)
+        failures = [(server, outcome) for server, ok, outcome in votes
+                    if not ok]
+        if failures:
+            # Abort everywhere, including participants whose vote was
+            # lost in transit — they may have durably prepared and will
+            # otherwise stay in-doubt forever.
+            to_abort = [server for server, ok, outcome in votes
+                        if not ok or outcome == VOTE_PREPARED]
+            self._spawn_aborts(txn.txn_id, to_abort)
+            txn.state = ABORTED
+            self.aborts += 1
+            server, error = failures[0]
+            raise TransactionAborted(
+                txn.txn_id, f"prepare failed at {server}: {error}")
+
+        # Decision point: everyone voted yes.  Read-only voters are done.
+        to_commit = [server for server, _ok, outcome in votes
+                     if outcome == VOTE_PREPARED]
+        stragglers = yield from self._send_decision(txn.txn_id, to_commit)
+        for server in stragglers:
+            self._spawn_retry(txn.txn_id, server, "txn.commit")
+        txn.state = COMMITTED
+        self.commits += 1
+        txn._run_commit_hooks()
+
+    def abort(self, txn: Transaction) -> Generator[Any, Any, None]:
+        if txn.state in (COMMITTED, ABORTED):
+            return
+        txn.state = ABORTED
+        self.aborts += 1
+        results = yield from self._broadcast(
+            txn.txn_id, "txn.abort", sorted(txn.attempted))
+        for server, ok, _outcome in results:
+            if not ok:
+                self._spawn_retry(txn.txn_id, server, "txn.abort")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _gather_votes(self, txn: Transaction
+                      ) -> Generator[Any, Any,
+                                     List[Tuple[str, bool, Any]]]:
+        return (yield from self._broadcast(
+            txn.txn_id, "txn.prepare", sorted(txn.participants)))
+
+    def _broadcast(self, txn_id: TransactionId, method: str,
+                   servers: List[str]
+                   ) -> Generator[Any, Any, List[Tuple[str, bool, Any]]]:
+        """Call ``method`` on every server in parallel; never raises.
+
+        Returns ``(server, ok, outcome)`` triples where ``outcome`` is
+        the reply value or the exception.
+        """
+        def one(server: str):
+            try:
+                value = yield self.endpoint.call(
+                    server, method, timeout=self.call_timeout,
+                    attempts=self.transport_attempts, txn=str(txn_id))
+                return (server, True, value)
+            except ReproError as exc:
+                return (server, False, exc)
+
+        processes = [self.sim.spawn(one(server),
+                                    name=f"2pc:{method}:{server}")
+                     for server in servers]
+        results = yield self.sim.all_of(processes)
+        return results
+
+    def _send_decision(self, txn_id: TransactionId, servers: List[str]
+                       ) -> Generator[Any, Any, List[str]]:
+        """Send commit to ``servers``; return those that did not ack."""
+        results = yield from self._broadcast(txn_id, "txn.commit", servers)
+        return [server for server, ok, _outcome in results if not ok]
+
+    def _spawn_aborts(self, txn_id: TransactionId,
+                      servers: List[str]) -> None:
+        for server in servers:
+            self._spawn_retry(txn_id, server, "txn.abort")
+
+    def _spawn_retry(self, txn_id: TransactionId, server: str,
+                     method: str) -> None:
+        """Detached background retry until the participant answers.
+
+        Retries only on *transport* silence (timeout/unreachable); any
+        substantive reply — an ack, or a typed refusal such as "unknown
+        transaction" — is definitive and ends the retry.
+        """
+        from ..errors import HostUnreachableError, RpcTimeout
+
+        def send():
+            return self.endpoint.call(
+                server, method, timeout=self.call_timeout,
+                attempts=self.transport_attempts, txn=str(txn_id))
+
+        # The first transmission happens *now*, synchronously with the
+        # decision — a partition or crash one event later must not be
+        # able to get between the decision and its first message.
+        first = send()
+
+        def retry(outstanding):
+            for _attempt in range(self.commit_retry_attempts):
+                try:
+                    yield outstanding
+                    return
+                except (RpcTimeout, HostUnreachableError):
+                    yield self.sim.timeout(self.commit_retry_interval)
+                    outstanding = send()
+                except ReproError:
+                    return  # definitive response from the participant
+            # Gave up: the participant stays in-doubt until an operator
+            # (or a test) resolves it explicitly.
+
+        self.sim.spawn(retry(first), name=f"2pc-retry:{method}:{server}")

@@ -1,0 +1,48 @@
+"""Transaction identifiers.
+
+A :class:`TransactionId` is globally unique and totally ordered
+(originating site name breaks sequence-number ties).  The total order
+gives deterministic victim selection under deadlock and stable sort
+order in logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class TransactionId:
+    """Unique, ordered transaction identifier."""
+
+    site: str
+    sequence: int
+
+    def __lt__(self, other: "TransactionId") -> bool:
+        if not isinstance(other, TransactionId):
+            return NotImplemented
+        return (self.sequence, self.site) < (other.sequence, other.site)
+
+    def __str__(self) -> str:
+        return f"{self.site}#{self.sequence}"
+
+    @classmethod
+    def parse(cls, text: str) -> "TransactionId":
+        site, _, sequence = text.rpartition("#")
+        if not site:
+            raise ValueError(f"malformed transaction id {text!r}")
+        return cls(site=site, sequence=int(sequence))
+
+
+class TransactionIdGenerator:
+    """Per-site generator of monotonically increasing transaction ids."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._next = 0
+
+    def next_id(self) -> TransactionId:
+        self._next += 1
+        return TransactionId(site=self.site, sequence=self._next)

@@ -1,0 +1,363 @@
+"""The transaction participant running on every storage server.
+
+Implements the server side of two-phase commit over the shadow-paging
+file system, with strict two-phase locking for concurrency control:
+
+* ``read`` / ``read_version`` take **shared** locks;
+* ``stage_write`` / ``stage_delete`` take **exclusive** locks and buffer
+  the write as an in-memory intention (no disk I/O until prepare);
+* ``prepare`` makes the intentions list durable (one crash-atomic file
+  write) and votes;
+* ``commit`` durably flips the record to *committed*, applies the
+  intentions idempotently, deletes the record, and releases locks;
+* ``abort`` discards everything.
+
+Crash/recovery: volatile state (locks, unprepared transactions)
+vanishes on a crash.  At restart, :meth:`recover` replays the record
+files — *committed* records are re-applied (redo) and removed;
+*prepared* records become **in-doubt**: their files are re-locked
+exclusively and the participant waits for the coordinator's decision,
+which is the (blocking) behaviour of textbook two-phase commit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+from ..errors import (InvalidTransactionState, NoSuchFileError,
+                      TransactionAborted)
+from ..storage.server import StorageServer
+from .ids import TransactionId
+from .locks import EXCLUSIVE, SHARED, LockManager
+from .log import (COMMITTED, PREPARED, Intention, TransactionRecord,
+                  is_record_file, record_file_name)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+#: Votes returned by ``prepare``.
+VOTE_PREPARED = "prepared"
+VOTE_READ_ONLY = "read-only"
+
+
+class _Scratch:
+    """Volatile per-transaction state."""
+
+    __slots__ = ("intentions", "prepared", "last_touched")
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.intentions: Dict[str, Intention] = {}
+        self.prepared = False
+        self.last_touched = now
+
+
+class TransactionParticipant:
+    """Two-phase commit participant bound to one storage server."""
+
+    def __init__(self, server: StorageServer,
+                 lock_timeout: Optional[float] = None,
+                 idle_abort_after: Optional[float] = None) -> None:
+        self.server = server
+        self.sim = server.sim
+        self.locks = LockManager(server.sim, name=server.name,
+                                 default_timeout=lock_timeout)
+        self._active: Dict[TransactionId, _Scratch] = {}
+        self._indoubt: Dict[TransactionId, TransactionRecord] = {}
+        # Tombstones for finished transactions: a *late retransmission*
+        # of an operation (first delivery of a resent request, so the
+        # endpoint's duplicate suppression cannot catch it) must not
+        # resurrect a committed or aborted transaction's scratch state
+        # and strand locks.  Bounded LRU.
+        self._finished: "OrderedDict[TransactionId, None]" = OrderedDict()
+        self._finished_capacity = 1024
+        self.commits = 0
+        self.aborts = 0
+        self.idle_aborts = 0
+        server.on_crash(self._on_crash)
+        server.on_restart(self.recover)
+        if idle_abort_after is not None:
+            # Presumed-abort garbage collection: an *unprepared*
+            # transaction whose client went silent (e.g. the client
+            # timed out on us and moved on, or crashed) may always be
+            # aborted unilaterally — only prepared state is binding.
+            self.idle_abort_after = idle_abort_after
+            self.sim.spawn(self._sweep_idle(),
+                           name=f"txn-sweeper:{self.name}")
+
+    @property
+    def name(self) -> str:
+        return self.server.name
+
+    # ------------------------------------------------------------------
+    # Data operations (RPC handlers; txn ids arrive as strings)
+    # ------------------------------------------------------------------
+
+    def read(self, txn: str, name: str,
+             ) -> Generator[Any, Any, Tuple[bytes, int]]:
+        """Read a file under a shared lock; sees the txn's own writes."""
+        txn_id = TransactionId.parse(txn)
+        scratch = self._scratch(txn_id)
+        staged = scratch.intentions.get(name)
+        if staged is not None:
+            if staged.delete:
+                raise NoSuchFileError(name)
+            return staged.data, staged.version
+        yield self.locks.acquire(txn_id, name, SHARED)
+        result = yield from self.server.read_file(name)
+        return result
+
+    def read_version(self, txn: str, name: str,
+                     ) -> Generator[Any, Any, int]:
+        """Version-number inquiry under a shared lock (no data transfer)."""
+        txn_id = TransactionId.parse(txn)
+        scratch = self._scratch(txn_id)
+        staged = scratch.intentions.get(name)
+        if staged is not None:
+            if staged.delete:
+                raise NoSuchFileError(name)
+            return staged.version
+        yield self.locks.acquire(txn_id, name, SHARED)
+        return self.server.stat(name).version
+
+    def stat(self, txn: str, name: str, mode: str = SHARED,
+             detail: bool = False) -> Generator[Any, Any, Dict[str, Any]]:
+        """Version inquiry under a lock.
+
+        This is the suite's *version number inquiry*: by default it
+        moves only the version number and the small ``stamp`` property
+        (the suite stores its configuration version there), so the
+        message stays tens of bytes.  ``detail=True`` additionally
+        returns the full property map — the suite requests that only
+        when the stamp reveals its configuration is stale.  Writers
+        inquire with ``mode="X"`` so the exclusive lock is taken up
+        front, avoiding shared→exclusive upgrade deadlocks between two
+        concurrent writers at the same representative.
+        """
+        txn_id = TransactionId.parse(txn)
+        scratch = self._scratch(txn_id)
+        staged = scratch.intentions.get(name)
+        if staged is not None:
+            if staged.delete:
+                raise NoSuchFileError(name)
+            properties = staged.properties or {}
+            version = staged.version
+        else:
+            yield self.locks.acquire(txn_id, name, mode)
+            info = self.server.stat(name)
+            properties = info.properties
+            version = info.version
+        result = {"version": version, "stamp": properties.get("stamp", 0)}
+        if detail:
+            result["properties"] = properties
+        return result
+
+    def stage_write(self, txn: str, name: str, data: bytes, version: int,
+                    properties: Optional[Dict[str, Any]] = None,
+                    create: bool = False, only_if_newer: bool = False,
+                    ) -> Generator[Any, Any, str]:
+        """Buffer a write under an exclusive lock; durable at prepare.
+
+        With ``only_if_newer`` the write is skipped (returning
+        ``"skipped"``) unless ``version`` exceeds the representative's
+        current version.  The exclusive lock is held either way, so the
+        check cannot be invalidated before commit — this is what lets
+        the background refresher copy data to stale representatives
+        without ever moving a version number backwards.
+        """
+        txn_id = TransactionId.parse(txn)
+        scratch = self._scratch(txn_id)
+        if scratch.prepared:
+            raise InvalidTransactionState(
+                f"{txn_id} already prepared on {self.name}")
+        yield self.locks.acquire(txn_id, name, EXCLUSIVE)
+        staged = scratch.intentions.get(name)
+        if staged is not None and not staged.delete:
+            exists, current_version = True, staged.version
+        elif self.server.fs.exists(name):
+            exists, current_version = True, self.server.stat(name).version
+        else:
+            exists, current_version = False, -1
+        if not exists and not create:
+            raise NoSuchFileError(name)
+        if only_if_newer and exists and current_version >= version:
+            return "skipped"
+        scratch.intentions[name] = Intention(
+            name=name, data=bytes(data), version=version,
+            properties=dict(properties) if properties is not None else None)
+        return "staged"
+
+    def stage_delete(self, txn: str, name: str,
+                     ) -> Generator[Any, Any, None]:
+        txn_id = TransactionId.parse(txn)
+        scratch = self._scratch(txn_id)
+        if scratch.prepared:
+            raise InvalidTransactionState(
+                f"{txn_id} already prepared on {self.name}")
+        yield self.locks.acquire(txn_id, name, EXCLUSIVE)
+        scratch.intentions[name] = Intention(
+            name=name, data=b"", version=0, delete=True)
+
+    # ------------------------------------------------------------------
+    # Two-phase commit (RPC handlers)
+    # ------------------------------------------------------------------
+
+    def prepare(self, txn: str) -> Generator[Any, Any, str]:
+        """Phase 1: durably record intentions and vote."""
+        txn_id = TransactionId.parse(txn)
+        scratch = self._active.get(txn_id)
+        if scratch is None:
+            # We lost this transaction's state (crash since it started):
+            # its locks and intentions are gone, so we must refuse.
+            raise TransactionAborted(txn_id,
+                                     f"unknown at participant {self.name}")
+        if not scratch.intentions:
+            # Read-only participant: release locks now, skip phase 2.
+            self.locks.release_all(txn_id)
+            del self._active[txn_id]
+            return VOTE_READ_ONLY
+            yield  # pragma: no cover - makes this a generator
+        record = TransactionRecord(
+            txn_id=txn_id, state=PREPARED,
+            intentions=list(scratch.intentions.values()))
+        yield from self.server.write_file(
+            record.record_file, record.encode(), version=0, create=True)
+        scratch.prepared = True
+        return VOTE_PREPARED
+
+    def commit(self, txn: str) -> Generator[Any, Any, str]:
+        """Phase 2: make the decision durable, apply, clean up."""
+        txn_id = TransactionId.parse(txn)
+        record = self._committable_record(txn_id)
+        if record is None:
+            return "ack"  # already finished: idempotent
+            yield  # pragma: no cover
+        record.state = COMMITTED
+        yield from self.server.write_file(
+            record.record_file, record.encode(), version=1)
+        yield from self._apply(record)
+        yield from self.server.delete_file(record.record_file)
+        self._forget(txn_id)
+        self.commits += 1
+        return "ack"
+
+    def abort(self, txn: str) -> Generator[Any, Any, str]:
+        """Discard the transaction; idempotent."""
+        txn_id = TransactionId.parse(txn)
+        scratch = self._active.get(txn_id)
+        had_record = ((scratch is not None and scratch.prepared)
+                      or txn_id in self._indoubt)
+        if had_record and self.server.fs.exists(record_file_name(txn_id)):
+            yield from self.server.delete_file(record_file_name(txn_id))
+        self._forget(txn_id)
+        self.aborts += 1
+        return "ack"
+
+    def _committable_record(self, txn_id: TransactionId
+                            ) -> Optional[TransactionRecord]:
+        indoubt = self._indoubt.get(txn_id)
+        if indoubt is not None:
+            return indoubt
+        scratch = self._active.get(txn_id)
+        if scratch is None:
+            return None
+        if not scratch.prepared:
+            raise InvalidTransactionState(
+                f"commit of unprepared {txn_id} on {self.name}")
+        return TransactionRecord(txn_id=txn_id, state=PREPARED,
+                                 intentions=list(scratch.intentions.values()))
+
+    def _apply(self, record: TransactionRecord) -> Generator[Any, Any, None]:
+        for intention in record.intentions:
+            if intention.delete:
+                if self.server.fs.exists(intention.name):
+                    yield from self.server.delete_file(intention.name)
+            else:
+                yield from self.server.write_file(
+                    intention.name, intention.data, intention.version,
+                    properties=intention.properties, create=True)
+
+    def _forget(self, txn_id: TransactionId) -> None:
+        self._active.pop(txn_id, None)
+        self._indoubt.pop(txn_id, None)
+        self.locks.release_all(txn_id)
+        self._finished[txn_id] = None
+        while len(self._finished) > self._finished_capacity:
+            self._finished.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        self._active.clear()
+        self._indoubt.clear()
+        self.locks.clear()
+
+    def recover(self) -> None:
+        """Replay record files after a restart (redo + in-doubt)."""
+        fs = self.server.fs
+        for name in fs.list_files():
+            if not is_record_file(name):
+                continue
+            blob, _version = fs.read_file_sync(name)
+            record = TransactionRecord.decode(blob)
+            if record.state == COMMITTED:
+                for intention in record.intentions:
+                    if intention.delete:
+                        if fs.exists(intention.name):
+                            fs.delete_file_sync(intention.name)
+                    else:
+                        fs.write_file_sync(
+                            intention.name, intention.data,
+                            intention.version,
+                            properties=intention.properties, create=True)
+                fs.delete_file_sync(name)
+            else:
+                # In-doubt: hold exclusive locks until the coordinator
+                # resolves us (blocking 2PC semantics).
+                self._indoubt[record.txn_id] = record
+                for intention in record.intentions:
+                    self.locks.acquire(record.txn_id, intention.name,
+                                       EXCLUSIVE, timeout=None)
+
+    def in_doubt(self) -> List[TransactionId]:
+        """Transactions prepared before a crash, awaiting a decision."""
+        return sorted(self._indoubt)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _scratch(self, txn_id: TransactionId) -> _Scratch:
+        if txn_id in self._finished:
+            raise TransactionAborted(
+                txn_id, f"already finished at {self.name} "
+                "(late retransmission)")
+        scratch = self._active.get(txn_id)
+        if scratch is None:
+            scratch = _Scratch(now=self.sim.now)
+            self._active[txn_id] = scratch
+        scratch.last_touched = self.sim.now
+        return scratch
+
+    def _sweep_idle(self):
+        interval = max(self.idle_abort_after / 2.0, 1e-9)
+        while True:
+            yield self.sim.timeout(interval)
+            cutoff = self.sim.now - self.idle_abort_after
+            for txn_id, scratch in list(self._active.items()):
+                if not scratch.prepared and scratch.last_touched < cutoff:
+                    self._forget(txn_id)
+                    self.idle_aborts += 1
+
+    def register_handlers(self, endpoint) -> None:
+        """Attach the participant's RPC interface to an endpoint."""
+        endpoint.register("txn.read", self.read)
+        endpoint.register("txn.read_version", self.read_version)
+        endpoint.register("txn.stat", self.stat)
+        endpoint.register("txn.stage_write", self.stage_write)
+        endpoint.register("txn.stage_delete", self.stage_delete)
+        endpoint.register("txn.prepare", self.prepare)
+        endpoint.register("txn.commit", self.commit)
+        endpoint.register("txn.abort", self.abort)

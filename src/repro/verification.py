@@ -1,0 +1,160 @@
+"""History checking: independent verification of suite consistency.
+
+The tests that assert "reads see the last committed write" encode the
+expectation inline.  This module is the opposite approach, in the style
+of external consistency checkers: *record* every operation any client
+performs against a suite (with its real-time interval and outcome),
+then check the whole history against the model of an atomic,
+version-numbered register — with no knowledge of how the protocol
+works.
+
+The model's rules for a valid history:
+
+* **W1 — unique versions**: no two successful writes install the same
+  version number (this is what ``2w > N`` buys).
+* **W2 — version/data binding**: every successful read of version *v*
+  returns exactly the data the version-*v* write installed.
+* **R1 — real-time monotonicity**: if operation *a* completed before
+  operation *b* started, then *b*'s version is at least *a*'s —
+  and strictly greater if *b* is a write.  (Strict serializability of
+  an atomic register, expressed on version numbers.)
+* **R2 — reads read something written**: every read's version was
+  installed by some write (or is the install version of the suite).
+
+A :class:`HistoryRecorder` wraps any suite-like client and records
+automatically; :func:`check_history` returns the violations (empty ⇒
+the history is strictly serializable under the register model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed client operation, with its real-time interval."""
+
+    client: str
+    kind: str                 # "read" | "write"
+    start: float
+    end: float
+    version: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+        if self.end < self.start:
+            raise ValueError("operation ends before it starts")
+
+
+@dataclass
+class Violation:
+    """One rule breach found in a history."""
+
+    rule: str
+    detail: str
+    operations: Tuple[Operation, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.detail}"
+
+
+def check_history(operations: List[Operation],
+                  install_version: int = 1,
+                  install_data: bytes = b"",
+                  ) -> List[Violation]:
+    """Validate a history against the atomic register model."""
+    violations: List[Violation] = []
+    writes = [op for op in operations if op.kind == "write"]
+    reads = [op for op in operations if op.kind == "read"]
+
+    # W1 — unique write versions.
+    by_version: Dict[int, Operation] = {}
+    for write in writes:
+        existing = by_version.get(write.version)
+        if existing is not None:
+            violations.append(Violation(
+                "W1", f"two writes installed version {write.version}",
+                (existing, write)))
+        else:
+            by_version[write.version] = write
+
+    # W2 — reads return the data their version's write installed.
+    version_data: Dict[int, bytes] = {install_version: install_data}
+    for write in writes:
+        version_data.setdefault(write.version, write.data)
+    for read in reads:
+        expected = version_data.get(read.version)
+        if expected is None:
+            violations.append(Violation(
+                "R2", f"read observed version {read.version}, which no "
+                      "write installed", (read,)))
+        elif read.data != expected:
+            violations.append(Violation(
+                "W2", f"read of version {read.version} returned "
+                      f"{read.data!r}, but that version holds "
+                      f"{expected!r}", (read,)))
+
+    # R1 — real-time monotonicity of versions.
+    ordered = sorted(operations, key=lambda op: (op.start, op.end))
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1:]:
+            if second.start < first.end:
+                continue  # concurrent: no real-time constraint
+            if second.kind == "write":
+                if second.version <= first.version:
+                    violations.append(Violation(
+                        "R1", f"write v{second.version} started after "
+                              f"an operation that already saw "
+                              f"v{first.version}", (first, second)))
+            else:
+                if second.version < first.version:
+                    violations.append(Violation(
+                        "R1", f"read saw v{second.version} after an "
+                              f"operation that already saw "
+                              f"v{first.version} completed",
+                        (first, second)))
+    return violations
+
+
+class HistoryRecorder:
+    """Wraps a suite-like client, recording every completed operation.
+
+    Use one recorder (shared `history` list) per suite across all its
+    clients::
+
+        history = []
+        recorder = HistoryRecorder(suite, "alice", history)
+        result = yield from recorder.read()
+        ...
+        assert check_history(history) == []
+    """
+
+    def __init__(self, target: Any, client: str,
+                 history: List[Operation]) -> None:
+        self.target = target
+        self.client = client
+        self.history = history
+
+    @property
+    def sim(self):
+        return self.target.sim
+
+    def read(self) -> Generator[Any, Any, Any]:
+        start = self.sim.now
+        result = yield from self.target.read()
+        self.history.append(Operation(
+            client=self.client, kind="read", start=start,
+            end=self.sim.now, version=result.version, data=result.data))
+        return result
+
+    def write(self, data: bytes) -> Generator[Any, Any, Any]:
+        start = self.sim.now
+        result = yield from self.target.write(data)
+        self.history.append(Operation(
+            client=self.client, kind="write", start=start,
+            end=self.sim.now, version=result.version, data=bytes(data)))
+        return result

@@ -1,0 +1,17 @@
+"""Violet: the distributed calendar application layer.
+
+The paper's prototype host system, rebuilt on top of file suites — the
+flagship demonstration that applications get replication, tunable
+availability, and serializable updates from the voting layer for free.
+"""
+
+from .calendar import (Appointment, Calendar, CalendarError,
+                       decode_calendar, empty_calendar_data,
+                       encode_calendar)
+from .scheduling import Meeting, MeetingScheduler, SchedulingConflict
+
+__all__ = [
+    "Appointment", "Calendar", "CalendarError", "Meeting",
+    "MeetingScheduler", "SchedulingConflict", "decode_calendar",
+    "empty_calendar_data", "encode_calendar",
+]

@@ -1,0 +1,219 @@
+"""A replicated calendar in the style of Violet.
+
+Gifford's prototype ran inside *Violet*, a distributed calendar system
+at Xerox PARC, layered exactly as this package is: calendar → file
+suites → transactions → stable file system → packet network.  This
+module is that top layer: a multi-user calendar whose state lives in
+one file suite, giving it replication, tunable availability, and
+serializable updates for free.
+
+All mutating operations are read-modify-write transactions through
+:meth:`~repro.core.suite.FileSuiteClient.transact`, so two users adding
+appointments concurrently can never lose an update — one of them simply
+serializes after the other.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..core.suite import FileSuiteClient
+from ..errors import ReproError
+
+
+class CalendarError(ReproError):
+    """Calendar-level failures (conflicts, unknown entries)."""
+
+
+@dataclass(frozen=True)
+class Appointment:
+    """One calendar entry.  Times are hours since epoch (floats).
+
+    ``meeting_id`` is non-empty for entries mirrored across several
+    users' calendars by the meeting scheduler; it correlates the copies.
+    """
+
+    entry_id: int
+    title: str
+    start: float
+    end: float
+    owner: str
+    attendees: Tuple[str, ...] = ()
+    meeting_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise CalendarError(
+                f"appointment {self.title!r}: end must follow start")
+
+    def overlaps(self, other: "Appointment") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "entry_id": self.entry_id,
+            "title": self.title,
+            "start": self.start,
+            "end": self.end,
+            "owner": self.owner,
+            "attendees": list(self.attendees),
+            "meeting_id": self.meeting_id,
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "Appointment":
+        return cls(entry_id=raw["entry_id"], title=raw["title"],
+                   start=raw["start"], end=raw["end"], owner=raw["owner"],
+                   attendees=tuple(raw.get("attendees", ())),
+                   meeting_id=raw.get("meeting_id", ""))
+
+
+def encode_calendar(next_id: int, entries: List[Appointment]) -> bytes:
+    return json.dumps({
+        "next_id": next_id,
+        "entries": [entry.to_json() for entry in
+                    sorted(entries, key=lambda e: (e.start, e.entry_id))],
+    }, separators=(",", ":")).encode()
+
+
+def decode_calendar(blob: bytes) -> Tuple[int, List[Appointment]]:
+    if not blob:
+        return 1, []
+    raw = json.loads(blob.decode())
+    return raw["next_id"], [Appointment.from_json(entry)
+                            for entry in raw["entries"]]
+
+
+class Calendar:
+    """A shared calendar stored in a file suite.
+
+    One instance per user/client; all instances over the same suite see
+    one serializable calendar.
+    """
+
+    def __init__(self, suite: FileSuiteClient, user: str) -> None:
+        self.suite = suite
+        self.user = user
+
+    # ------------------------------------------------------------------
+    # Mutations (each a retried read-modify-write transaction)
+    # ------------------------------------------------------------------
+
+    def add_appointment(self, title: str, start: float, end: float,
+                        attendees: Tuple[str, ...] = (),
+                        reject_conflicts: bool = False,
+                        ) -> Generator[Any, Any, Appointment]:
+        """Add an entry; optionally refuse overlapping ones.
+
+        With ``reject_conflicts`` the overlap check runs inside the same
+        transaction as the insert, so two conflicting concurrent adds
+        cannot both succeed.
+        """
+        def mutate(txn):
+            current = yield from self.suite.read_in(txn, for_update=True)
+            next_id, entries = decode_calendar(current.data)
+            appointment = Appointment(
+                entry_id=next_id, title=title, start=start, end=end,
+                owner=self.user, attendees=attendees)
+            if reject_conflicts:
+                for entry in entries:
+                    if entry.overlaps(appointment) \
+                            and self._shares_people(entry, appointment):
+                        raise CalendarError(
+                            f"{title!r} conflicts with {entry.title!r}")
+            entries.append(appointment)
+            yield from self.suite.write_in(
+                txn, encode_calendar(next_id + 1, entries))
+            return appointment
+
+        result = yield from self.suite.transact(mutate)
+        return result
+
+    def cancel(self, entry_id: int) -> Generator[Any, Any, None]:
+        """Remove an entry; only its owner may cancel it."""
+        def mutate(txn):
+            current = yield from self.suite.read_in(txn, for_update=True)
+            next_id, entries = decode_calendar(current.data)
+            remaining = [entry for entry in entries
+                         if entry.entry_id != entry_id]
+            if len(remaining) == len(entries):
+                raise CalendarError(f"no appointment #{entry_id}")
+            victim = next(entry for entry in entries
+                          if entry.entry_id == entry_id)
+            if victim.owner != self.user:
+                raise CalendarError(
+                    f"#{entry_id} belongs to {victim.owner}, "
+                    f"not {self.user}")
+            yield from self.suite.write_in(
+                txn, encode_calendar(next_id, remaining))
+            return None
+
+        yield from self.suite.transact(mutate)
+
+    def reschedule(self, entry_id: int, start: float, end: float,
+                   ) -> Generator[Any, Any, Appointment]:
+        """Move an entry to a new time slot (owner only)."""
+        def mutate(txn):
+            current = yield from self.suite.read_in(txn, for_update=True)
+            next_id, entries = decode_calendar(current.data)
+            updated: List[Appointment] = []
+            moved: Optional[Appointment] = None
+            for entry in entries:
+                if entry.entry_id == entry_id:
+                    if entry.owner != self.user:
+                        raise CalendarError(
+                            f"#{entry_id} belongs to {entry.owner}")
+                    moved = Appointment(
+                        entry_id=entry.entry_id, title=entry.title,
+                        start=start, end=end, owner=entry.owner,
+                        attendees=entry.attendees)
+                    updated.append(moved)
+                else:
+                    updated.append(entry)
+            if moved is None:
+                raise CalendarError(f"no appointment #{entry_id}")
+            yield from self.suite.write_in(
+                txn, encode_calendar(next_id, updated))
+            return moved
+
+        result = yield from self.suite.transact(mutate)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def appointments(self) -> Generator[Any, Any, List[Appointment]]:
+        """All entries, in start-time order."""
+        result = yield from self.suite.read()
+        _next_id, entries = decode_calendar(result.data)
+        return entries
+
+    def agenda_for(self, user: str,
+                   ) -> Generator[Any, Any, List[Appointment]]:
+        """Entries owned by or inviting ``user``."""
+        entries = yield from self.appointments()
+        return [entry for entry in entries
+                if entry.owner == user or user in entry.attendees]
+
+    def between(self, start: float, end: float,
+                ) -> Generator[Any, Any, List[Appointment]]:
+        """Entries overlapping the window [start, end)."""
+        entries = yield from self.appointments()
+        return [entry for entry in entries
+                if entry.start < end and start < entry.end]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _shares_people(a: Appointment, b: Appointment) -> bool:
+        people_a = {a.owner, *a.attendees}
+        people_b = {b.owner, *b.attendees}
+        return bool(people_a & people_b)
+
+
+def empty_calendar_data() -> bytes:
+    """Initial suite contents for a fresh calendar."""
+    return encode_calendar(1, [])

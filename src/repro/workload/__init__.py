@@ -1,0 +1,9 @@
+"""Workload generation: operation mixes, payloads and client drivers."""
+
+from .drivers import ClosedLoopDriver, OpenLoopDriver, WorkloadStats
+from .mixes import READ, WRITE, OperationMix, PayloadShape
+
+__all__ = [
+    "ClosedLoopDriver", "OpenLoopDriver", "OperationMix", "PayloadShape",
+    "READ", "WRITE", "WorkloadStats",
+]

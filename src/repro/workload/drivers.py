@@ -1,0 +1,201 @@
+"""Workload drivers: closed-loop and open-loop clients.
+
+A driver repeatedly issues operations against anything exposing the
+suite/baseline interface (``read()`` and ``write(data)`` generator
+methods), records per-operation latency, and counts *blocked*
+operations — operations that exhausted their retries because a quorum
+was unavailable.  Blocked-operation fractions are how the simulation
+cross-checks the paper's analytic blocking probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from ..errors import ReproError
+from ..sim.distributions import Distribution, as_distribution
+from ..sim.metrics import Histogram
+from ..sim.rng import RandomStreams
+from .mixes import READ, OperationMix, PayloadShape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregated outcome of one driver run."""
+
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_blocked: int = 0
+    write_blocked: int = 0
+    read_latency: Histogram = field(
+        default_factory=lambda: Histogram("read_latency"))
+    write_latency: Histogram = field(
+        default_factory=lambda: Histogram("write_latency"))
+
+    @property
+    def blocked(self) -> int:
+        return self.read_blocked + self.write_blocked
+
+    @property
+    def read_blocking_rate(self) -> float:
+        attempts = self.reads + self.read_blocked
+        return self.read_blocked / attempts if attempts else 0.0
+
+    @property
+    def write_blocking_rate(self) -> float:
+        attempts = self.writes + self.write_blocked
+        return self.write_blocked / attempts if attempts else 0.0
+
+    def merge(self, other: "WorkloadStats") -> "WorkloadStats":
+        """Combine two drivers' statistics (for client populations)."""
+        merged = WorkloadStats()
+        merged.operations = self.operations + other.operations
+        merged.reads = self.reads + other.reads
+        merged.writes = self.writes + other.writes
+        merged.read_blocked = self.read_blocked + other.read_blocked
+        merged.write_blocked = self.write_blocked + other.write_blocked
+        merged.read_latency.samples = (self.read_latency.samples
+                                       + other.read_latency.samples)
+        merged.write_latency.samples = (self.write_latency.samples
+                                        + other.write_latency.samples)
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "operations": float(self.operations),
+            "reads": float(self.reads),
+            "writes": float(self.writes),
+            "read_blocked": float(self.read_blocked),
+            "write_blocked": float(self.write_blocked),
+            "read_latency_mean": self.read_latency.mean,
+            "read_latency_p95": self.read_latency.percentile(95),
+            "write_latency_mean": self.write_latency.mean,
+            "write_latency_p95": self.write_latency.percentile(95),
+        }
+
+
+class ClosedLoopDriver:
+    """One logical user: operation, think, operation, ...
+
+    ``target`` is a suite or baseline client.  The driver is
+    deterministic for a given streams seed and name.
+    """
+
+    def __init__(self, sim: "Simulator", target: Any,
+                 mix: OperationMix,
+                 payload: Optional[PayloadShape] = None,
+                 think_time: "Distribution | float" = 0.0,
+                 streams: Optional[RandomStreams] = None,
+                 name: str = "driver") -> None:
+        self.sim = sim
+        self.target = target
+        self.mix = mix
+        self.payload = payload or PayloadShape()
+        self.think_time = as_distribution(think_time)
+        streams = streams or RandomStreams(seed=0)
+        self._rng = streams.stream(f"workload:{name}")
+        self.name = name
+        self.stats = WorkloadStats()
+
+    def run(self, operations: int) -> Generator[Any, Any, WorkloadStats]:
+        """Issue ``operations`` operations; returns the statistics."""
+        for sequence in range(operations):
+            yield from self._one_operation(sequence)
+            think = self.think_time.sample(self._rng)
+            if think > 0:
+                yield self.sim.timeout(think)
+        return self.stats
+
+    def run_for(self, duration: float) -> Generator[Any, Any, WorkloadStats]:
+        """Issue operations until ``duration`` of virtual time elapses."""
+        deadline = self.sim.now + duration
+        sequence = 0
+        while self.sim.now < deadline:
+            yield from self._one_operation(sequence)
+            sequence += 1
+            think = self.think_time.sample(self._rng)
+            if think > 0:
+                yield self.sim.timeout(think)
+        return self.stats
+
+    def _one_operation(self, sequence: int) -> Generator[Any, Any, None]:
+        kind = self.mix.choose(self._rng)
+        started = self.sim.now
+        try:
+            if kind == READ:
+                yield from self.target.read()
+                self.stats.reads += 1
+                self.stats.read_latency.observe(self.sim.now - started)
+            else:
+                data = self.payload.build(self._rng, sequence)
+                yield from self.target.write(data)
+                self.stats.writes += 1
+                self.stats.write_latency.observe(self.sim.now - started)
+            self.stats.operations += 1
+        except ReproError:
+            if kind == READ:
+                self.stats.read_blocked += 1
+            else:
+                self.stats.write_blocked += 1
+
+
+class OpenLoopDriver:
+    """Fire-and-measure arrivals at fixed or random intervals.
+
+    Unlike the closed loop, a slow operation does not delay the next
+    arrival — used by the blocking-probability experiments where each
+    window must get exactly one trial regardless of how the previous
+    trial fared.
+    """
+
+    def __init__(self, sim: "Simulator", target: Any, mix: OperationMix,
+                 interarrival: "Distribution | float",
+                 payload: Optional[PayloadShape] = None,
+                 streams: Optional[RandomStreams] = None,
+                 name: str = "open-driver") -> None:
+        self.sim = sim
+        self.target = target
+        self.mix = mix
+        self.interarrival = as_distribution(interarrival)
+        self.payload = payload or PayloadShape()
+        streams = streams or RandomStreams(seed=0)
+        self._rng = streams.stream(f"workload:{name}")
+        self.name = name
+        self.stats = WorkloadStats()
+        self._outstanding: List[Any] = []
+
+    def run(self, arrivals: int) -> Generator[Any, Any, WorkloadStats]:
+        """Generate ``arrivals`` operations; wait for all to finish."""
+        for sequence in range(arrivals):
+            process = self.sim.spawn(self._one(sequence),
+                                     name=f"{self.name}:{sequence}")
+            self._outstanding.append(process)
+            yield self.sim.timeout(self.interarrival.sample(self._rng))
+        if self._outstanding:
+            yield self.sim.all_of(self._outstanding)
+        return self.stats
+
+    def _one(self, sequence: int) -> Generator[Any, Any, None]:
+        kind = self.mix.choose(self._rng)
+        started = self.sim.now
+        try:
+            if kind == READ:
+                yield from self.target.read()
+                self.stats.reads += 1
+                self.stats.read_latency.observe(self.sim.now - started)
+            else:
+                data = self.payload.build(self._rng, sequence)
+                yield from self.target.write(data)
+                self.stats.writes += 1
+                self.stats.write_latency.observe(self.sim.now - started)
+            self.stats.operations += 1
+        except ReproError:
+            if kind == READ:
+                self.stats.read_blocked += 1
+            else:
+                self.stats.write_blocked += 1

@@ -1,0 +1,60 @@
+"""Operation mixes and payload shapes for workload generation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """A read/write mix; ``read_fraction`` of operations are reads."""
+
+    read_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read fraction must be in [0, 1]")
+
+    def choose(self, rng: random.Random) -> str:
+        return READ if rng.random() < self.read_fraction else WRITE
+
+    @classmethod
+    def read_only(cls) -> "OperationMix":
+        return cls(read_fraction=1.0)
+
+    @classmethod
+    def write_only(cls) -> "OperationMix":
+        return cls(read_fraction=0.0)
+
+
+@dataclass(frozen=True)
+class PayloadShape:
+    """How large written payloads are.
+
+    Fixed size by default; ``jitter`` (0..1) makes sizes uniform in
+    ``[size*(1-jitter), size]`` — useful to stress the page allocator.
+    """
+
+    size: int = 1_024
+    jitter: float = 0.0
+    fill: bytes = b"w"
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("payload size must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def build(self, rng: random.Random, sequence: int) -> bytes:
+        size = self.size
+        if self.jitter > 0:
+            low = int(self.size * (1.0 - self.jitter))
+            size = rng.randint(low, self.size)
+        marker = f"#{sequence}:".encode()
+        if size <= len(marker):
+            return marker[:size]
+        return marker + self.fill * (size - len(marker))

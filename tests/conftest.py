@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.votes import Representative, SuiteConfiguration
+from repro.sim import Network, RandomStreams, Simulator
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def network(sim: Simulator, streams: RandomStreams) -> Network:
+    return Network(sim, streams, default_latency=1.0)
+
+
+@pytest.fixture
+def bed() -> Testbed:
+    """A standard 3-server, 1-client testbed."""
+    return Testbed(servers=["s1", "s2", "s3"], seed=7)

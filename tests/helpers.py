@@ -1,0 +1,15 @@
+"""Shared helpers for tests (importable, unlike conftest)."""
+
+from repro.core.votes import Representative, SuiteConfiguration
+
+
+def triple_config(name: str = "db", votes=(1, 1, 1), r: int = 2,
+                  w: int = 2, latencies=(10.0, 20.0, 30.0),
+                  ) -> SuiteConfiguration:
+    """A suite over s1..s3 with the given vote/latency shape."""
+    reps = tuple(
+        Representative(rep_id=f"rep-{i + 1}", server=f"s{i + 1}",
+                       votes=v, latency_hint=lat)
+        for i, (v, lat) in enumerate(zip(votes, latencies)))
+    return SuiteConfiguration(suite_name=name, representatives=reps,
+                              read_quorum=r, write_quorum=w)

@@ -1,0 +1,90 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestTable1:
+    def test_prints_paper_values(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "example 1" in out
+        assert "65" in out and "750" in out
+
+class TestSimulate:
+    def test_reports_both_operations(self, capsys):
+        assert main(["simulate", "--example", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "read" in out and "write" in out
+        assert "served by" in out
+
+    def test_rejects_bad_example(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--example", "9"])
+
+
+class TestSweep:
+    def test_monotone_output(self, capsys):
+        assert main(["sweep", "--example", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0.999" in out
+        assert "read block" in out
+
+
+class TestTune:
+    def test_default_servers(self, capsys):
+        assert main(["tune", "--read-fraction", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "best configuration" in out
+        assert "r = " in out and "w = " in out
+
+    def test_custom_servers(self, capsys):
+        assert main(["tune", "--read-fraction", "0.5",
+                     "--server", "a:10:0.99",
+                     "--server", "b:20:0.99"]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "b" in out
+
+    def test_infeasible_constraints_exit_code(self, capsys):
+        code = main(["tune", "--read-fraction", "0.5",
+                     "--server", "only:10:0.9",
+                     "--min-write-availability", "0.99999"])
+        assert code == 1
+        assert "no feasible" in capsys.readouterr().err
+
+    def test_malformed_server_spec(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--server", "oops"])
+
+
+class TestDemo:
+    def test_runs_full_scenario(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "hello, 1979" in out
+        assert "with s1 crashed" in out
+        assert "versions: [2, 2, 2]" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestStatus:
+    def test_shows_degraded_suite(self, capsys):
+        assert main(["status"]) == 0
+        out = capsys.readouterr().out
+        assert "rep-s3" in out
+        assert "unreachable: ['rep-s3']" in out
+        assert "invariants: OK" in out
+
+
+class TestScaling:
+    def test_prints_growth_table(self, capsys):
+        assert main(["scaling", "--availability", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "11" in out
+        assert "write msgs" in out

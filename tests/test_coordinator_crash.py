@@ -1,0 +1,135 @@
+"""Coordinator (client) failure: the blocking face of 2PC.
+
+If the coordinating client dies between phase 1 and phase 2, prepared
+participants are stuck in-doubt — exactly the textbook behaviour the
+paper's substrate has.  These tests exercise that path end-to-end:
+the in-doubt state survives participant restarts, blocks conflicting
+transactions, and is resolved when an operator (or a recovered
+coordinator) supplies the decision.
+"""
+
+import pytest
+
+from repro.errors import LockTimeoutError, ReproError, RpcTimeout
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def bed():
+    return Testbed(servers=["s1", "s2"], seed=91, call_timeout=200.0)
+
+
+def prepare_then_die(bed):
+    """Run a transaction up to successful prepare, then crash the
+    client host before any commit can be sent.  Returns the txn id."""
+    manager = bed.clients["client"].manager
+    holder = {}
+
+    def flow():
+        txn = manager.begin()
+        holder["txn"] = txn
+        yield txn.call("s1", "txn.stage_write", name="f", data=b"doomed",
+                       version=1, create=True)
+        yield txn.call("s2", "txn.stage_write", name="f", data=b"doomed",
+                       version=1, create=True)
+        # Phase 1 only: prepare both participants directly.
+        vote_one = yield txn.call("s1", "txn.prepare")
+        vote_two = yield txn.call("s2", "txn.prepare")
+        assert vote_one == vote_two == "prepared"
+        return txn
+
+    txn = bed.run(flow())
+    bed.network.host("client").crash()
+    return txn
+
+
+class TestCoordinatorCrash:
+    def test_participants_stay_in_doubt(self, bed):
+        txn = prepare_then_die(bed)
+        bed.settle(120_000.0)  # far beyond the idle sweeper
+        for server in ("s1", "s2"):
+            participant = bed.servers[server].participant
+            # Prepared state is binding: never swept, still pending.
+            assert (txn.txn_id in participant._active
+                    and participant._active[txn.txn_id].prepared)
+
+    def test_in_doubt_survives_participant_restart(self, bed):
+        txn = prepare_then_die(bed)
+        bed.crash("s1")
+        bed.restart("s1")
+        participant = bed.servers["s1"].participant
+        assert participant.in_doubt() == [txn.txn_id]
+
+    def test_in_doubt_blocks_conflicting_transactions(self, bed):
+        txn = prepare_then_die(bed)
+        bed.crash("s1")
+        bed.restart("s1")
+        bed.add_client("second")
+        manager = bed.clients["second"].manager
+
+        def conflicting():
+            other = manager.begin()
+            try:
+                yield other.call("s1", "txn.stage_write", name="f",
+                                 data=b"other", version=1, create=True,
+                                 timeout=300.0)
+                yield from other.commit()
+                return "committed"
+            except ReproError:
+                yield from other.abort()
+                return "blocked"
+
+        assert bed.run(conflicting()) == "blocked"
+
+    def test_operator_resolution_commit(self, bed):
+        txn = prepare_then_die(bed)
+        bed.crash("s1")
+        bed.restart("s1")
+        bed.add_client("operator")
+        endpoint = bed.clients["operator"].endpoint
+
+        def resolve():
+            for server in ("s1", "s2"):
+                ack = yield endpoint.call(server, "txn.commit",
+                                          timeout=1_000.0,
+                                          txn=str(txn.txn_id))
+                assert ack == "ack"
+
+        bed.run(resolve())
+        for server in ("s1", "s2"):
+            node = bed.servers[server]
+            assert node.server.fs.read_file_sync("f") == (b"doomed", 1)
+            assert node.participant.in_doubt() == []
+
+    def test_operator_resolution_abort(self, bed):
+        txn = prepare_then_die(bed)
+        bed.add_client("operator")
+        endpoint = bed.clients["operator"].endpoint
+
+        def resolve():
+            for server in ("s1", "s2"):
+                yield endpoint.call(server, "txn.abort", timeout=1_000.0,
+                                    txn=str(txn.txn_id))
+
+        bed.run(resolve())
+        for server in ("s1", "s2"):
+            assert not bed.servers[server].server.fs.exists("f")
+
+    def test_recovered_coordinator_can_finish(self, bed):
+        """The client restarts and re-drives phase 2 (the decision was
+        'all voted yes', which is recomputable: every participant holds
+        the prepared record)."""
+        txn = prepare_then_die(bed)
+        bed.network.host("client").restart()
+        manager = bed.clients["client"].manager
+
+        def finish():
+            for server in ("s1", "s2"):
+                ack = yield manager.endpoint.call(
+                    server, "txn.commit", timeout=1_000.0,
+                    txn=str(txn.txn_id))
+                assert ack == "ack"
+
+        bed.run(finish())
+        assert bed.servers["s1"].server.fs.read_file_sync("f") == \
+            (b"doomed", 1)

@@ -1,0 +1,137 @@
+"""The closed-form model and the paper's example table (experiment T1)."""
+
+import math
+
+import pytest
+
+from repro.core import (EXACT, EXPECTED, SuiteAnalysis, availability_sweep,
+                        example_analysis, example_configuration,
+                        paper_table, quorum_tradeoff)
+from tests.helpers import triple_config
+
+
+class TestPaperTable:
+    """The analytic model must reproduce Gifford's Section-3 table."""
+
+    @pytest.mark.parametrize("example", [1, 2, 3])
+    def test_read_latency(self, example):
+        analysis = example_analysis(example)
+        assert analysis.read_latency() == \
+            EXPECTED[example]["read_latency"]
+
+    @pytest.mark.parametrize("example", [1, 2, 3])
+    def test_write_latency(self, example):
+        analysis = example_analysis(example)
+        assert analysis.write_latency() == \
+            EXPECTED[example]["write_latency"]
+
+    @pytest.mark.parametrize("example", [1, 2, 3])
+    def test_read_blocking_probability_exact(self, example):
+        analysis = example_analysis(example)
+        assert analysis.read_blocking_probability() == \
+            pytest.approx(EXACT[example]["read_blocking"], rel=1e-12)
+
+    @pytest.mark.parametrize("example", [1, 2, 3])
+    def test_write_blocking_probability_exact(self, example):
+        analysis = example_analysis(example)
+        assert analysis.write_blocking_probability() == \
+            pytest.approx(EXACT[example]["write_blocking"], rel=1e-12)
+
+    @pytest.mark.parametrize("example", [1, 2, 3])
+    def test_blocking_matches_paper_rounding(self, example):
+        """The paper's printed (rounded) numbers are within 5% of exact."""
+        analysis = example_analysis(example)
+        assert analysis.read_blocking_probability() == pytest.approx(
+            EXPECTED[example]["read_blocking"], rel=0.05)
+        assert analysis.write_blocking_probability() == pytest.approx(
+            EXPECTED[example]["write_blocking"], rel=0.05)
+
+    def test_paper_table_shape(self):
+        table = paper_table()
+        assert [row["example"] for row in table] == [1.0, 2.0, 3.0]
+        for row in table:
+            assert set(row) == {"example", "read_latency", "read_blocking",
+                                "write_latency", "write_blocking"}
+
+    def test_example_configurations_validate(self):
+        for number in (1, 2, 3):
+            config = example_configuration(number)
+            config.validate()
+
+    def test_unknown_example_rejected(self):
+        with pytest.raises(ValueError):
+            example_configuration(4)
+
+
+class TestModelBehaviour:
+    def test_read_latency_without_weak_reps(self):
+        analysis = example_analysis(1)
+        # Ignoring the weak reps, the read must hit rep-1 at 75 ms.
+        assert analysis.read_latency(use_weak=False) == 75.0
+
+    def test_strict_read_accounting_adds_inquiry(self):
+        analysis = example_analysis(1)
+        inquiry = {"rep-1": 2.0, "rep-2": 1.0, "rep-3": 1.0}
+        assert analysis.read_latency_strict(inquiry) == 2.0 + 65.0
+
+    def test_mean_latency_interpolates(self):
+        analysis = example_analysis(3)
+        assert analysis.mean_latency(1.0) == 75.0
+        assert analysis.mean_latency(0.0) == 750.0
+        assert analysis.mean_latency(0.5) == pytest.approx((75 + 750) / 2)
+
+    def test_mean_latency_validates_fraction(self):
+        with pytest.raises(ValueError):
+            example_analysis(1).mean_latency(1.5)
+
+    def test_write_quorum_members_reported(self):
+        assert example_analysis(2).write_quorum_members() == \
+            ["rep-1", "rep-2"]
+
+    def test_availability_and_blocking_sum_to_one(self):
+        analysis = example_analysis(2)
+        assert analysis.read_availability() + \
+            analysis.read_blocking_probability() == pytest.approx(1.0)
+
+    def test_default_availability_scalar_broadcast(self):
+        analysis = SuiteAnalysis(triple_config(), availability=0.9)
+        assert analysis.availability == {
+            "rep-1": 0.9, "rep-2": 0.9, "rep-3": 0.9}
+
+    def test_per_rep_availability_map(self):
+        analysis = SuiteAnalysis(
+            triple_config(),
+            availability={"rep-1": 0.5, "rep-2": 0.9, "rep-3": 0.9})
+        # r=2: blocked unless >=2 up.
+        expected_up = (0.5 * 0.9 * 0.9 + 0.5 * 0.9 * 0.9
+                       + 0.5 * 0.1 * 0.9 + 0.5 * 0.9 * 0.1)
+        assert analysis.read_availability() == pytest.approx(expected_up)
+
+
+class TestSweeps:
+    def test_availability_sweep_monotone(self):
+        config = example_configuration(3)
+        latencies = {rep.rep_id: rep.latency_hint
+                     for rep in config.representatives}
+        rows = availability_sweep(config, latencies,
+                                  [0.5, 0.9, 0.99, 0.999])
+        read_blocking = [row[1] for row in rows]
+        write_blocking = [row[2] for row in rows]
+        assert read_blocking == sorted(read_blocking, reverse=True)
+        assert write_blocking == sorted(write_blocking, reverse=True)
+
+    def test_quorum_tradeoff_frontier(self):
+        config = triple_config(votes=(1, 1, 1, ), r=2, w=2)
+        rows = quorum_tradeoff(config, availability=0.9)
+        # Smaller r ⇒ higher read availability, and w=N hurts writes most.
+        by_rw = {(row["r"], row["w"]): row for row in rows}
+        assert by_rw[(1.0, 3.0)]["read_availability"] > \
+            by_rw[(3.0, 3.0)]["read_availability"]
+        assert by_rw[(2.0, 2.0)]["write_availability"] > \
+            by_rw[(1.0, 3.0)]["write_availability"]
+
+    def test_tradeoff_rows_all_valid(self):
+        config = triple_config()
+        for row in quorum_tradeoff(config, availability=0.99):
+            assert 0.0 <= row["read_availability"] <= 1.0
+            assert 0.0 <= row["write_availability"] <= 1.0

@@ -1,0 +1,98 @@
+"""Vote gathering over reply events."""
+
+import pytest
+
+from repro.core import gather_until, votes_predicate
+from repro.sim import Simulator
+
+
+class TestGatherUntil:
+    def test_stops_at_threshold(self, sim):
+        calls = {f"k{i}": sim.timeout(float(i), value=i) for i in range(5)}
+        votes = {f"k{i}": 1 for i in range(5)}
+
+        def flow():
+            result = yield from gather_until(
+                sim, calls, votes_predicate(2, votes.__getitem__))
+            return result
+
+        result = sim.run_process(flow())
+        assert result.satisfied
+        assert len(result.successes) == 2
+        assert sim.now == 1.0  # k0 at t=0, k1 at t=1
+
+    def test_failures_collected_not_raised(self, sim):
+        ok = sim.timeout(1.0, "fine")
+        bad = sim.event()
+        bad.fail(RuntimeError("down"))
+        calls = {"good": ok, "bad": bad}
+
+        def flow():
+            result = yield from gather_until(
+                sim, calls, lambda s, f: len(s) >= 1)
+            return result
+
+        result = sim.run_process(flow())
+        assert result.satisfied
+        assert "good" in result.successes or "bad" in result.failures
+
+    def test_unsatisfied_when_replies_run_out(self, sim):
+        bad1, bad2 = sim.event(), sim.event()
+        bad1.fail(ValueError("a"))
+        bad2.fail(ValueError("b"))
+
+        def flow():
+            result = yield from gather_until(
+                sim, {"x": bad1, "y": bad2}, lambda s, f: len(s) >= 1)
+            return result
+
+        result = sim.run_process(flow())
+        assert not result.satisfied
+        assert set(result.failures) == {"x", "y"}
+
+    def test_empty_calls_with_trivial_predicate(self, sim):
+        def flow():
+            result = yield from gather_until(sim, {}, lambda s, f: True)
+            return result
+
+        assert sim.run_process(flow()).satisfied
+
+    def test_empty_calls_unsatisfiable(self, sim):
+        def flow():
+            result = yield from gather_until(sim, {}, lambda s, f: False)
+            return result
+
+        assert not sim.run_process(flow()).satisfied
+
+    def test_weighted_predicate(self, sim):
+        calls = {
+            "heavy": sim.timeout(5.0, "h"),
+            "light1": sim.timeout(1.0, "l1"),
+            "light2": sim.timeout(2.0, "l2"),
+        }
+        weights = {"heavy": 2, "light1": 1, "light2": 1}
+
+        def flow():
+            result = yield from gather_until(
+                sim, calls, votes_predicate(2, weights.__getitem__))
+            return result
+
+        result = sim.run_process(flow())
+        # The two light responders arrive first and already hold 2 votes.
+        assert set(result.successes) == {"light1", "light2"}
+        assert sim.now == 2.0
+
+    def test_late_events_left_pending(self, sim):
+        slow = sim.timeout(100.0, "slow")
+        fast = sim.timeout(1.0, "fast")
+
+        def flow():
+            result = yield from gather_until(
+                sim, {"s": slow, "f": fast}, lambda s, f: len(s) >= 1)
+            return sim.now, result
+
+        now, result = sim.run_process(flow())
+        assert now == 1.0
+        assert "s" not in result.successes
+        sim.run()
+        assert slow.triggered  # still settles afterwards, harmlessly

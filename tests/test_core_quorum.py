@@ -1,0 +1,229 @@
+"""Quorum mathematics, including the intersection property under
+hypothesis-generated configurations."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (Representative, SuiteConfiguration,
+                        availability_of_votes, blocking_probability,
+                        cheapest_quorum, feasible_quorum_pairs, is_quorum,
+                        minimal_quorums, quorum_latency, quorums_intersect,
+                        votes_of)
+from repro.errors import InvalidConfigurationError
+
+
+def reps(*specs):
+    return [Representative(rep_id=f"r{i}", server=f"h{i}", votes=v,
+                           latency_hint=lat)
+            for i, (v, lat) in enumerate(specs)]
+
+
+class TestBasics:
+    def test_votes_of(self):
+        assert votes_of(reps((2, 0), (1, 0), (0, 0))) == 3
+
+    def test_is_quorum(self):
+        group = reps((2, 0), (1, 0))
+        assert is_quorum(group, 3)
+        assert not is_quorum(group, 4)
+
+
+class TestCheapestQuorum:
+    def test_prefers_fast_representatives(self):
+        group = reps((1, 30.0), (1, 10.0), (1, 20.0))
+        quorum = cheapest_quorum(group, 2)
+        assert sorted(r.rep_id for r in quorum) == ["r1", "r2"]
+
+    def test_weighted_holder_can_cover_alone(self):
+        group = reps((2, 75.0), (1, 100.0), (1, 750.0))
+        quorum = cheapest_quorum(group, 2)
+        assert [r.rep_id for r in quorum] == ["r0"]
+
+    def test_trims_redundant_members(self):
+        # Sorted by latency: r0 (1 vote, 1ms), r1 (3 votes, 2ms): prefix
+        # scanning picks both, but r0 becomes redundant once r1 joins.
+        group = reps((1, 1.0), (3, 2.0))
+        quorum = cheapest_quorum(group, 3)
+        assert [r.rep_id for r in quorum] == ["r1"]
+
+    def test_weak_reps_never_chosen(self):
+        group = reps((0, 0.0), (1, 50.0))
+        quorum = cheapest_quorum(group, 1)
+        assert [r.rep_id for r in quorum] == ["r1"]
+
+    def test_insufficient_votes_raises(self):
+        with pytest.raises(InvalidConfigurationError):
+            cheapest_quorum(reps((1, 0.0)), 2)
+
+    def test_explicit_cost_map_overrides_hints(self):
+        group = reps((1, 10.0), (1, 20.0))
+        quorum = cheapest_quorum(group, 1, cost={"r0": 99.0, "r1": 1.0})
+        assert [r.rep_id for r in quorum] == ["r1"]
+
+    def test_quorum_latency_is_max_member(self):
+        group = reps((1, 75.0), (1, 100.0), (1, 750.0))
+        assert quorum_latency(group, 2) == 100.0
+        assert quorum_latency(group, 3) == 750.0
+
+
+class TestMinimalQuorums:
+    def test_equal_votes(self):
+        group = reps((1, 0), (1, 0), (1, 0))
+        quorums = minimal_quorums(group, 2)
+        assert len(quorums) == 3
+        assert all(len(q) == 2 for q in quorums)
+
+    def test_weighted(self):
+        group = reps((2, 0), (1, 0), (1, 0))
+        quorums = {frozenset(q) for q in minimal_quorums(group, 2)}
+        assert frozenset({"r0"}) in quorums
+        assert frozenset({"r1", "r2"}) in quorums
+        assert len(quorums) == 2
+
+    def test_minimality(self):
+        group = reps((2, 0), (2, 0), (1, 0))
+        for quorum in minimal_quorums(group, 3):
+            members = [r for r in group if r.rep_id in quorum]
+            total = votes_of(members)
+            assert total >= 3
+            for member in members:
+                assert total - member.votes < 3
+
+
+class TestAvailability:
+    def test_single_rep(self):
+        group = reps((1, 0))
+        assert availability_of_votes(group, {"r0": 0.99}, 1) == \
+            pytest.approx(0.99)
+
+    def test_paper_example2_read(self):
+        group = reps((2, 0), (1, 0), (1, 0))
+        p = {f"r{i}": 0.99 for i in range(3)}
+        assert blocking_probability(group, p, 2) == \
+            pytest.approx(0.01 * (1 - 0.99 ** 2))
+
+    def test_paper_example3_write(self):
+        group = reps((1, 0), (1, 0), (1, 0))
+        p = {f"r{i}": 0.99 for i in range(3)}
+        assert blocking_probability(group, p, 3) == \
+            pytest.approx(1 - 0.99 ** 3)
+
+    def test_heterogeneous_availability(self):
+        group = reps((1, 0), (1, 0))
+        p = {"r0": 0.5, "r1": 0.8}
+        # Need both (threshold 2): 0.4
+        assert availability_of_votes(group, p, 2) == pytest.approx(0.4)
+        # Need either: 1 - 0.5*0.2
+        assert availability_of_votes(group, p, 1) == pytest.approx(0.9)
+
+    def test_threshold_zero_always_available(self):
+        group = reps((1, 0))
+        assert availability_of_votes(group, {"r0": 0.1}, 0) == 1.0
+
+    def test_missing_availability_rejected(self):
+        with pytest.raises(KeyError):
+            availability_of_votes(reps((1, 0)), {}, 1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            availability_of_votes(reps((1, 0)), {"r0": 1.5}, 1)
+
+    def test_brute_force_agreement(self):
+        """DP result equals explicit enumeration over up/down outcomes."""
+        group = reps((2, 0), (1, 0), (3, 0), (1, 0))
+        p = {"r0": 0.9, "r1": 0.8, "r2": 0.7, "r3": 0.6}
+        threshold = 4
+        expected = 0.0
+        for outcome in itertools.product([True, False], repeat=4):
+            probability = 1.0
+            votes = 0
+            for rep, up in zip(group, outcome):
+                probability *= p[rep.rep_id] if up else 1 - p[rep.rep_id]
+                if up:
+                    votes += rep.votes
+            if votes >= threshold:
+                expected += probability
+        assert availability_of_votes(group, p, threshold) == \
+            pytest.approx(expected)
+
+
+class TestFeasiblePairs:
+    def test_all_pairs_satisfy_rules(self):
+        for total in range(1, 8):
+            for r, w in feasible_quorum_pairs(total):
+                assert r + w > total
+                assert 2 * w > total
+                assert 1 <= r <= total and 1 <= w <= total
+
+    def test_pairs_are_exhaustive(self):
+        total = 5
+        pairs = set(feasible_quorum_pairs(total))
+        for r in range(1, total + 1):
+            for w in range(1, total + 1):
+                if r + w > total and 2 * w > total:
+                    assert (r, w) in pairs
+
+
+# --------------------------------------------------------------------------
+# Property-based: the intersection property holds for every configuration
+# that passes validation, and fails whenever validation would reject.
+# --------------------------------------------------------------------------
+
+vote_lists = st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                      max_size=5).filter(lambda v: sum(v) > 0)
+
+
+@st.composite
+def valid_configurations(draw):
+    votes = draw(vote_lists)
+    total = sum(votes)
+    w = draw(st.integers(min_value=total // 2 + 1, max_value=total))
+    r = draw(st.integers(min_value=total - w + 1, max_value=total))
+    representatives = tuple(
+        Representative(rep_id=f"r{i}", server=f"h{i}", votes=v)
+        for i, v in enumerate(votes))
+    return SuiteConfiguration(suite_name="prop",
+                              representatives=representatives,
+                              read_quorum=r, write_quorum=w)
+
+
+class TestIntersectionProperty:
+    @given(valid_configurations())
+    @settings(max_examples=80, deadline=None)
+    def test_every_valid_configuration_intersects(self, config):
+        assert quorums_intersect(config)
+
+    @given(vote_lists, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_rule_violations_break_intersection(self, votes, data):
+        """If r+w <= N there exist disjoint read and write quorums
+        (whenever both thresholds are individually reachable)."""
+        total = sum(votes)
+        if total < 2:
+            return
+        w = data.draw(st.integers(min_value=1, max_value=total - 1))
+        r = data.draw(st.integers(min_value=1, max_value=total - w))
+        representatives = tuple(
+            Representative(rep_id=f"r{i}", server=f"h{i}", votes=v)
+            for i, v in enumerate(votes))
+        voting = [rep for rep in representatives if rep.votes > 0]
+        # Find a read quorum and check the complement can hold a write
+        # quorum — a direct witness of non-intersection when one exists.
+        witness = False
+        for size in range(len(voting) + 1):
+            for combo in itertools.combinations(voting, size):
+                if votes_of(combo) >= r:
+                    rest = [rep for rep in voting if rep not in combo]
+                    if votes_of(rest) >= w:
+                        witness = True
+                        break
+            if witness:
+                break
+        # A disjoint pair can only exist when the totals allow a split;
+        # and with unit votes the split is always realizable.
+        if witness:
+            assert total >= r + w
+        if total >= r + w and all(v <= 1 for v in votes):
+            assert witness

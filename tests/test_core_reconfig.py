@@ -1,0 +1,121 @@
+"""Live reconfiguration of vote assignments."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.core import (Representative, SuiteConfiguration,
+                        change_configuration, make_configuration)
+from repro.errors import InvalidConfigurationError
+from repro.testbed import Testbed
+
+
+class TestBasicReconfiguration:
+    def test_quorum_change(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        new = triple_config(r=1, w=3)
+        installed = bed.run(change_configuration(suite, new))
+        assert installed.config_version == 2
+        assert suite.config.read_quorum == 1
+        assert bed.run(suite.read()).data == b"data"
+        assert bed.run(suite.write(b"after")).version > 1
+
+    def test_vote_change(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        new = triple_config(votes=(2, 1, 1), r=2, w=3)
+        installed = bed.run(change_configuration(suite, new))
+        assert installed.total_votes == 4
+        write = bed.run(suite.write(b"weighted"))
+        # rep-1 (2 votes) + rep-2 form the cheapest 3-vote quorum
+        assert write.quorum == ["rep-1", "rep-2"]
+
+    def test_wrong_suite_name_rejected(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        other = triple_config(name="other")
+        with pytest.raises(InvalidConfigurationError):
+            bed.run(change_configuration(suite, other))
+
+    def test_config_version_monotonic_over_changes(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        for r, w in ((1, 3), (2, 2), (2, 3)):
+            bed.run(change_configuration(suite, triple_config(r=r, w=w)))
+        assert suite.config.config_version == 4
+
+    def test_data_version_bumped_by_reconfig(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        before = bed.run(suite.current_version())
+        bed.run(change_configuration(suite, triple_config(r=1, w=3)))
+        after = bed.run(suite.current_version())
+        assert after == before + 1
+
+
+class TestPropagation:
+    def test_stale_client_adopts_new_configuration(self, bed):
+        old = triple_config()
+        suite = bed.install(old, b"data")
+        bed.run(change_configuration(suite, triple_config(r=1, w=3)))
+        bed.settle()
+        stale_client = bed.suite(old)
+        result = bed.run(stale_client.read())
+        assert result.data == b"data"
+        assert stale_client.config.config_version == 2
+        assert stale_client.config.write_quorum == 3
+        assert bed.metrics.counter("suite.config_refreshes").value >= 1
+
+    def test_all_reps_carry_new_stamp_after_settle(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        bed.run(change_configuration(suite, triple_config(r=1, w=3)))
+        bed.settle()
+        for node in bed.servers.values():
+            properties = node.server.fs.stat("suite:db").properties
+            assert properties["stamp"] == 2
+
+    def test_reconfig_with_one_server_down(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        bed.crash("s3")
+        installed = bed.run(
+            change_configuration(suite, triple_config(r=1, w=3)))
+        assert installed.config_version == 2
+        bed.restart("s3")
+        bed.settle(30_000.0)
+        # s3 catches up through background refresh.
+        assert bed.servers["s3"].server.fs.stat(
+            "suite:db").properties["stamp"] == 2
+
+
+class TestMembershipChange:
+    def test_add_representative(self, bed):
+        bed.add_server("s4")
+        suite = bed.install(triple_config(), b"data")
+        reps = suite.config.representatives + (
+            Representative(rep_id="rep-4", server="s4", votes=1,
+                           latency_hint=5.0),)
+        new = SuiteConfiguration(suite_name="db", representatives=reps,
+                                 read_quorum=2, write_quorum=3)
+        installed = bed.run(change_configuration(suite, new))
+        assert installed.total_votes == 4
+        assert bed.servers["s4"].server.fs.exists("suite:db")
+        assert bed.run(suite.read()).data == b"data"
+
+    def test_remove_representative(self, bed):
+        suite = bed.install(triple_config(), b"data")
+        new = SuiteConfiguration(
+            suite_name="db",
+            representatives=suite.config.representatives[:2],
+            read_quorum=1, write_quorum=2)
+        installed = bed.run(change_configuration(suite, new))
+        assert len(installed.representatives) == 2
+        bed.settle()
+        # The removed representative's copy is deleted best-effort.
+        assert not bed.servers["s3"].server.fs.exists("suite:db")
+        assert bed.run(suite.write(b"post")).version > 1
+
+    def test_demote_to_weak(self, bed):
+        suite = bed.install(triple_config(latencies=(10.0, 20.0, 1.0)),
+                            b"data")
+        new = triple_config(votes=(1, 1, 0), r=1, w=2,
+                            latencies=(10.0, 20.0, 1.0))
+        bed.run(change_configuration(suite, new))
+        bed.settle()
+        result = bed.run(suite.read())
+        # The demoted, now-weak representative is the fastest current one.
+        assert result.served_by == "rep-3"

@@ -1,0 +1,102 @@
+"""Background refresh: convergence, monotonicity, dedup, ablation."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.testbed import Testbed
+
+
+def versions(bed, suite_name="db"):
+    return {name: node.server.fs.stat(f"suite:{suite_name}").version
+            for name, node in bed.servers.items()
+            if node.server.fs.exists(f"suite:{suite_name}")}
+
+
+class TestConvergence:
+    def test_all_reps_current_after_settle(self, bed):
+        suite = bed.install(triple_config(), b"v1")
+        for i in range(4):
+            bed.run(suite.write(f"v{i + 2}".encode()))
+        bed.settle()
+        assert set(versions(bed).values()) == {5}
+
+    def test_refresh_counts_reported(self, bed):
+        suite = bed.install(triple_config(), b"v1")
+        bed.run(suite.write(b"v2"))
+        bed.settle()
+        assert bed.metrics.counter("refresh.scheduled").value >= 1
+        assert bed.metrics.counter("refresh.completed").value >= 1
+
+    def test_weak_reps_refreshed_too(self, bed):
+        config = triple_config(votes=(1, 1, 0), r=1, w=2)
+        suite = bed.install(config, b"v1")
+        bed.run(suite.write(b"v2"))
+        bed.settle()
+        assert versions(bed)["s3"] == 2
+
+    def test_refresh_recovers_after_target_restart(self, bed):
+        suite = bed.install(triple_config(), b"v1")
+        suite.refresher.retry_backoff = 200.0
+        bed.crash("s3")
+        bed.run(suite.write(b"v2"))
+        bed.settle(100.0)
+        bed.restart("s3")
+        bed.settle(10_000.0)
+        assert versions(bed)["s3"] == 2
+
+
+class TestMonotonicity:
+    def test_refresh_never_regresses_version(self, bed):
+        """A refresh for an old version must not clobber a newer write
+        that landed on the target meanwhile (only_if_newer guard)."""
+        suite = bed.install(triple_config(), b"v1")
+        # Leave rep-3 stale at v1, then immediately write again with a
+        # quorum that *includes* rep-3 before the refresh runs.
+        suite.refresher.delay = 500.0
+        bed.run(suite.write(b"v2"))            # quorum s1+s2 (cheapest)
+        bed.crash("s1")
+        bed.run(suite.write(b"v3"))            # quorum s2+s3
+        bed.restart("s1")
+        bed.settle(20_000.0)
+        final = versions(bed)
+        assert final["s2"] == 3
+        assert final["s3"] == 3  # not regressed to 2 by the refresher
+        read = bed.run(suite.read())
+        assert read.data == b"v3"
+
+
+class TestDeduplication:
+    def test_inflight_refresh_not_duplicated(self, bed):
+        suite = bed.install(triple_config(), b"v1")
+        suite.refresher.delay = 1_000.0
+        bed.run(suite.write(b"v2"))
+        scheduled_before = bed.metrics.counter("refresh.scheduled").value
+        # Reads that notice the same stale rep must not re-schedule it.
+        bed.crash("s1")
+        bed.run(suite.read())
+        bed.run(suite.read())
+        assert bed.metrics.counter("refresh.scheduled").value == \
+            scheduled_before
+        bed.restart("s1")
+        bed.settle(30_000.0)
+
+
+class TestAblation:
+    def test_disabled_refresher_counts_drops(self):
+        bed = Testbed(servers=["s1", "s2", "s3"], refresh_enabled=False)
+        suite = bed.install(triple_config(), b"v1")
+        bed.run(suite.write(b"v2"))
+        bed.settle()
+        assert bed.metrics.counter("refresh.dropped").value >= 1
+        assert versions(bed)["s3"] == 1
+
+    def test_disabled_refresh_still_correct_reads(self):
+        """Staleness is a performance problem, never a correctness one:
+        with refresh off, reads still return the latest committed data."""
+        bed = Testbed(servers=["s1", "s2", "s3"], refresh_enabled=False)
+        suite = bed.install(triple_config(), b"v1")
+        for i in range(5):
+            bed.run(suite.write(f"v{i + 2}".encode()))
+        bed.crash("s1")  # push reads onto the staler members
+        result = bed.run(suite.read())
+        assert result.data == b"v6"

@@ -1,0 +1,146 @@
+"""The vote-assignment tuner."""
+
+import pytest
+
+from repro.core.tuning import (Candidate, ServerProfile, best_configuration,
+                               enumerate_configurations, pareto_front,
+                               score, tune)
+from repro.errors import InvalidConfigurationError
+
+FAST = ServerProfile("fast", latency=10.0, availability=0.99)
+MID = ServerProfile("mid", latency=50.0, availability=0.99)
+SLOW = ServerProfile("slow", latency=200.0, availability=0.99)
+
+
+class TestProfiles:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerProfile("x", latency=-1.0, availability=0.9)
+        with pytest.raises(ValueError):
+            ServerProfile("x", latency=1.0, availability=0.0)
+        with pytest.raises(ValueError):
+            ServerProfile("x", latency=1.0, availability=1.5)
+
+
+class TestEnumeration:
+    def test_all_yielded_configurations_valid(self):
+        for config in enumerate_configurations([FAST, MID],
+                                               max_votes_per_rep=2):
+            config.validate()
+
+    def test_empty_server_list_yields_nothing(self):
+        assert list(enumerate_configurations([])) == []
+
+    def test_allow_weak_controls_zero_votes(self):
+        with_weak = list(enumerate_configurations([FAST, MID],
+                                                  max_votes_per_rep=1,
+                                                  allow_weak=True))
+        without = list(enumerate_configurations([FAST, MID],
+                                                max_votes_per_rep=1,
+                                                allow_weak=False))
+        assert any(any(rep.weak for rep in config.representatives)
+                   for config in with_weak)
+        assert not any(any(rep.weak for rep in config.representatives)
+                       for config in without)
+        assert len(with_weak) > len(without)
+
+    def test_space_size_single_server(self):
+        configs = list(enumerate_configurations([FAST],
+                                                max_votes_per_rep=2))
+        # votes=1: (r,w)=(1,1); votes=2: w=2 r∈{1,2} → 3 total.
+        assert len(configs) == 3
+
+
+class TestScoring:
+    def test_candidate_fields_consistent(self):
+        config = next(enumerate_configurations([FAST, MID, SLOW]))
+        candidate = score(config, [FAST, MID, SLOW], read_fraction=0.5)
+        assert candidate.mean_latency == pytest.approx(
+            0.5 * candidate.read_latency + 0.5 * candidate.write_latency)
+
+    def test_dominance(self):
+        config = next(enumerate_configurations([FAST]))
+        better = Candidate(config, 1.0, 1.0, 0.99, 0.99, 1.0)
+        worse = Candidate(config, 2.0, 2.0, 0.9, 0.9, 2.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(better)
+
+
+class TestParetoFront:
+    def test_front_has_no_dominated_members(self):
+        front = tune([FAST, MID, SLOW], read_fraction=0.8)
+        for candidate in front:
+            assert not any(other.dominates(candidate)
+                           for other in front)
+
+    def test_front_sorted_by_mean_latency(self):
+        front = tune([FAST, MID], read_fraction=0.5)
+        latencies = [candidate.mean_latency for candidate in front]
+        assert latencies == sorted(latencies)
+
+
+class TestBestConfiguration:
+    def test_read_heavy_concentrates_votes_near_reader(self):
+        """With reads dominant and no availability floor, the optimum
+        is a single vote on the fastest server plus weak reps —
+        the shape of the paper's Example 1."""
+        best = best_configuration([FAST, MID, SLOW], read_fraction=0.95)
+        by_server = {rep.server: rep.votes
+                     for rep in best.config.representatives}
+        assert by_server["fast"] >= 1
+        assert by_server["mid"] == by_server["slow"] == 0
+        assert best.quorums == (1, 1)
+        assert best.read_latency == 10.0
+
+    def test_availability_floor_forces_replication(self):
+        best = best_configuration(
+            [FAST, MID, SLOW], read_fraction=0.95,
+            min_read_availability=0.999,
+            min_write_availability=0.999)
+        voting = [rep for rep in best.config.representatives
+                  if rep.votes > 0]
+        assert len(voting) >= 2
+        assert best.read_availability >= 0.999
+        assert best.write_availability >= 0.999
+
+    def test_impossible_constraints_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            best_configuration([FAST], read_fraction=0.5,
+                               min_write_availability=0.999999)
+
+    def test_paper_example2_shape_emerges(self):
+        """Example 2's setting: a fast local server, a medium and a
+        slow remote one, mostly-read workload, availability floors
+        that one server cannot meet.  The optimum weights the local
+        server so reads complete there alone — the paper's <2,1,1>
+        r=2 idea."""
+        local = ServerProfile("local", latency=75.0, availability=0.99)
+        near = ServerProfile("near", latency=100.0, availability=0.99)
+        far = ServerProfile("far", latency=750.0, availability=0.99)
+        best = best_configuration(
+            [local, near, far], read_fraction=0.9,
+            min_read_availability=0.999,
+            min_write_availability=0.98)
+        by_server = {rep.server: rep.votes
+                     for rep in best.config.representatives}
+        # Reads must be satisfiable by the local server alone...
+        assert by_server["local"] >= best.config.read_quorum
+        # ...and its latency is therefore the local transfer time.
+        assert best.read_latency == 75.0
+        assert best.read_availability >= 0.999
+
+    def test_write_heavy_avoids_write_all(self):
+        best = best_configuration(
+            [FAST, MID, SLOW], read_fraction=0.1,
+            min_read_availability=0.99, min_write_availability=0.99)
+        # Write-all over three servers would cost 200 ms and ~0.97
+        # availability; the optimum must do better on both.
+        assert best.write_latency < 200.0
+        assert best.write_availability >= 0.99
+
+    def test_deterministic_tie_break(self):
+        first = best_configuration([FAST, MID], read_fraction=0.5)
+        second = best_configuration([FAST, MID], read_fraction=0.5)
+        assert first.votes == second.votes
+        assert first.quorums == second.quorums

@@ -1,0 +1,123 @@
+"""Vote assignments and suite configuration validation."""
+
+import pytest
+
+from repro.core import Representative, SuiteConfiguration, make_configuration
+from repro.errors import InvalidConfigurationError
+
+
+def rep(rep_id, server, votes, latency=0.0):
+    return Representative(rep_id=rep_id, server=server, votes=votes,
+                          latency_hint=latency)
+
+
+def config(votes, r, w, name="s"):
+    reps = tuple(rep(f"r{i}", f"h{i}", v) for i, v in enumerate(votes))
+    return SuiteConfiguration(suite_name=name, representatives=reps,
+                              read_quorum=r, write_quorum=w)
+
+
+class TestRepresentative:
+    def test_weak_iff_zero_votes(self):
+        assert rep("a", "h", 0).weak
+        assert not rep("a", "h", 1).weak
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            rep("a", "h", -1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            rep("a", "h", 1, latency=-5.0)
+
+    def test_json_round_trip(self):
+        original = rep("a", "h", 2, latency=7.5)
+        assert Representative.from_json(original.to_json()) == original
+
+
+class TestValidation:
+    def test_paper_examples_valid(self):
+        config((1, 0, 0), 1, 1)
+        config((2, 1, 1), 2, 3)
+        config((1, 1, 1), 1, 3)
+
+    def test_read_write_quorums_must_overlap(self):
+        with pytest.raises(InvalidConfigurationError, match="r \\+ w"):
+            config((1, 1, 1), 1, 2)  # r+w = 3 = N
+
+    def test_write_quorums_must_overlap_each_other(self):
+        with pytest.raises(InvalidConfigurationError, match="2w"):
+            config((1, 1, 1, 1), 3, 2)  # 2w = 4 = N
+
+    def test_zero_read_quorum_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            config((1, 1, 1), 0, 3)
+
+    def test_quorum_above_total_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            config((1, 1, 1), 4, 3)
+
+    def test_all_weak_rejected(self):
+        with pytest.raises(InvalidConfigurationError, match="one representative"):
+            config((0, 0), 1, 1)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            SuiteConfiguration(suite_name="s", representatives=(),
+                               read_quorum=1, write_quorum=1)
+
+    def test_duplicate_rep_ids_rejected(self):
+        reps = (rep("same", "h1", 1), rep("same", "h2", 1))
+        with pytest.raises(InvalidConfigurationError, match="duplicate"):
+            SuiteConfiguration(suite_name="s", representatives=reps,
+                               read_quorum=1, write_quorum=2)
+
+    def test_two_reps_on_one_server_rejected(self):
+        reps = (rep("a", "h1", 1), rep("b", "h1", 1))
+        with pytest.raises(InvalidConfigurationError, match="server"):
+            SuiteConfiguration(suite_name="s", representatives=reps,
+                               read_quorum=1, write_quorum=2)
+
+
+class TestDerived:
+    def test_totals_and_partitions(self):
+        cfg = config((2, 1, 0), 2, 2)
+        assert cfg.total_votes == 3
+        assert [r.rep_id for r in cfg.voting] == ["r0", "r1"]
+        assert [r.rep_id for r in cfg.weak] == ["r2"]
+
+    def test_file_name_derivation(self):
+        assert config((1,), 1, 1, name="db").file_name == "suite:db"
+
+    def test_lookup_by_id_and_server(self):
+        cfg = config((1, 1, 1), 2, 2)
+        assert cfg.representative("r1").server == "h1"
+        assert cfg.on_server("h2").rep_id == "r2"
+        assert cfg.on_server("nowhere") is None
+        with pytest.raises(KeyError):
+            cfg.representative("ghost")
+
+    def test_json_round_trip(self):
+        cfg = config((2, 1, 1), 2, 3)
+        assert SuiteConfiguration.from_json(cfg.to_json()) == cfg
+
+    def test_evolve_bumps_config_version(self):
+        cfg = config((1, 1, 1), 2, 2)
+        evolved = cfg.evolve(read_quorum=3, write_quorum=2)
+        assert evolved.config_version == cfg.config_version + 1
+        assert evolved.read_quorum == 3
+
+    def test_evolve_validates(self):
+        cfg = config((1, 1, 1), 2, 2)
+        with pytest.raises(InvalidConfigurationError):
+            cfg.evolve(read_quorum=1, write_quorum=1)
+
+
+class TestMakeConfiguration:
+    def test_builds_from_pairs(self):
+        cfg = make_configuration("db", [("a", 2), ("b", 1), ("c", 0)],
+                                 read_quorum=2, write_quorum=2,
+                                 latency_hints={"a": 5.0})
+        assert cfg.total_votes == 3
+        assert cfg.representative("rep-a").latency_hint == 5.0
+        assert cfg.representative("rep-c").weak

@@ -1,0 +1,168 @@
+"""The replicated suite directory."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.core import install_suite, make_configuration
+from repro.directory import (DirectoryError, SuiteDirectory,
+                             decode_directory, empty_directory_data,
+                             encode_directory)
+from repro.core.reconfig import change_configuration
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def directory(bed):
+    dir_config = make_configuration(
+        "__directory__", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+        latency_hints={"s1": 5.0, "s2": 6.0, "s3": 7.0})
+    suite = bed.install(dir_config, empty_directory_data())
+    return SuiteDirectory(suite)
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        entries = {"db": triple_config().to_json()}
+        assert decode_directory(encode_directory(entries)) == entries
+
+    def test_empty(self):
+        assert decode_directory(empty_directory_data()) == {}
+        assert decode_directory(b"") == {}
+
+
+class TestBindings:
+    def test_bind_and_lookup(self, bed, directory):
+        config = triple_config(name="app-data")
+
+        def flow():
+            yield from directory.bind(config)
+            found = yield from directory.lookup("app-data")
+            return found
+
+        assert bed.run(flow()) == config
+
+    def test_lookup_unknown_raises(self, bed, directory):
+        def flow():
+            try:
+                yield from directory.lookup("ghost")
+            except DirectoryError:
+                return "missing"
+
+        assert bed.run(flow()) == "missing"
+
+    def test_bind_no_replace_rejects_duplicate(self, bed, directory):
+        config = triple_config(name="once")
+
+        def flow():
+            yield from directory.bind(config)
+            try:
+                yield from directory.bind(config, replace=False)
+                return "rebound"
+            except DirectoryError:
+                return "refused"
+
+        assert bed.run(flow()) == "refused"
+
+    def test_bind_refuses_configuration_regression(self, bed, directory):
+        newer = triple_config(name="svc").evolve(read_quorum=1,
+                                                 write_quorum=3)
+        older = triple_config(name="svc")
+
+        def flow():
+            yield from directory.bind(newer)
+            try:
+                yield from directory.bind(older)
+                return "regressed"
+            except DirectoryError:
+                return "refused"
+
+        assert bed.run(flow()) == "refused"
+
+    def test_unbind(self, bed, directory):
+        config = triple_config(name="temp")
+
+        def flow():
+            yield from directory.bind(config)
+            yield from directory.unbind("temp")
+            names = yield from directory.list_suites()
+            return names
+
+        assert bed.run(flow()) == []
+
+    def test_unbind_unknown_raises(self, bed, directory):
+        def flow():
+            try:
+                yield from directory.unbind("ghost")
+            except DirectoryError:
+                return "missing"
+
+        assert bed.run(flow()) == "missing"
+
+    def test_list_suites_sorted(self, bed, directory):
+        def flow():
+            for name in ("zeta", "alpha"):
+                yield from directory.bind(triple_config(name=name))
+            return (yield from directory.list_suites())
+
+        assert bed.run(flow()) == ["alpha", "zeta"]
+
+
+class TestOpenSuite:
+    def test_open_returns_working_handle(self, bed, directory):
+        config = triple_config(name="app")
+        app_suite = bed.install(config, b"payload")
+
+        def flow():
+            yield from directory.bind(config)
+            handle = yield from directory.open_suite("app")
+            result = yield from handle.read()
+            return result.data
+
+        assert bed.run(flow()) == b"payload"
+
+    def test_stale_directory_entry_still_works(self, bed, directory):
+        """A client bootstrapping from a pre-reconfiguration entry
+        reaches the suite and adopts the newer configuration."""
+        config = triple_config(name="app")
+        app_suite = bed.install(config, b"payload")
+
+        def flow():
+            yield from directory.bind(config)
+            # Reconfigure the suite *without* updating the directory.
+            new_config = triple_config(name="app", r=1, w=3)
+            yield from change_configuration(app_suite, new_config)
+            handle = yield from directory.open_suite("app")
+            result = yield from handle.read()
+            return result.data, handle.config.config_version
+
+        data, adopted_version = bed.run(flow())
+        assert data == b"payload"
+        assert adopted_version == 2
+
+    def test_directory_survives_server_crash(self, bed, directory):
+        config = triple_config(name="app")
+
+        def flow():
+            yield from directory.bind(config)
+            bed.crash("s2")
+            found = yield from directory.lookup("app")
+            return found.suite_name
+
+        assert bed.run(flow()) == "app"
+
+
+class TestConcurrentBinds:
+    def test_two_clients_bind_different_names(self, bed, directory):
+        bed.add_client("other")
+        dir_two = SuiteDirectory(
+            bed.suite(directory.suite.config, client="other"))
+
+        def race():
+            first = bed.sim.spawn(
+                directory.bind(triple_config(name="from-main")))
+            second = bed.sim.spawn(
+                dir_two.bind(triple_config(name="from-other")))
+            yield bed.sim.all_of([first, second])
+            return (yield from directory.list_suites())
+
+        assert bed.run(race()) == ["from-main", "from-other"]

@@ -1,0 +1,159 @@
+"""Gap-filling edge cases across the stack."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.core.suite import FileSuiteClient
+from repro.errors import QuorumUnavailableError, TransactionAborted
+from repro.rpc import Reply, Request, RpcEndpoint
+from repro.sim import Network, RandomStreams, Simulator
+from repro.sim.network import estimate_size
+from repro.testbed import Testbed
+
+
+class TestEstimateSizeEdges:
+    def test_none_and_bools(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 8
+
+    def test_deep_nesting_capped(self):
+        nested = "leaf"
+        for _ in range(20):
+            nested = [nested]
+        assert estimate_size(nested) > 0  # no recursion error
+
+    def test_request_includes_bulk_args(self):
+        request = Request(call_id=1, source="c", method="m",
+                          args={"data": b"x" * 500})
+        assert estimate_size(request) >= 500
+
+    def test_set_and_tuple(self):
+        assert estimate_size(({1, 2}, (3, 4))) >= 8
+
+
+class TestReplyCacheEviction:
+    def test_completed_cache_bounded(self, sim, network):
+        client = RpcEndpoint(sim, network.add_host("c"))
+        server = RpcEndpoint(sim, network.add_host("s"))
+        server._completed_capacity = 5
+        server.register("ping", lambda: "pong")
+
+        def flow():
+            for _ in range(20):
+                yield client.call("s", "ping")
+
+        sim.run_process(flow())
+        sim.run()
+        assert len(server._completed) <= 5
+
+
+class TestSuiteEdges:
+    def test_weak_inquiry_timeout_defaults_to_inquiry(self, bed):
+        suite = bed.suite(triple_config(), inquiry_timeout=321.0)
+        assert suite.weak_inquiry_timeout == 321.0
+
+    def test_explicit_weak_inquiry_timeout(self, bed):
+        suite = bed.suite(triple_config(), inquiry_timeout=321.0,
+                          weak_inquiry_timeout=55.0)
+        assert suite.weak_inquiry_timeout == 55.0
+
+    def test_transact_retries_on_quorum_loss(self, bed):
+        suite = bed.install(triple_config(), b"0")
+        suite.retry_backoff = 300.0
+        bed.crash("s1")
+        bed.crash("s2")
+
+        def heal():
+            yield bed.sim.timeout(500.0)
+            bed.restart("s1")
+
+        bed.sim.spawn(heal(), name="healer")
+
+        def increment(txn):
+            current = yield from suite.read_in(txn, for_update=True)
+            value = int(current.data) + 1
+            yield from suite.write_in(txn, str(value).encode())
+            return value
+
+        assert bed.run(suite.transact(increment)) == 1
+
+    def test_transact_propagates_final_failure(self, bed):
+        suite = bed.install(triple_config(), b"0")
+        suite.max_attempts = 1
+        suite.inquiry_timeout = 60.0
+        bed.crash("s1")
+        bed.crash("s2")
+
+        def nop(txn):
+            yield from suite.read_in(txn)
+            return None
+
+        with pytest.raises(QuorumUnavailableError):
+            bed.run(suite.transact(nop))
+
+    def test_current_version_with_weak_reps_excluded(self, bed):
+        config = triple_config(votes=(1, 1, 0), r=1, w=2)
+        suite = bed.install(config, b"x")
+        bed.run(suite.write(b"y"))
+        assert bed.run(suite.current_version()) == 2
+
+    def test_install_empty_data(self, bed):
+        suite = bed.install(triple_config())
+        result = bed.run(suite.read())
+        assert result.data == b""
+        assert result.version == 1
+
+
+class TestRefreshEdges:
+    def test_abandoned_refresh_counted(self):
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=95,
+                      call_timeout=150.0)
+        suite = bed.install(triple_config(), b"x")
+        suite.refresher.max_attempts = 2
+        suite.refresher.retry_backoff = 50.0
+        suite.data_timeout = 300.0
+        # Make the refresh target permanently unreachable: the quorum
+        # write succeeds but s3 never comes back.
+        bed.run(suite.write(b"y"))
+        bed.crash("s3")
+        bed.settle(30_000.0)
+        # Either the refresh landed before the crash or was abandoned;
+        # both are accounted for, nothing is stuck in-flight.
+        metrics = bed.metrics
+        landed = metrics.counter("refresh.completed").value
+        abandoned = metrics.counter("refresh.abandoned").value
+        assert landed + abandoned >= 1
+        assert suite.refresher._in_flight == set()
+
+    def test_refresh_of_reconfigured_away_rep_is_noop(self):
+        from repro.core.reconfig import change_configuration
+
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=96)
+        suite = bed.install(triple_config(), b"x")
+        # Remove s3 while a refresh for it is queued with a delay.
+        suite.refresher.delay = 400.0
+        bed.run(suite.write(b"y"))     # schedules refresh for rep-3
+        two_member = triple_config().evolve(
+            representatives=triple_config().representatives[:2],
+            read_quorum=1, write_quorum=2)
+        bed.run(change_configuration(suite, two_member))
+        bed.settle(30_000.0)           # the delayed refresh fires now
+        # No crash, no stuck state; the removed rep's file is gone.
+        assert not bed.servers["s3"].server.fs.exists("suite:db")
+
+
+class TestSimulatorEdges:
+    def test_run_max_steps_limits_progress(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_steps=2)
+        assert fired == [0, 1]
+
+    def test_step_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+    def test_timeout_value_none_by_default(self, sim):
+        timeout = sim.timeout(1.0)
+        sim.run()
+        assert timeout.value is None

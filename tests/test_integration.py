@@ -1,0 +1,188 @@
+"""End-to-end scenarios across the whole stack."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.core import install_suite, make_configuration
+from repro.errors import ReproError
+from repro.testbed import Testbed, example_data, example_testbed
+from repro.workload import ClosedLoopDriver, OperationMix, PayloadShape
+
+
+class TestExampleTestbeds:
+    """Simulated latencies of the paper's examples track the analytic
+    model: exact per-representative costs plus bounded protocol
+    overhead (message round trips and commit rounds)."""
+
+    @pytest.mark.parametrize("example,paper_read,paper_write", [
+        (1, 65.0, 75.0), (2, 75.0, 100.0), (3, 75.0, 750.0)])
+    def test_latency_shape(self, example, paper_read, paper_write):
+        bed, config = example_testbed(example)
+        suite = bed.install(config, example_data())
+
+        def timed(operation):
+            start = bed.sim.now
+            yield from operation
+            return bed.sim.now - start
+
+        read_latency = bed.run(timed(suite.read()))
+        write_latency = bed.run(timed(suite.write(example_data(b"w"))))
+        assert paper_read <= read_latency <= paper_read * 1.15
+        assert paper_write <= write_latency <= paper_write * 1.45
+
+    def test_relative_ordering_matches_paper(self):
+        measured = {}
+        for example in (1, 2, 3):
+            bed, config = example_testbed(example)
+            suite = bed.install(config, example_data())
+
+            def timed(operation):
+                start = bed.sim.now
+                yield from operation
+                return bed.sim.now - start
+
+            read = bed.run(timed(suite.read()))
+            write = bed.run(timed(suite.write(example_data(b"w"))))
+            measured[example] = (read, write)
+        # Example 1 reads fastest (weak rep); example 3 writes slowest.
+        assert measured[1][0] < measured[2][0]
+        assert measured[3][1] > measured[2][1] > measured[1][1]
+
+
+class TestCrashDuringTraffic:
+    def test_workload_survives_rolling_crashes(self):
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=21)
+        suite = bed.install(triple_config(), b"x" * 500)
+        suite.retry_backoff = 100.0
+        driver = ClosedLoopDriver(
+            bed.sim, suite, OperationMix(read_fraction=0.7),
+            payload=PayloadShape(size=500), think_time=20.0,
+            streams=bed.streams)
+
+        def roll():
+            for server in ("s1", "s2", "s3"):
+                yield bed.sim.timeout(150.0)
+                bed.crash(server)
+                yield bed.sim.timeout(150.0)
+                bed.restart(server)
+
+        bed.sim.spawn(roll(), name="roller")
+        stats = bed.run(driver.run(60))
+        # One server down at a time never removes the 2-of-3 quorum.
+        assert stats.operations == 60
+        assert stats.blocked == 0
+
+    def test_state_consistent_after_chaos(self):
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=22)
+        suite = bed.install(triple_config(), b"v0")
+
+        def chaos():
+            for i in range(6):
+                yield bed.sim.timeout(97.0)
+                server = f"s{(i % 3) + 1}"
+                bed.crash(server)
+                yield bed.sim.timeout(53.0)
+                bed.restart(server)
+
+        def writes():
+            for i in range(12):
+                yield from suite.write(f"v{i + 1}".encode())
+                yield bed.sim.timeout(60.0)
+
+        chaos_process = bed.sim.spawn(chaos(), name="chaos")
+        bed.run(writes())
+        bed.settle(30_000.0)
+        result = bed.run(suite.read())
+        assert result.data == b"v12"
+        assert result.version == 13
+        # After quiescence every representative converged.
+        versions = {node.server.fs.stat("suite:db").version
+                    for node in bed.servers.values()}
+        assert versions == {13}
+
+    def test_crash_mid_write_is_atomic_at_suite_level(self):
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=23)
+        suite = bed.install(triple_config(), b"before")
+
+        def crash_soon():
+            yield bed.sim.timeout(3.0)  # inside the write window
+            bed.crash("s1")
+            yield bed.sim.timeout(500.0)
+            bed.restart("s1")
+
+        bed.sim.spawn(crash_soon(), name="crasher")
+        try:
+            bed.run(suite.write(b"after"))
+            wrote = True
+        except ReproError:
+            wrote = False
+        bed.settle(30_000.0)
+        result = bed.run(suite.read())
+        if wrote:
+            assert result.data == b"after"
+        else:
+            assert result.data in (b"before", b"after")
+        # No torn mixture: every server stores one of the two values.
+        for node in bed.servers.values():
+            data, _ = node.server.fs.read_file_sync("suite:db")
+            assert data in (b"before", b"after")
+
+
+class TestMultiSuite:
+    def test_independent_suites_do_not_interfere(self):
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=24)
+        cfg_a = make_configuration(
+            "alpha", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2)
+        cfg_b = make_configuration(
+            "beta", [("s1", 2), ("s2", 1), ("s3", 1)], 2, 3)
+        suite_a = bed.install(cfg_a, b"A")
+        suite_b = bed.install(cfg_b, b"B")
+        bed.run(suite_a.write(b"A2"))
+        assert bed.run(suite_a.read()).data == b"A2"
+        assert bed.run(suite_b.read()).data == b"B"
+
+    def test_cross_suite_transaction_atomic(self):
+        """A transaction spanning two suites commits both writes or
+        neither — the property Violet relies on."""
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=25)
+        cfg_a = make_configuration(
+            "alpha", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2)
+        cfg_b = make_configuration(
+            "beta", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2)
+        suite_a = bed.install(cfg_a, b"A")
+        suite_b = bed.install(cfg_b, b"B")
+        manager = bed.clients["client"].manager
+
+        def both():
+            txn = manager.begin()
+            yield from suite_a.write_in(txn, b"A2")
+            yield from suite_b.write_in(txn, b"B2")
+            yield from txn.commit()
+
+        bed.run(both())
+        assert bed.run(suite_a.read()).data == b"A2"
+        assert bed.run(suite_b.read()).data == b"B2"
+
+
+class TestManyServers:
+    def test_five_rep_weighted_suite(self):
+        servers = [f"s{i}" for i in range(1, 6)]
+        bed = Testbed(servers=servers, seed=26)
+        config = make_configuration(
+            "wide", [("s1", 3), ("s2", 2), ("s3", 2), ("s4", 1),
+                     ("s5", 1)],
+            read_quorum=4, write_quorum=6,
+            latency_hints={s: float(i) for i, s in enumerate(servers)})
+        suite = bed.install(config, b"wide-data")
+        assert bed.run(suite.read()).data == b"wide-data"
+        # Two crashes leave 3+2+1=6 votes in the best case.
+        bed.crash("s4")
+        bed.crash("s5")
+        result = bed.run(suite.write(b"still-writable"))
+        assert result.version == 2
+        bed.restart("s4")
+        bed.restart("s5")
+        bed.settle(30_000.0)
+        versions = {node.server.fs.stat("suite:wide").version
+                    for node in bed.servers.values()}
+        assert versions == {2}

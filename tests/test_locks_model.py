@@ -1,0 +1,110 @@
+"""Model-based testing of the lock manager.
+
+Hypothesis drives random sequences of acquire/release operations and a
+reference model checks the safety invariants after every step:
+
+* never two holders of an exclusive lock, never S and X coexisting;
+* a grant only happens when compatible with all current holders;
+* release always wakes eligible waiters (no lost wakeups);
+* every request eventually resolves once all holders release
+  (no stuck grants), unless it deadlocked or timed out.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+from repro.txn import EXCLUSIVE, SHARED, LockManager, TransactionId
+
+RESOURCES = ["r0", "r1"]
+TXNS = [TransactionId("m", n) for n in range(1, 5)]
+
+# An operation: (kind, txn index, resource index, mode)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), st.integers(0, 3),
+                  st.integers(0, 1), st.sampled_from([SHARED, EXCLUSIVE])),
+        st.tuples(st.just("release"), st.integers(0, 3),
+                  st.just(0), st.just(SHARED)),
+    ),
+    min_size=1, max_size=40)
+
+
+def check_safety(locks: LockManager) -> None:
+    for resource in RESOURCES:
+        holders = locks.holders_of(resource)
+        modes = list(holders.values())
+        if EXCLUSIVE in modes:
+            assert len(modes) == 1, \
+                f"{resource}: X must be exclusive, saw {holders}"
+
+
+class TestLockManagerModel:
+    @given(operations)
+    @settings(max_examples=120, deadline=None)
+    def test_safety_invariants_hold(self, ops):
+        sim = Simulator()
+        locks = LockManager(sim, name="model")
+        outstanding = []  # (txn, resource, event)
+        for kind, txn_index, resource_index, mode in ops:
+            txn = TXNS[txn_index]
+            if kind == "acquire":
+                resource = RESOURCES[resource_index]
+                event = locks.acquire(txn, resource, mode)
+                outstanding.append((txn, resource, event))
+            else:
+                locks.release_all(txn)
+            sim.run()
+            check_safety(locks)
+
+        # Drain: release everything; every still-pending request must
+        # then resolve (granted then released, or already failed).
+        for txn in TXNS:
+            locks.release_all(txn)
+            sim.run()
+            check_safety(locks)
+        for txn, resource, event in outstanding:
+            assert event.settled or not locks.holders_of(resource), \
+                f"request {txn}/{resource} neither settled nor blocked"
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_holders_only_ever_requested(self, ops):
+        """A transaction can only hold a lock it requested on that
+        resource, in a mode it asked for (or stronger via upgrade)."""
+        sim = Simulator()
+        locks = LockManager(sim, name="model")
+        requested = {}  # (txn, resource) -> set of modes ever requested
+
+        for kind, txn_index, resource_index, mode in ops:
+            txn = TXNS[txn_index]
+            if kind == "acquire":
+                resource = RESOURCES[resource_index]
+                locks.acquire(txn, resource, mode)
+                requested.setdefault((txn, resource), set()).add(mode)
+            else:
+                locks.release_all(txn)
+            sim.run()
+            for resource in RESOURCES:
+                for holder, held in locks.holders_of(resource).items():
+                    modes = requested.get((holder, resource), set())
+                    assert modes, \
+                        f"{holder} holds {resource} without requesting"
+                    if held == SHARED:
+                        assert SHARED in modes
+                    else:
+                        assert EXCLUSIVE in modes
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_release_wakes_full_reader_batch(self, readers):
+        sim = Simulator()
+        locks = LockManager(sim, name="model")
+        writer = TXNS[0]
+        locks.acquire(writer, "r", EXCLUSIVE)
+        events = [locks.acquire(TransactionId("reader", n), "r", SHARED)
+                  for n in range(readers)]
+        assert all(event.pending for event in events)
+        locks.release_all(writer)
+        sim.run()
+        assert all(event.triggered for event in events)
+        assert len(locks.holders_of("r")) == readers

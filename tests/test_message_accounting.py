@@ -1,0 +1,124 @@
+"""Message-count accounting: the protocol costs what the paper says.
+
+The paper's efficiency argument is about *what moves*: inquiries are
+small and parallel, data moves once, commit is a constant number of
+small rounds.  These tests pin the message counts of each operation so
+an accidental extra round trip (or an accidental broadcast of data)
+shows up as a test failure, not a silent 2× latency regression.
+"""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.core.analysis import message_cost
+from repro.sim.network import estimate_size
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def quiet_bed():
+    """A bed whose refresher is off, so counts are purely foreground."""
+    bed = Testbed(servers=["s1", "s2", "s3"], seed=7,
+                  refresh_enabled=False)
+    return bed
+
+
+def message_delta(bed, operation):
+    before = bed.network.messages_sent
+    result = bed.run(operation)
+    bed.settle(5_000.0)  # let lock-release prepares etc. drain
+    return bed.network.messages_sent - before, result
+
+
+class TestReadCosts:
+    def test_read_message_budget(self, quiet_bed):
+        bed = quiet_bed
+        suite = bed.install(triple_config(), b"x" * 1000)
+        delta, _ = message_delta(bed, suite.read())
+        # 3 stat requests + 3 replies, 1 read + 1 reply,
+        # 3 release-prepares + 3 acks = 14.
+        assert delta == message_cost(suite.config)["read"] == 14
+
+    def test_only_one_data_transfer_per_read(self, quiet_bed):
+        """However large the file, exactly one message carries it."""
+        bed = quiet_bed
+        data = b"z" * 20_000
+        suite = bed.install(triple_config(), data)
+        before = bed.network.messages_delivered
+        bed.run(suite.read())
+        bed.settle(5_000.0)
+        # Count delivered messages big enough to contain the data.
+        # (The network exposes counts, not contents; estimate by size
+        # bookkeeping on a fresh read.)
+        # Simply: total bytes moved must be ~ one payload, not three.
+        # Re-measure precisely with a byte counter:
+        moved = []
+        original_send = bed.network.send
+
+        def counting_send(source, destination, payload):
+            moved.append(estimate_size(payload))
+            original_send(source, destination, payload)
+
+        bed.network.send = counting_send
+        bed.run(suite.read())
+        bed.settle(5_000.0)
+        bulk_messages = [size for size in moved if size >= len(data)]
+        assert len(bulk_messages) == 1
+
+    def test_weak_hit_moves_no_bulk_data(self):
+        from repro.core import CachingSuiteClient
+
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=7,
+                      refresh_enabled=False)
+        data = b"y" * 20_000
+        config = triple_config()
+        bed.install(config, data)
+        client = CachingSuiteClient(bed.clients["client"].manager,
+                                    config, metrics=bed.metrics)
+        bed.run(client.read())  # populate
+        moved = []
+        original_send = bed.network.send
+
+        def counting_send(source, destination, payload):
+            moved.append(estimate_size(payload))
+            original_send(source, destination, payload)
+
+        bed.network.send = counting_send
+        result = bed.run(client.read())  # cache hit
+        bed.settle(5_000.0)
+        assert result.served_by == "client-cache"
+        assert all(size < 1_000 for size in moved), \
+            "a cache hit must move only inquiry-sized messages"
+
+
+class TestWriteCosts:
+    def test_write_message_budget(self, quiet_bed):
+        bed = quiet_bed
+        suite = bed.install(triple_config(), b"x" * 1000)
+        delta, result = message_delta(bed, suite.write(b"y" * 1000))
+        assert len(result.quorum) == 2
+        # 3 stats + 3 replies, 2 stages + 2 replies, prepare/commit
+        # rounds to 3 participants (one read-only): phase 1 = 3+3,
+        # phase 2 to the 2 writers = 2+2 → total 20.
+        assert delta == message_cost(suite.config)["write"] == 20
+
+    def test_data_moves_only_to_the_write_quorum(self, quiet_bed):
+        bed = quiet_bed
+        data = b"w" * 20_000
+        suite = bed.install(triple_config(), b"small")
+        moved = []
+        original_send = bed.network.send
+
+        def counting_send(source, destination, payload):
+            moved.append((destination, estimate_size(payload)))
+            original_send(source, destination, payload)
+
+        bed.network.send = counting_send
+        result = bed.run(suite.write(data))
+        bed.settle(5_000.0)
+        bulk_targets = {destination for destination, size in moved
+                        if size >= len(data)}
+        quorum_servers = {
+            suite.config.representative(rep_id).server
+            for rep_id in result.quorum}
+        assert bulk_targets == quorum_servers

@@ -1,0 +1,242 @@
+"""RPC endpoints: dispatch, timeouts, retries, typed errors, crashes."""
+
+import pytest
+
+from repro.errors import (HostUnreachableError, NoSuchFileError,
+                          NoSuchMethodError, RemoteError, RpcTimeout)
+from repro.rpc import RpcEndpoint, Reply, Request
+from repro.rpc.endpoint import reconstruct_error
+from repro.sim import Network, RandomStreams, Simulator
+
+
+@pytest.fixture
+def pair(sim, network):
+    client = RpcEndpoint(sim, network.add_host("client"))
+    server = RpcEndpoint(sim, network.add_host("server"))
+    return client, server
+
+
+class TestDispatch:
+    def test_plain_handler(self, sim, pair):
+        client, server = pair
+        server.register("add", lambda x, y: x + y)
+
+        def flow():
+            return (yield client.call("server", "add", x=3, y=4))
+
+        assert sim.run_process(flow()) == 7
+
+    def test_generator_handler_with_delay(self, sim, pair):
+        client, server = pair
+
+        def slow(text):
+            yield sim.timeout(10.0)
+            return text.upper()
+
+        server.register("slow", slow)
+
+        def flow():
+            result = yield client.call("server", "slow", text="hi")
+            return result, sim.now
+
+        result, now = sim.run_process(flow())
+        assert result == "HI"
+        assert now == 12.0  # 1ms each way + 10ms service
+
+    def test_unknown_method_typed_error(self, sim, pair):
+        client, server = pair
+
+        def flow():
+            try:
+                yield client.call("server", "nope")
+            except NoSuchMethodError:
+                return "typed"
+
+        assert sim.run_process(flow()) == "typed"
+
+    def test_duplicate_registration_rejected(self, pair):
+        _client, server = pair
+        server.register("m", lambda: 1)
+        with pytest.raises(ValueError):
+            server.register("m", lambda: 2)
+
+    def test_remote_repro_error_reconstructed(self, sim, pair):
+        client, server = pair
+
+        def failing():
+            raise NoSuchFileError("ghost")
+            yield  # pragma: no cover
+
+        server.register("fail", failing)
+
+        def flow():
+            try:
+                yield client.call("server", "fail")
+            except NoSuchFileError as exc:
+                return str(exc)
+
+        assert sim.run_process(flow()) == "ghost"
+
+    def test_concurrent_handlers_interleave(self, sim, pair):
+        client, server = pair
+
+        def slow(tag, delay):
+            yield sim.timeout(delay)
+            return tag
+
+        server.register("slow", slow)
+
+        def flow():
+            first = client.call("server", "slow", tag="a", delay=50.0)
+            second = client.call("server", "slow", tag="b", delay=5.0)
+            b = yield second
+            a = yield first
+            return a, b, sim.now
+
+        a, b, now = sim.run_process(flow())
+        assert (a, b) == ("a", "b")
+        assert now == 52.0  # not serialized behind each other
+
+    def test_payload_isolation(self, sim, pair):
+        """Mutating a payload after sending must not affect the server."""
+        client, server = pair
+        received = []
+        server.register("take", lambda items: received.append(items))
+
+        def flow():
+            payload = [1, 2, 3]
+            event = client.call("server", "take", items=payload)
+            payload.append(999)
+            yield event
+
+        sim.run_process(flow())
+        assert received == [[1, 2, 3]]
+
+
+class TestTimeoutsAndRetries:
+    def test_timeout_on_dead_server(self, sim, pair):
+        client, server = pair
+        server.host.crash()
+
+        def flow():
+            try:
+                yield client.call("server", "add", timeout=30.0)
+            except RpcTimeout:
+                return sim.now
+
+        assert sim.run_process(flow()) == 30.0
+
+    def test_late_reply_after_timeout_dropped(self, sim, pair):
+        client, server = pair
+
+        def slow():
+            yield sim.timeout(100.0)
+            return "late"
+
+        server.register("slow", slow)
+
+        def flow():
+            try:
+                yield client.call("server", "slow", timeout=10.0)
+            except RpcTimeout:
+                pass
+            yield sim.timeout(200.0)  # late reply arrives harmlessly
+            return "done"
+
+        assert sim.run_process(flow()) == "done"
+
+    def test_retries_succeed_after_restart(self, sim, pair):
+        client, server = pair
+        server.register("ping", lambda: "pong")
+        server.host.crash()
+        sim.schedule(50.0, server.host.restart)
+
+        def flow():
+            result = yield from client.call_with_retries(
+                "server", "ping", timeout=30.0, attempts=5, backoff=10.0)
+            return result
+
+        assert sim.run_process(flow()) == "pong"
+
+    def test_retries_exhausted_raises(self, sim, pair):
+        client, server = pair
+        server.host.crash()
+
+        def flow():
+            try:
+                yield from client.call_with_retries(
+                    "server", "ping", timeout=10.0, attempts=2)
+            except RpcTimeout:
+                return "gave up"
+
+        assert sim.run_process(flow()) == "gave up"
+
+
+class TestCrashBehaviour:
+    def test_client_crash_fails_its_pending_calls(self, sim, pair):
+        client, server = pair
+
+        def slow():
+            yield sim.timeout(100.0)
+
+        server.register("slow", slow)
+        outcome = []
+
+        def flow():
+            try:
+                yield client.call("server", "slow")
+            except HostUnreachableError:
+                outcome.append("failed locally")
+
+        sim.spawn(flow())
+        sim.schedule(10.0, client.host.crash)
+        sim.run()
+        assert outcome == ["failed locally"]
+
+    def test_server_crash_kills_in_flight_handlers(self, sim, pair):
+        client, server = pair
+        progress = []
+
+        def slow():
+            progress.append("start")
+            yield sim.timeout(100.0)
+            progress.append("end")
+
+        server.register("slow", slow)
+        sim.schedule(20.0, server.host.crash)
+
+        def flow():
+            try:
+                yield client.call("server", "slow", timeout=50.0)
+            except RpcTimeout:
+                return progress
+
+        assert sim.run_process(flow()) == ["start"]
+        assert len(server._handler_processes) == 0
+        sim.run()
+        assert progress == ["start"]  # handler never resumed
+
+    def test_server_restarts_and_serves_again(self, sim, pair):
+        client, server = pair
+        server.register("ping", lambda: "pong")
+        server.host.crash()
+        server.host.restart()
+
+        def flow():
+            return (yield client.call("server", "ping", timeout=100.0))
+
+        assert sim.run_process(flow()) == "pong"
+
+
+class TestErrorReconstruction:
+    def test_known_type(self):
+        reply = Reply.failure(1, NoSuchFileError("f"))
+        error = reconstruct_error(reply)
+        assert isinstance(error, NoSuchFileError)
+
+    def test_unknown_type_becomes_remote_error(self):
+        reply = Reply(call_id=1, ok=False, error_type="WeirdError",
+                      error_detail="huh")
+        error = reconstruct_error(reply)
+        assert isinstance(error, RemoteError)
+        assert "huh" in str(error)

@@ -1,0 +1,151 @@
+"""Operational drills: end-to-end stories an operator would rehearse."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.core import (force_converge, make_configuration, suite_status,
+                        verify_invariants)
+from repro.core.reconfig import change_configuration
+from repro.errors import ReproError
+from repro.testbed import Testbed
+
+
+class TestRollingMaintenance:
+    def test_drain_and_service_each_server(self):
+        """Converge, take a server down, keep serving, restart, repeat
+        for each server — the suite never misses a beat and ends fully
+        converged and invariant-clean."""
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=71)
+        suite = bed.install(triple_config(), b"state-0")
+        writes = 0
+
+        def drill():
+            nonlocal writes
+            for server in ("s1", "s2", "s3"):
+                status = yield from force_converge(suite)
+                assert status.stale == []
+                bed.crash(server)
+                for _ in range(3):
+                    writes += 1
+                    yield from suite.write(f"state-{writes}".encode())
+                    result = yield from suite.read()
+                    assert result.data == f"state-{writes}".encode()
+                bed.restart(server)
+            yield from force_converge(suite)
+            report = yield from verify_invariants(suite)
+            return report
+
+        report = bed.run(drill())
+        assert report.ok
+        versions = {node.server.fs.stat("suite:db").version
+                    for node in bed.servers.values()}
+        assert versions == {1 + writes}
+
+
+class TestReconfigurationUnderFire:
+    def test_emergency_demotion_of_failing_server(self):
+        """s3 is flapping; the operator demotes it to a weak
+        representative mid-traffic, after which its outages cannot
+        affect write availability at all."""
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=72)
+        config = triple_config()
+        suite = bed.install(config, b"v1")
+
+        # s3 flaps during normal traffic; operations retry through it.
+        def flap():
+            for _ in range(3):
+                bed.crash("s3")
+                yield bed.sim.timeout(200.0)
+                bed.restart("s3")
+                yield bed.sim.timeout(200.0)
+
+        flapper = bed.sim.spawn(flap(), name="flapper")
+        bed.run(suite.write(b"v2"))
+
+        # Demote: s3 loses its vote, quorums shrink to the stable pair.
+        demoted = triple_config(votes=(1, 1, 0), r=1, w=2)
+        bed.run(change_configuration(suite, demoted))
+        bed.sim.run_until(flapper)
+
+        # Now s3's crashes are invisible to writes.
+        bed.crash("s3")
+        suite.max_attempts = 1
+        result = bed.run(suite.write(b"v-final"))
+        assert sorted(result.quorum) == ["rep-1", "rep-2"]
+        assert bed.run(suite.read()).data == b"v-final"
+
+    def test_capacity_expansion_under_traffic(self):
+        """Grow from 3 to 5 servers while clients keep writing."""
+        bed = Testbed(servers=["s1", "s2", "s3", "s4", "s5"], seed=73)
+        old = triple_config()
+        suite = bed.install(old, b"start")
+
+        def traffic():
+            for i in range(6):
+                yield from suite.write(f"t{i}".encode())
+                yield bed.sim.timeout(50.0)
+
+        traffic_process = bed.sim.spawn(traffic(), name="traffic")
+        wide = make_configuration(
+            "db", [(f"s{i}", 1) for i in range(1, 6)], 3, 3,
+            latency_hints={f"s{i}": float(i) for i in range(1, 6)})
+        installed = bed.run(change_configuration(suite, wide))
+        assert installed.total_votes == 5
+        bed.sim.run_until(traffic_process)
+        bed.settle(30_000.0)
+        # All five servers hold the final state.
+        versions = {node.server.fs.stat("suite:db").version
+                    for node in bed.servers.values()}
+        assert len(versions) == 1
+        final = bed.run(suite.read())
+        assert final.data == b"t5"
+
+
+class TestDisasterRecovery:
+    def test_total_outage_and_recovery(self):
+        """Every server crashes; after restarts the suite resumes with
+        all committed state intact."""
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=74)
+        suite = bed.install(triple_config(), b"precious")
+        bed.run(suite.write(b"more-precious"))
+
+        for server in ("s1", "s2", "s3"):
+            bed.crash(server)
+        suite.max_attempts = 1
+        suite.inquiry_timeout = 50.0
+        with pytest.raises(ReproError):
+            bed.run(suite.read())
+
+        for server in ("s1", "s2", "s3"):
+            bed.restart(server)
+        suite.max_attempts = 4
+        result = bed.run(suite.read())
+        assert result.data == b"more-precious"
+        assert result.version == 2
+        report = bed.run(verify_invariants(suite))
+        assert report.ok
+
+    def test_losing_a_server_forever(self):
+        """One server dies permanently; the operator removes it from
+        the suite and full redundancy is restored on a replacement."""
+        bed = Testbed(servers=["s1", "s2", "s3", "s4"], seed=75)
+        old = triple_config()
+        suite = bed.install(old, b"data")
+        bed.run(suite.write(b"data-2"))
+        bed.crash("s2")  # gone for good
+
+        # Remove s2, add s4.
+        replacement = make_configuration(
+            "db", [("s1", 1), ("s3", 1), ("s4", 1)], 2, 2,
+            latency_hints={"s1": 10.0, "s3": 30.0, "s4": 5.0})
+        installed = bed.run(change_configuration(suite, replacement))
+        assert {rep.server for rep in installed.representatives} == \
+            {"s1", "s3", "s4"}
+        bed.settle(30_000.0)
+
+        # Full single-failure tolerance again — without s2.
+        bed.crash("s1")
+        result = bed.run(suite.write(b"data-3"))
+        assert bed.run(suite.read()).data == b"data-3"
+        status = bed.run(suite_status(suite))
+        assert status.current_version == result.version

@@ -1,0 +1,194 @@
+"""Network behaviour: latency, bandwidth, loss, crashes, partitions."""
+
+import pytest
+
+from repro.sim import Constant, Network, RandomStreams, Simulator
+from repro.sim.network import estimate_size
+
+
+def echo_once(host):
+    message = yield host.receive()
+    return (host.sim.now, message)
+
+
+class TestDelivery:
+    def test_default_latency_applies(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        process = sim.spawn(echo_once(b))
+        a.send("b", "hello")
+        assert sim.run_until(process) == (1.0, "hello")
+
+    def test_per_link_latency_override(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        network.set_latency("a", "b", 7.5)
+        process = sim.spawn(echo_once(b))
+        a.send("b", "hi")
+        assert sim.run_until(process)[0] == 7.5
+
+    def test_loopback_is_free_by_default(self, sim, network):
+        a = network.add_host("a")
+        process = sim.spawn(echo_once(a))
+        a.send("a", "self")
+        assert sim.run_until(process)[0] == 0.0
+
+    def test_unknown_destination_rejected(self, sim, network):
+        a = network.add_host("a")
+        with pytest.raises(KeyError):
+            a.send("ghost", "boo")
+
+    def test_duplicate_host_rejected(self, network):
+        network.add_host("a")
+        with pytest.raises(ValueError):
+            network.add_host("a")
+
+    def test_message_counters(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        sim.spawn(echo_once(b))
+        a.send("b", 1)
+        sim.run()
+        assert network.messages_sent == 1
+        assert network.messages_delivered == 1
+        assert network.messages_dropped == 0
+
+
+class TestBandwidth:
+    def test_byte_time_scales_with_payload(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        network.set_byte_time("a", "b", 0.01)
+        process = sim.spawn(echo_once(b))
+        a.send("b", b"x" * 1000)
+        time, _ = sim.run_until(process)
+        assert time == pytest.approx(1.0 + 10.0)
+
+    def test_small_message_nearly_free(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        network.set_byte_time("a", "b", 0.01)
+        process = sim.spawn(echo_once(b))
+        a.send("b", 42)
+        time, _ = sim.run_until(process)
+        assert time < 1.2
+
+    def test_estimate_size_bytes(self):
+        assert estimate_size(b"x" * 100) == 100
+
+    def test_estimate_size_nested(self):
+        size = estimate_size({"data": b"y" * 50, "version": 3})
+        assert 50 < size < 100
+
+    def test_estimate_size_handles_objects(self):
+        class Thing:
+            def __init__(self):
+                self.blob = b"z" * 30
+
+        assert estimate_size(Thing()) >= 30
+
+
+class TestLoss:
+    def test_lossy_link_drops_messages(self):
+        sim = Simulator()
+        network = Network(sim, RandomStreams(1), default_latency=1.0,
+                          loss_probability=0.5)
+        a = network.add_host("a")
+        network.add_host("b")
+        for _ in range(200):
+            a.send("b", "m")
+        sim.run()
+        assert 40 < network.messages_dropped < 160
+
+    def test_invalid_loss_probability(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, RandomStreams(1), loss_probability=1.0)
+
+
+class TestCrash:
+    def test_messages_to_down_host_dropped(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.crash()
+        a.send("b", "lost")
+        sim.run()
+        assert network.messages_dropped == 1
+
+    def test_crash_mid_flight_drops(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        a.send("b", "in-flight")
+        b.crash()  # before the 1.0 delivery time
+        sim.run()
+        assert network.messages_dropped == 1
+
+    def test_restart_receives_again(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.crash()
+        b.restart()
+        process = sim.spawn(echo_once(b))
+        a.send("b", "back")
+        assert sim.run_until(process)[1] == "back"
+
+    def test_crash_listeners_fire_once(self, sim, network):
+        a = network.add_host("a")
+        crashes, restarts = [], []
+        a.on_crash(lambda: crashes.append(sim.now))
+        a.on_restart(lambda: restarts.append(sim.now))
+        a.crash()
+        a.crash()  # idempotent
+        a.restart()
+        a.restart()
+        assert crashes == [0.0]
+        assert restarts == [0.0]
+
+    def test_down_host_cannot_send(self, sim, network):
+        a = network.add_host("a")
+        b = network.add_host("b")
+        a.crash()
+        a.send("b", "nope")
+        sim.run()
+        assert network.messages_dropped == 1
+
+
+class TestPartition:
+    def make(self, sim, network):
+        return [network.add_host(name) for name in ("a", "b", "c")]
+
+    def test_partition_blocks_cross_group(self, sim, network):
+        a, b, c = self.make(sim, network)
+        network.partition([["a", "b"], ["c"]])
+        assert network.can_communicate("a", "b")
+        assert not network.can_communicate("a", "c")
+        assert not network.can_communicate("c", "b")
+
+    def test_partition_drops_messages(self, sim, network):
+        a, b, c = self.make(sim, network)
+        network.partition([["a"], ["b", "c"]])
+        a.send("b", "blocked")
+        sim.run()
+        assert network.messages_dropped == 1
+
+    def test_heal_restores(self, sim, network):
+        a, b, c = self.make(sim, network)
+        network.partition([["a"], ["b", "c"]])
+        network.heal()
+        process = sim.spawn(echo_once(b))
+        a.send("b", "healed")
+        assert sim.run_until(process)[1] == "healed"
+
+    def test_unknown_host_in_partition_rejected(self, sim, network):
+        self.make(sim, network)
+        with pytest.raises(KeyError):
+            network.partition([["a", "ghost"]])
+
+    def test_link_down_and_up(self, sim, network):
+        a, b, c = self.make(sim, network)
+        network.set_link_down("a", "b")
+        assert not network.can_communicate("a", "b")
+        assert not network.can_communicate("b", "a")
+        assert network.can_communicate("a", "c")
+        network.set_link_up("a", "b")
+        assert network.can_communicate("a", "b")

@@ -1,0 +1,213 @@
+"""Process semantics: spawning, joining, interrupts, kills, crashes."""
+
+import pytest
+
+from repro.errors import Interrupt, ProcessKilled
+from repro.sim import Simulator
+
+
+def ticker(sim, period, count, log):
+    for i in range(count):
+        yield sim.timeout(period)
+        log.append((sim.now, i))
+    return count
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, sim):
+        log = []
+        process = sim.spawn(ticker(sim, 1.0, 3, log))
+        sim.run()
+        assert log == [(1.0, 0), (2.0, 1), (3.0, 2)]
+        assert process.value == 3
+        assert not process.alive
+
+    def test_join_receives_return_value(self, sim):
+        def child(sim):
+            yield sim.timeout(2.0)
+            return "payload"
+
+        def parent(sim):
+            result = yield sim.spawn(child(sim))
+            return result
+
+        assert sim.run_process(parent(sim)) == "payload"
+
+    def test_spawn_requires_generator(self, sim):
+        with pytest.raises(TypeError, match="generator"):
+            sim.spawn(lambda: None)
+
+    def test_immediate_return(self, sim):
+        def instant(sim):
+            return "now"
+            yield  # pragma: no cover
+
+        assert sim.run_process(instant(sim)) == "now"
+        assert sim.now == 0.0
+
+    def test_yielding_non_event_crashes_process(self, sim):
+        def bad(sim):
+            yield 42
+
+        with pytest.raises(TypeError, match="yield Event"):
+            sim.run_process(bad(sim))
+
+
+class TestFailures:
+    def test_exception_propagates_to_joiner(self, sim):
+        def child(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent(sim):
+            try:
+                yield sim.spawn(child(sim))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        assert sim.run_process(parent(sim)) == "caught inner"
+
+    def test_orphan_failure_surfaces_at_run(self, sim):
+        def doomed(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("nobody watching")
+
+        sim.spawn(doomed(sim))
+        with pytest.raises(RuntimeError, match="unhandled failure"):
+            sim.run()
+
+    def test_failed_event_raises_inside_process(self, sim):
+        def waiter(sim, event):
+            try:
+                yield event
+            except KeyError:
+                return "handled"
+
+        event = sim.event()
+        sim.schedule(1.0, lambda: event.fail(KeyError()))
+        assert sim.run_process(waiter(sim, event)) == "handled"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        process = sim.spawn(sleeper(sim))
+        sim.schedule(5.0, process.interrupt, "wakeup")
+        assert sim.run_until(process) == ("interrupted", "wakeup", 5.0)
+
+    def test_uncaught_interrupt_terminates_quietly(self, sim):
+        def sleeper(sim):
+            yield sim.timeout(100.0)
+
+        process = sim.spawn(sleeper(sim))
+        sim.schedule(5.0, process.interrupt)
+        sim.run()
+        assert process.triggered
+        assert process.value is None
+
+    def test_interrupt_finished_process_noop(self, sim):
+        def quick(sim):
+            yield sim.timeout(1.0)
+            return "ok"
+
+        process = sim.spawn(quick(sim))
+        sim.run()
+        process.interrupt()  # no effect, no error
+        sim.run()
+        assert process.value == "ok"
+
+    def test_interrupted_process_can_continue(self, sim):
+        def resilient(sim):
+            waited = 0.0
+            while waited < 10.0:
+                start = sim.now
+                try:
+                    yield sim.timeout(10.0 - waited)
+                    waited = 10.0
+                except Interrupt:
+                    waited += sim.now - start
+            return sim.now
+
+        process = sim.spawn(resilient(sim))
+        sim.schedule(3.0, process.interrupt)
+        sim.schedule(6.0, process.interrupt)
+        assert sim.run_until(process) == 10.0
+
+    def test_stale_event_after_interrupt_ignored(self, sim):
+        """The event a process was waiting on must not resume it after
+        an interrupt redirected control."""
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(5.0)
+                log.append("timeout fired into process")
+            except Interrupt:
+                log.append("interrupted")
+                yield sim.timeout(10.0)
+                log.append("second sleep done")
+
+        process = sim.spawn(sleeper(sim))
+        sim.schedule(1.0, process.interrupt)
+        sim.run()
+        assert log == ["interrupted", "second sleep done"]
+
+
+class TestKill:
+    def test_kill_stops_without_resuming(self, sim):
+        log = []
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            log.append("step1")
+            yield sim.timeout(1.0)
+            log.append("step2")
+
+        process = sim.spawn(worker(sim))
+        sim.schedule(1.5, process.kill)
+        sim.run()
+        assert log == ["step1"]
+        assert not process.alive
+
+    def test_joiner_sees_process_killed(self, sim):
+        def victim(sim):
+            yield sim.timeout(100.0)
+
+        def parent(sim):
+            child = sim.spawn(victim(sim))
+            sim.schedule(1.0, child.kill)
+            try:
+                yield child
+            except ProcessKilled:
+                return "saw kill"
+
+        assert sim.run_process(parent(sim)) == "saw kill"
+
+    def test_kill_runs_finally_blocks(self, sim):
+        log = []
+
+        def careful(sim):
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                log.append("cleanup")
+
+        process = sim.spawn(careful(sim))
+        sim.schedule(1.0, process.kill)
+        sim.run()
+        assert log == ["cleanup"]
+
+    def test_double_kill_is_noop(self, sim):
+        def worker(sim):
+            yield sim.timeout(10.0)
+
+        process = sim.spawn(worker(sim))
+        sim.schedule(1.0, process.kill)
+        sim.run()
+        process.kill()
+        assert not process.alive

@@ -1,0 +1,221 @@
+"""Shadow-paging file system: operations and crash atomicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FileExistsError_, NoSuchFileError, StorageError
+from repro.storage import FileSystem, StableStore, drive
+
+
+def fresh_fs(num_pages=256):
+    fs = FileSystem(StableStore.create(num_pages))
+    fs.format()
+    return fs
+
+
+class TestBasicOperations:
+    def test_create_and_stat(self):
+        fs = fresh_fs()
+        fs.create_file_sync("a", {"kind": "demo"})
+        stat = fs.stat("a")
+        assert stat.version == 0
+        assert stat.length == 0
+        assert stat.properties == {"kind": "demo"}
+
+    def test_write_read_round_trip(self):
+        fs = fresh_fs()
+        fs.write_file_sync("f", b"contents", version=5, create=True)
+        assert fs.read_file_sync("f") == (b"contents", 5)
+
+    def test_multi_page_file(self):
+        fs = fresh_fs()
+        data = bytes(range(256)) * 20  # spans several pages
+        fs.write_file_sync("big", data, version=1, create=True)
+        assert fs.read_file_sync("big") == (data, 1)
+
+    def test_empty_file(self):
+        fs = fresh_fs()
+        fs.write_file_sync("empty", b"", version=1, create=True)
+        assert fs.read_file_sync("empty") == (b"", 1)
+
+    def test_overwrite_replaces(self):
+        fs = fresh_fs()
+        fs.write_file_sync("f", b"one", version=1, create=True)
+        fs.write_file_sync("f", b"two", version=2)
+        assert fs.read_file_sync("f") == (b"two", 2)
+
+    def test_write_missing_without_create_rejected(self):
+        fs = fresh_fs()
+        with pytest.raises(NoSuchFileError):
+            fs.write_file("ghost", b"x", version=1)
+
+    def test_create_duplicate_rejected(self):
+        fs = fresh_fs()
+        fs.create_file_sync("a")
+        with pytest.raises(FileExistsError_):
+            fs.create_file("a")
+
+    def test_delete(self):
+        fs = fresh_fs()
+        fs.write_file_sync("f", b"x", version=1, create=True)
+        free_before = fs.free_pages
+        fs.delete_file_sync("f")
+        assert not fs.exists("f")
+        assert fs.free_pages > free_before
+        with pytest.raises(NoSuchFileError):
+            fs.read_file("f")
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(NoSuchFileError):
+            fresh_fs().delete_file("nope")
+
+    def test_list_files_sorted(self):
+        fs = fresh_fs()
+        for name in ("zeta", "alpha", "mid"):
+            fs.create_file_sync(name)
+        assert fs.list_files() == ["alpha", "mid", "zeta"]
+
+    def test_properties_replaced_when_given(self):
+        fs = fresh_fs()
+        fs.write_file_sync("f", b"x", version=1, create=True,
+                           properties={"a": 1})
+        fs.write_file_sync("f", b"y", version=2)
+        assert fs.stat("f").properties == {"a": 1}  # preserved
+        fs.write_file_sync("f", b"z", version=3, properties={"b": 2})
+        assert fs.stat("f").properties == {"b": 2}  # replaced
+
+    def test_out_of_space(self):
+        fs = fresh_fs(num_pages=8)
+        with pytest.raises(StorageError, match="out of pages"):
+            fs.write_file_sync("huge", b"x" * 10_000, version=1,
+                               create=True)
+
+    def test_unmounted_rejected(self):
+        fs = FileSystem(StableStore.create(16))
+        with pytest.raises(StorageError, match="not mounted"):
+            fs.stat("a")
+
+
+class TestPersistence:
+    def test_remount_preserves_files(self):
+        store = StableStore.create(128)
+        fs = FileSystem(store)
+        fs.format()
+        fs.write_file_sync("keep", b"data" * 100, version=7, create=True,
+                           properties={"p": True})
+        fs2 = FileSystem(store)
+        fs2.mount()
+        assert fs2.read_file_sync("keep") == (b"data" * 100, 7)
+        assert fs2.stat("keep").properties == {"p": True}
+
+    def test_remount_reclaims_orphans(self):
+        store = StableStore.create(128)
+        fs = FileSystem(store)
+        fs.format()
+        fs.write_file_sync("f", b"x" * 500, version=1, create=True)
+        baseline = FileSystem(store)
+        baseline.mount()
+        free_clean = baseline.free_pages
+
+        # Tear a rewrite partway: orphan pages leak on disk...
+        operation = fs.write_file("f", b"y" * 900, version=2)
+        next(operation)
+        next(operation)
+        # ...but a remount sweeps them back.
+        fs3 = FileSystem(store)
+        fs3.mount()
+        assert fs3.free_pages == free_clean
+        assert fs3.read_file_sync("f") == (b"x" * 500, 1)
+
+
+class TestCrashAtomicity:
+    def build_with_file(self):
+        store = StableStore.create(128)
+        fs = FileSystem(store)
+        fs.format()
+        fs.write_file_sync("f", b"OLD" * 200, version=3, create=True)
+        return store, fs
+
+    def steps_of(self, fs, data=b"NEW" * 300):
+        return fs.write_file("f", data, version=4)
+
+    def count_steps(self):
+        store, fs = self.build_with_file()
+        return sum(1 for _ in self.steps_of(fs))
+
+    def test_crash_at_every_step_is_atomic(self):
+        """Kill the write after k page-steps for every k: the remounted
+        file system must show either the old or the new state."""
+        total_steps = self.count_steps()
+        assert total_steps > 4
+        outcomes = set()
+        for kill_after in range(total_steps + 1):
+            store, fs = self.build_with_file()
+            operation = self.steps_of(fs)
+            for _ in range(kill_after):
+                next(operation)
+            recovered = FileSystem(store)
+            recovered.mount()
+            data, version = recovered.read_file_sync("f")
+            assert (data, version) in ((b"OLD" * 200, 3), (b"NEW" * 300, 4))
+            outcomes.add(version)
+        assert outcomes == {3, 4}  # both sides of the flip observed
+
+    def test_crash_during_delete_is_atomic(self):
+        store, fs = self.build_with_file()
+        operation = fs.delete_file("f")
+        next(operation)  # partial delete
+        recovered = FileSystem(store)
+        recovered.mount()
+        assert recovered.read_file_sync("f") == (b"OLD" * 200, 3)
+
+    def test_decay_after_crash_still_recovers(self):
+        store, fs = self.build_with_file()
+        operation = self.steps_of(fs)
+        for _ in range(3):
+            next(operation)
+        store.primary.pages.decay(1)
+        recovered = FileSystem(store)
+        recovered.mount()
+        data, version = recovered.read_file_sync("f")
+        assert version in (3, 4)
+
+
+class TestPropertyBased:
+    @given(st.binary(max_size=4_000), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_any_payload_round_trips(self, data, version):
+        fs = fresh_fs()
+        fs.write_file_sync("f", data, version=version, create=True)
+        assert fs.read_file_sync("f") == (data, version)
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.binary(max_size=600)),
+                    min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_sequences_of_writes_keep_latest(self, writes):
+        fs = fresh_fs()
+        expected = {}
+        for index, (name, data) in enumerate(writes):
+            fs.write_file_sync(name, data, version=index + 1, create=True)
+            expected[name] = (data, index + 1)
+        for name, (data, version) in expected.items():
+            assert fs.read_file_sync(name) == (data, version)
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_crash_at_random_step_never_corrupts(self, kill_after):
+        store = StableStore.create(128)
+        fs = FileSystem(store)
+        fs.format()
+        fs.write_file_sync("f", b"OLD" * 100, version=1, create=True)
+        operation = fs.write_file("f", b"NEW" * 333, version=2)
+        for _ in range(kill_after):
+            try:
+                next(operation)
+            except StopIteration:
+                break
+        recovered = FileSystem(store)
+        recovered.mount()
+        assert recovered.read_file_sync("f") in (
+            (b"OLD" * 100, 1), (b"NEW" * 333, 2))

@@ -1,0 +1,146 @@
+"""Raw page store and careful/stable storage."""
+
+import pytest
+
+from repro.errors import NoSuchPageError, PageCorruptError
+from repro.storage import CarefulStore, PageStore, StableStore
+
+
+class TestPageStore:
+    def test_round_trip(self):
+        store = PageStore(8)
+        store.write(3, b"hello")
+        assert store.read(3) == b"hello"
+
+    def test_unwritten_page_empty(self):
+        assert PageStore(4).read(2) == b""
+
+    def test_out_of_range_rejected(self):
+        store = PageStore(4)
+        with pytest.raises(NoSuchPageError):
+            store.read(4)
+        with pytest.raises(NoSuchPageError):
+            store.write(-1, b"x")
+
+    def test_oversized_write_rejected(self):
+        store = PageStore(4, page_size=64)
+        with pytest.raises(ValueError):
+            store.write(0, b"x" * 65)
+
+    def test_decay_changes_bytes(self):
+        store = PageStore(4)
+        store.write(0, b"abc")
+        store.decay(0)
+        assert store.read(0) != b"abc"
+
+    def test_tear_replaces_content(self):
+        store = PageStore(4)
+        store.write(1, b"data")
+        store.tear(1)
+        assert store.read(1) == b"\x00TORN\x00"
+
+    def test_io_counters(self):
+        store = PageStore(4)
+        store.write(0, b"a")
+        store.read(0)
+        store.read(0)
+        assert store.writes == 1
+        assert store.reads == 2
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(ValueError):
+            PageStore(0)
+        with pytest.raises(ValueError):
+            PageStore(4, page_size=10)
+
+
+class TestCarefulStore:
+    def build(self):
+        return CarefulStore(PageStore(8))
+
+    def test_round_trip(self):
+        store = self.build()
+        store.write(0, b"payload")
+        assert store.read(0) == b"payload"
+
+    def test_detects_decay(self):
+        store = self.build()
+        store.write(0, b"payload")
+        store.pages.decay(0, flip_byte=10)
+        with pytest.raises(PageCorruptError):
+            store.read(0)
+        assert not store.is_good(0)
+
+    def test_detects_torn_write(self):
+        store = self.build()
+        store.write(0, b"payload")
+        store.pages.tear(0)
+        with pytest.raises(PageCorruptError):
+            store.read(0)
+
+    def test_unwritten_page_is_corrupt(self):
+        with pytest.raises(PageCorruptError):
+            self.build().read(5)
+
+    def test_payload_capacity(self):
+        store = self.build()
+        store.write(0, b"x" * store.payload_size)
+        with pytest.raises(ValueError):
+            store.write(0, b"x" * (store.payload_size + 1))
+
+    def test_empty_payload_ok(self):
+        store = self.build()
+        store.write(0, b"")
+        assert store.read(0) == b""
+
+
+class TestStableStore:
+    def test_round_trip(self):
+        store = StableStore.create(8)
+        store.write(2, b"stable")
+        assert store.read(2) == b"stable"
+
+    def test_masks_primary_decay(self):
+        store = StableStore.create(8)
+        store.write(0, b"keep")
+        store.primary.pages.decay(0)
+        assert store.read(0) == b"keep"
+
+    def test_recover_repairs_decayed_primary(self):
+        store = StableStore.create(8)
+        store.write(0, b"keep")
+        store.primary.pages.decay(0)
+        assert store.recover() == 1
+        assert store.primary.read(0) == b"keep"
+
+    def test_recover_repairs_decayed_shadow(self):
+        store = StableStore.create(8)
+        store.write(0, b"keep")
+        store.shadow.pages.decay(0)
+        store.recover()
+        assert store.shadow.read(0) == b"keep"
+
+    def test_crash_between_writes_primary_wins(self):
+        store = StableStore.create(8)
+        store.write(0, b"old")
+        store.write_primary(0, b"new")  # crash before shadow write
+        store.recover()
+        assert store.read(0) == b"new"
+        assert store.shadow.read(0) == b"new"
+
+    def test_double_fault_raises(self):
+        store = StableStore.create(8)
+        store.write(0, b"gone")
+        store.primary.pages.decay(0)
+        store.shadow.pages.decay(0)
+        with pytest.raises(PageCorruptError):
+            store.recover()
+
+    def test_blank_pages_skipped_in_recover(self):
+        store = StableStore.create(8)
+        assert store.recover() == 0
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            StableStore(CarefulStore(PageStore(4)),
+                        CarefulStore(PageStore(8)))

@@ -1,0 +1,103 @@
+"""The stable-storage scavenger."""
+
+import pytest
+
+from repro.errors import PageCorruptError
+from repro.sim import Network, RandomStreams, Simulator
+from repro.storage import StorageServer
+
+
+def build(sim, scrub_interval=None, page_io_time=0.0):
+    network = Network(sim, RandomStreams(0), default_latency=1.0)
+    host = network.add_host("s1")
+    return StorageServer(sim, host, num_pages=64,
+                         page_io_time=page_io_time,
+                         scrub_interval=scrub_interval)
+
+
+class TestManualScrub:
+    def test_repairs_decayed_primary(self, sim):
+        server = build(sim)
+        server.fs.write_file_sync("f", b"keep" * 50, version=1,
+                                  create=True)
+        server.stable.primary.pages.decay(2)
+        repaired = sim.run_process(server.scrub())
+        assert repaired == 1
+        assert server.pages_scrubbed == 1
+        assert server.fs.read_file_sync("f") == (b"keep" * 50, 1)
+        # The primary copy itself is whole again.
+        assert server.stable.primary.is_good(2)
+
+    def test_clean_store_scrubs_nothing(self, sim):
+        server = build(sim)
+        server.fs.write_file_sync("f", b"x", version=1, create=True)
+        assert sim.run_process(server.scrub()) == 0
+
+    def test_scrub_charges_disk_time(self, sim):
+        server = build(sim, page_io_time=0.5)
+
+        def flow():
+            start = sim.now
+            yield from server.scrub()
+            return sim.now - start
+
+        assert sim.run_process(flow()) == pytest.approx(0.5 * 64)
+
+
+class TestScrubLoop:
+    def test_periodic_scrubbing_prevents_double_faults(self, sim):
+        """Decay one copy of a pair per window; the scrubber repairs
+        each before the other copy can decay too."""
+        server = build(sim, scrub_interval=100.0)
+        server.fs.write_file_sync("f", b"data" * 100, version=1,
+                                  create=True)
+        page = server.fs.stat("f").head  # the file's data page
+
+        def decayer():
+            # Alternate decay between the two copies of the data page,
+            # slower than the scrub interval: each fault is repaired
+            # before its twin can decay too.
+            for round_number in range(6):
+                if round_number % 2 == 0:
+                    server.stable.primary.pages.decay(page)
+                else:
+                    server.stable.shadow.pages.decay(page)
+                yield sim.timeout(250.0)
+
+        sim.spawn(decayer(), name="decayer")
+        sim.run(until=2_000.0)
+        assert server.pages_scrubbed >= 6
+        assert server.double_faults == 0
+        assert server.fs.read_file_sync("f") == (b"data" * 100, 1)
+
+    def test_without_scrubbing_double_fault_kills_the_pair(self, sim):
+        server = build(sim)  # no scrubber
+        server.fs.write_file_sync("f", b"data" * 100, version=1,
+                                  create=True)
+        page = server.fs.stat("f").head
+        server.stable.primary.pages.decay(page)
+        server.stable.shadow.pages.decay(page)
+        with pytest.raises(PageCorruptError):
+            sim.run_process(server.read_file("f"))
+
+    def test_double_fault_counted_not_fatal_to_loop(self, sim):
+        server = build(sim, scrub_interval=50.0)
+        server.fs.write_file_sync("f", b"data" * 100, version=1,
+                                  create=True)
+        page = server.fs.stat("f").head
+        server.stable.primary.pages.decay(page)
+        server.stable.shadow.pages.decay(page)
+        sim.run(until=200.0)
+        assert server.double_faults >= 1
+
+    def test_scrubber_skips_while_down(self, sim):
+        server = build(sim, scrub_interval=50.0)
+        server.host.crash()
+        sim.run(until=500.0)
+        assert server.pages_scrubbed == 0
+        server.host.restart()
+        server.fs.write_file_sync("g", b"x" * 400, version=1,
+                                  create=True)
+        server.stable.primary.pages.decay(server.fs.stat("g").head)
+        sim.run(until=600.0)
+        assert server.pages_scrubbed >= 1

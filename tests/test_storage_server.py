@@ -1,0 +1,123 @@
+"""Storage servers: disk timing and crash/restart semantics."""
+
+import pytest
+
+from repro.errors import ServerDownError
+from repro.sim import Network, RandomStreams, Simulator
+from repro.storage import StorageServer
+
+
+@pytest.fixture
+def server(sim, network):
+    host = network.add_host("s1")
+    return StorageServer(sim, host, num_pages=256, page_io_time=2.0)
+
+
+class TestTiming:
+    def test_write_charges_per_page_step(self, sim, server):
+        def work():
+            yield from server.write_file("f", b"x" * 100, version=1,
+                                         create=True)
+            return sim.now
+
+        elapsed = sim.run_process(work())
+        # Data chain (1 page) + directory chain + root, each duplexed:
+        # 6 steps at 2.0 each.
+        assert elapsed == pytest.approx(12.0)
+
+    def test_read_charges_per_page(self, sim, server):
+        def work():
+            yield from server.write_file("f", b"x" * 2000, version=1,
+                                         create=True)
+            start = sim.now
+            data, version = yield from server.read_file("f")
+            return sim.now - start, data
+
+        elapsed, data = sim.run_process(work())
+        assert data == b"x" * 2000
+        pages = -(-2000 // server.fs.chunk_size)
+        assert elapsed == pytest.approx(2.0 * pages)
+
+    def test_disk_serializes_concurrent_ops(self, sim, server):
+        finish_times = []
+
+        def writer(name):
+            yield from server.write_file(name, b"d", version=1,
+                                         create=True)
+            finish_times.append(sim.now)
+
+        sim.spawn(writer("a"))
+        sim.spawn(writer("b"))
+        sim.run()
+        assert finish_times == [12.0, 24.0]
+
+    def test_zero_io_time_is_instant(self, sim, network):
+        host = network.add_host("s0")
+        fast = StorageServer(sim, host, num_pages=64, page_io_time=0.0)
+
+        def work():
+            yield from fast.write_file("f", b"x", version=1, create=True)
+            return sim.now
+
+        assert sim.run_process(work()) == 0.0
+
+
+class TestCrashSemantics:
+    def test_down_server_rejects_ops(self, sim, server):
+        server.host.crash()
+        with pytest.raises(ServerDownError):
+            sim.run_process(server.read_file("any"))
+        with pytest.raises(ServerDownError):
+            server.stat("any")
+
+    def test_restart_remounts_and_preserves(self, sim, server):
+        def work():
+            yield from server.write_file("f", b"keep", version=2,
+                                         create=True)
+
+        sim.run_process(work())
+        server.host.crash()
+        server.host.restart()
+        assert server.recoveries == 1
+        assert server.stat("f").version == 2
+
+    def test_crash_mid_write_keeps_old_state(self, sim, server):
+        def setup():
+            yield from server.write_file("f", b"OLD", version=1,
+                                         create=True)
+
+        sim.run_process(setup())
+
+        process = sim.spawn(server.write_file("f", b"NEW" * 400,
+                                              version=2))
+        sim.run(until=sim.now + 3.0)   # a step or two into the write
+        process.kill()                 # what a host crash does to it
+        server.host.crash()
+        server.host.restart()
+        def check():
+            data, version = yield from server.read_file("f")
+            return data, version
+
+        assert sim.run_process(check()) == (b"OLD", 1)
+
+    def test_crash_restart_listeners(self, sim, server):
+        events = []
+        server.on_crash(lambda: events.append("crash"))
+        server.on_restart(lambda: events.append("restart"))
+        server.host.crash()
+        server.host.restart()
+        assert events == ["crash", "restart"]
+
+    def test_disk_resource_reset_on_restart(self, sim, server):
+        process = sim.spawn(server.write_file("f", b"x" * 3000, version=1,
+                                              create=True))
+        sim.run(until=1.0)
+        process.kill()
+        server.host.crash()
+        server.host.restart()
+        # Disk must be usable again.
+        def work():
+            yield from server.write_file("g", b"y", version=1, create=True)
+            return "ok"
+
+        assert sim.run_process(work()) == "ok"

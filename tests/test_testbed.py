@@ -1,0 +1,62 @@
+"""The deployment builder."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.testbed import (EXAMPLE_BASE_LATENCY, EXAMPLE_DATA_SIZE,
+                           Testbed, example_data, example_testbed)
+
+
+class TestConstruction:
+    def test_builds_servers_and_clients(self):
+        bed = Testbed(servers=["a", "b"], clients=["c1", "c2"])
+        assert set(bed.servers) == {"a", "b"}
+        assert set(bed.clients) == {"c1", "c2"}
+        for node in bed.servers.values():
+            assert node.server.up
+            assert node.participant is not None
+
+    def test_install_returns_working_handle(self, bed):
+        suite = bed.install(triple_config(), b"hello")
+        assert bed.run(suite.read()).data == b"hello"
+
+    def test_suite_handles_share_metrics(self, bed):
+        suite_one = bed.install(triple_config(name="one"), b"1")
+        suite_two = bed.install(triple_config(name="two"), b"2")
+        bed.run(suite_one.read())
+        bed.run(suite_two.read())
+        assert bed.metrics.counter("suite.reads").value == 2
+
+    def test_add_server_after_construction(self, bed):
+        bed.add_server("s4")
+        assert bed.servers["s4"].server.up
+
+    def test_crash_restart_helpers(self, bed):
+        bed.crash("s1")
+        assert not bed.servers["s1"].server.up
+        bed.restart("s1")
+        assert bed.servers["s1"].server.up
+
+    def test_settle_advances_time(self, bed):
+        before = bed.sim.now
+        bed.settle(500.0)
+        assert bed.sim.now == before + 500.0
+
+
+class TestExampleTestbed:
+    def test_builds_all_examples(self):
+        for number in (1, 2, 3):
+            bed, config = example_testbed(number)
+            assert set(bed.servers) == {rep.server
+                                        for rep in config.representatives}
+
+    def test_link_budget_matches_example_latency(self):
+        bed, config = example_testbed(2)
+        # Transferring the example payload over the rep-3 link costs
+        # its 750ms latency minus the base round trip.
+        byte_time = bed.network.byte_time_between("client", "server-3")
+        assert byte_time * EXAMPLE_DATA_SIZE == pytest.approx(
+            750.0 - 2 * EXAMPLE_BASE_LATENCY)
+
+    def test_example_data_size(self):
+        assert len(example_data()) == EXAMPLE_DATA_SIZE

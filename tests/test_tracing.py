@@ -1,0 +1,61 @@
+"""Protocol tracing: the audit trail of suite operations."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def traced_bed():
+    return Testbed(servers=["s1", "s2", "s3"], seed=7, trace=True)
+
+
+class TestSuiteTracing:
+    def test_reads_and_writes_traced(self, traced_bed):
+        bed = traced_bed
+        suite = bed.install(triple_config(), b"v1")
+        bed.run(suite.read())
+        bed.run(suite.write(b"v2"))
+        assert bed.tracer.count(component="suite:db", event="read") == 1
+        assert bed.tracer.count(component="suite:db", event="write") == 1
+        write_record = next(bed.tracer.matching(event="write"))
+        assert write_record.details["version"] == 2
+
+    def test_refresh_touches_exactly_the_stale_reps(self, traced_bed):
+        """The docstring promise of repro.sim.trace, kept: assert the
+        background refresher touched precisely the representatives the
+        write left behind."""
+        bed = traced_bed
+        suite = bed.install(triple_config(), b"v1")
+        write = bed.run(suite.write(b"v2"))
+        bed.settle()
+        refreshes = list(bed.tracer.matching(component="suite:db",
+                                             event="refresh"))
+        assert len(refreshes) == 1
+        assert refreshes[0].details["targets"] == ",".join(write.stale)
+        assert refreshes[0].details["version"] == 2
+
+    def test_aborted_write_not_traced(self, traced_bed):
+        bed = traced_bed
+        suite = bed.install(triple_config(), b"v1")
+        suite.max_attempts = 1
+        suite.inquiry_timeout = 50.0
+        bed.crash("s1")
+        bed.crash("s2")
+        with pytest.raises(Exception):
+            bed.run(suite.write(b"nope"))
+        assert bed.tracer.count(component="suite:db", event="write") == 0
+
+    def test_tracing_off_by_default(self, bed):
+        suite = bed.install(triple_config(), b"v1")
+        bed.run(suite.read())
+        assert bed.tracer.records == []
+
+    def test_trace_dump_readable(self, traced_bed):
+        bed = traced_bed
+        suite = bed.install(triple_config(), b"v1")
+        bed.run(suite.read())
+        dump = bed.tracer.dump()
+        assert "suite:db" in dump
+        assert "read" in dump

@@ -1,0 +1,312 @@
+"""Participant handlers, 2PC votes, recovery, and the idle sweeper."""
+
+import pytest
+
+from repro.errors import (NoSuchFileError, TransactionAborted)
+from repro.testbed import Testbed
+from repro.txn import VOTE_PREPARED, VOTE_READ_ONLY
+from repro.txn.log import record_file_name
+
+
+@pytest.fixture
+def bed():
+    return Testbed(servers=["s1", "s2"], seed=3, idle_abort_after=1_000.0)
+
+
+def manager_of(bed):
+    return bed.clients["client"].manager
+
+
+class TestDataOperations:
+    def test_stage_and_commit_visible(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"v1",
+                           version=1, create=True)
+            yield from txn.commit()
+            txn2 = manager.begin()
+            result = yield txn2.call("s1", "txn.read", name="f")
+            yield from txn2.commit()
+            return result
+
+        assert tuple(bed.run(flow())) == (b"v1", 1)
+
+    def test_read_your_own_writes(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"mine",
+                           version=9, create=True)
+            data, version = yield txn.call("s1", "txn.read", name="f")
+            stat = yield txn.call("s1", "txn.stat", name="f")
+            yield from txn.abort()
+            return data, version, stat["version"]
+
+        assert tuple(bed.run(flow())) == (b"mine", 9, 9)
+
+    def test_aborted_write_invisible(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"no",
+                           version=1, create=True)
+            yield from txn.abort()
+
+        bed.run(flow())
+        assert not bed.servers["s1"].server.fs.exists("f")
+
+    def test_stage_delete(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True)
+            yield from txn.commit()
+            txn2 = manager.begin()
+            yield txn2.call("s1", "txn.stage_delete", name="f")
+            yield from txn2.commit()
+
+        bed.run(flow())
+        assert not bed.servers["s1"].server.fs.exists("f")
+
+    def test_read_deleted_in_txn_fails(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True)
+            yield from txn.commit()
+            txn2 = manager.begin()
+            yield txn2.call("s1", "txn.stage_delete", name="f")
+            try:
+                yield txn2.call("s1", "txn.read", name="f")
+                outcome = "read ok"
+            except NoSuchFileError:
+                outcome = "missing"
+            yield from txn2.abort()
+            return outcome
+
+        assert bed.run(flow()) == "missing"
+
+    def test_only_if_newer_skips_stale_write(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"v5",
+                           version=5, create=True)
+            yield from txn.commit()
+            txn2 = manager.begin()
+            outcome = yield txn2.call(
+                "s1", "txn.stage_write", name="f", data=b"v3", version=3,
+                only_if_newer=True)
+            yield from txn2.commit()
+            return outcome
+
+        assert bed.run(flow()) == "skipped"
+        assert bed.servers["s1"].server.fs.read_file_sync("f") == (b"v5", 5)
+
+    def test_stat_detail_returns_properties(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True,
+                           properties={"stamp": 4, "config": {"a": 1}})
+            yield from txn.commit()
+            txn2 = manager.begin()
+            plain = yield txn2.call("s1", "txn.stat", name="f")
+            detailed = yield txn2.call("s1", "txn.stat", name="f",
+                                       detail=True)
+            yield from txn2.commit()
+            return plain, detailed
+
+        plain, detailed = bed.run(flow())
+        assert plain == {"version": 1, "stamp": 4}
+        assert detailed["properties"]["config"] == {"a": 1}
+
+
+class TestVotes:
+    def test_read_only_vote(self, bed):
+        manager = manager_of(bed)
+        participant = bed.servers["s1"].participant
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True)
+            yield from txn.commit()
+            txn2 = manager.begin()
+            yield txn2.call("s1", "txn.read", name="f")
+            vote = yield txn2.call("s1", "txn.prepare")
+            return vote
+
+        assert bed.run(flow()) == VOTE_READ_ONLY
+
+    def test_prepare_vote_and_durable_record(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True)
+            vote = yield txn.call("s1", "txn.prepare")
+            return vote, str(txn.txn_id)
+
+        vote, txn_text = bed.run(flow())
+        assert vote == VOTE_PREPARED
+        fs = bed.servers["s1"].server.fs
+        assert any(name.startswith("__txn__/") for name in fs.list_files())
+
+    def test_prepare_unknown_transaction_refused(self, bed):
+        manager = manager_of(bed)
+
+        def flow():
+            txn = manager.begin()
+            txn.participants.add("s1")  # pretend we talked to it
+            txn.staged.add("s1")
+            try:
+                yield from txn.commit()
+                return "committed"
+            except TransactionAborted:
+                return "aborted"
+
+        assert bed.run(flow()) == "aborted"
+
+
+class TestRecovery:
+    def test_committed_record_replayed_after_crash(self, bed):
+        manager = manager_of(bed)
+        server = bed.servers["s1"].server
+        participant = bed.servers["s1"].participant
+
+        def prepare_and_mark(txn_label):
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"redo",
+                           version=2, create=True)
+            yield txn.call("s1", "txn.prepare")
+            return txn
+
+        txn = bed.run(prepare_and_mark("t"))
+        # Manually flip the record to committed, simulating a crash right
+        # after the decision became durable but before apply finished.
+        from repro.txn.log import TransactionRecord, COMMITTED
+        record_name = record_file_name(txn.txn_id)
+        blob, _ = server.fs.read_file_sync(record_name)
+        record = TransactionRecord.decode(blob)
+        record.state = COMMITTED
+        server.fs.write_file_sync(record_name, record.encode(), version=1)
+
+        bed.crash("s1")
+        bed.restart("s1")
+        assert server.fs.read_file_sync("f") == (b"redo", 2)
+        assert not server.fs.exists(record_name)
+        assert participant.in_doubt() == []
+
+    def test_prepared_record_goes_in_doubt_and_blocks(self, bed):
+        manager = manager_of(bed)
+        participant = bed.servers["s1"].participant
+
+        def prepare_only():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True)
+            yield txn.call("s1", "txn.prepare")
+            return txn
+
+        txn = bed.run(prepare_only())
+        bed.crash("s1")
+        bed.restart("s1")
+        assert participant.in_doubt() == [txn.txn_id]
+        # The in-doubt transaction holds an exclusive lock on "f".
+        from repro.txn import EXCLUSIVE
+        assert participant.locks.holds(txn.txn_id, "f", EXCLUSIVE)
+
+    def test_in_doubt_resolved_by_commit(self, bed):
+        manager = manager_of(bed)
+        participant = bed.servers["s1"].participant
+
+        def prepare_only():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"late",
+                           version=3, create=True)
+            yield txn.call("s1", "txn.prepare")
+            return txn
+
+        txn = bed.run(prepare_only())
+        bed.crash("s1")
+        bed.restart("s1")
+
+        def resolve():
+            fresh = manager.begin()  # any txn handle can carry the call
+            ack = yield manager.endpoint.call(
+                "s1", "txn.commit", timeout=1_000.0, txn=str(txn.txn_id))
+            return ack
+
+        assert bed.run(resolve()) == "ack"
+        assert participant.in_doubt() == []
+        assert bed.servers["s1"].server.fs.read_file_sync("f") == (b"late", 3)
+
+    def test_in_doubt_resolved_by_abort(self, bed):
+        manager = manager_of(bed)
+        participant = bed.servers["s1"].participant
+
+        def prepare_only():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="g", data=b"x",
+                           version=1, create=True)
+            yield txn.call("s1", "txn.prepare")
+            return txn
+
+        txn = bed.run(prepare_only())
+        bed.crash("s1")
+        bed.restart("s1")
+
+        def resolve():
+            ack = yield manager.endpoint.call(
+                "s1", "txn.abort", timeout=1_000.0, txn=str(txn.txn_id))
+            return ack
+
+        assert bed.run(resolve()) == "ack"
+        assert participant.in_doubt() == []
+        assert not bed.servers["s1"].server.fs.exists("g")
+
+
+class TestIdleSweeper:
+    def test_idle_unprepared_transaction_swept(self, bed):
+        manager = manager_of(bed)
+        participant = bed.servers["s1"].participant
+
+        def start_and_abandon():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True)
+            # ... client walks away without committing.
+
+        bed.run(start_and_abandon())
+        assert len(participant._active) == 1
+        bed.settle(5_000.0)  # sweeper interval is idle_abort_after/2
+        assert len(participant._active) == 0
+        assert participant.idle_aborts == 1
+
+    def test_prepared_transaction_never_swept(self, bed):
+        manager = manager_of(bed)
+        participant = bed.servers["s1"].participant
+
+        def prepare_and_abandon():
+            txn = manager.begin()
+            yield txn.call("s1", "txn.stage_write", name="f", data=b"x",
+                           version=1, create=True)
+            yield txn.call("s1", "txn.prepare")
+
+        bed.run(prepare_and_abandon())
+        bed.settle(10_000.0)
+        assert len(participant._active) == 1
+        assert participant.idle_aborts == 0

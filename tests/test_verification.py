@@ -1,0 +1,167 @@
+"""The history checker itself, then the protocol checked by it."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.helpers import triple_config
+from repro.errors import ReproError
+from repro.testbed import Testbed
+from repro.verification import (HistoryRecorder, Operation, check_history)
+
+
+def op(client, kind, start, end, version, data=b""):
+    return Operation(client=client, kind=kind, start=start, end=end,
+                     version=version, data=data)
+
+
+class TestCheckerOnSyntheticHistories:
+    def test_empty_history_valid(self):
+        assert check_history([]) == []
+
+    def test_simple_valid_history(self):
+        history = [
+            op("a", "write", 0, 1, 2, b"x"),
+            op("b", "read", 2, 3, 2, b"x"),
+        ]
+        assert check_history(history) == []
+
+    def test_duplicate_write_versions_flagged(self):
+        history = [
+            op("a", "write", 0, 1, 2, b"x"),
+            op("b", "write", 0, 1, 2, b"y"),
+        ]
+        violations = check_history(history)
+        assert any(v.rule == "W1" for v in violations)
+
+    def test_read_of_wrong_data_flagged(self):
+        history = [
+            op("a", "write", 0, 1, 2, b"right"),
+            op("b", "read", 2, 3, 2, b"wrong"),
+        ]
+        assert any(v.rule == "W2" for v in check_history(history))
+
+    def test_read_of_phantom_version_flagged(self):
+        history = [op("b", "read", 0, 1, 7, b"ghost")]
+        assert any(v.rule == "R2" for v in check_history(history))
+
+    def test_stale_read_after_write_flagged(self):
+        history = [
+            op("a", "write", 0, 1, 2, b"new"),
+            op("b", "read", 5, 6, 1, b""),  # reads the install version
+        ]
+        assert any(v.rule == "R1" for v in check_history(history))
+
+    def test_version_regression_between_writes_flagged(self):
+        history = [
+            op("a", "write", 0, 1, 3, b"x"),
+            op("b", "write", 5, 6, 2, b"y"),
+        ]
+        assert any(v.rule == "R1" for v in check_history(history))
+
+    def test_concurrent_operations_unconstrained(self):
+        # b starts before a ends: any version order is acceptable.
+        history = [
+            op("a", "write", 0, 10, 3, b"x"),
+            op("b", "read", 5, 6, 1, b""),
+        ]
+        assert check_history(history) == []
+
+    def test_install_data_respected(self):
+        history = [op("b", "read", 0, 1, 1, b"seed")]
+        assert check_history(history, install_data=b"seed") == []
+        assert check_history(history, install_data=b"other") != []
+
+    def test_operation_validation(self):
+        with pytest.raises(ValueError):
+            op("a", "mystery", 0, 1, 1)
+        with pytest.raises(ValueError):
+            op("a", "read", 5, 1, 1)
+
+
+class TestProtocolUnderChecker:
+    def run_workload(self, seed, clients=3, ops_per_client=8,
+                     crash=False):
+        names = [f"c{i}" for i in range(clients)]
+        bed = Testbed(servers=["s1", "s2", "s3"], clients=names,
+                      seed=seed)
+        config = triple_config()
+        history = []
+        recorders = []
+        first = True
+        for name in names:
+            if first:
+                suite = bed.install(config, b"seed", client=name)
+                first = False
+            else:
+                suite = bed.suite(config, client=name)
+            suite.retry_backoff = 120.0
+            recorders.append(HistoryRecorder(suite, name, history))
+
+        def client_loop(recorder, index):
+            rng = bed.streams.stream(f"verify:{recorder.client}")
+            for i in range(ops_per_client):
+                try:
+                    if rng.random() < 0.5:
+                        yield from recorder.read()
+                    else:
+                        yield from recorder.write(
+                            f"{recorder.client}-{i}".encode())
+                except ReproError:
+                    pass  # blocked ops record nothing: fine
+                yield bed.sim.timeout(rng.uniform(0, 40.0))
+
+        def chaos():
+            yield bed.sim.timeout(100.0)
+            bed.crash("s2")
+            yield bed.sim.timeout(300.0)
+            bed.restart("s2")
+
+        processes = [bed.sim.spawn(client_loop(recorder, i),
+                                   name=f"verify-{i}")
+                     for i, recorder in enumerate(recorders)]
+        if crash:
+            bed.sim.spawn(chaos(), name="chaos")
+        bed.sim.run_until(bed.sim.all_of(processes))
+        return history
+
+    def test_concurrent_clients_strictly_serializable(self):
+        history = self.run_workload(seed=101)
+        assert len(history) > 10
+        assert check_history(history, install_data=b"seed") == []
+
+    def test_still_serializable_under_crashes(self):
+        history = self.run_workload(seed=102, crash=True)
+        violations = check_history(history, install_data=b"seed")
+        assert violations == []
+
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_seeds_always_serializable(self, seed):
+        history = self.run_workload(seed=seed, clients=2,
+                                    ops_per_client=6)
+        assert check_history(history, install_data=b"seed") == []
+
+    def test_checker_catches_a_broken_protocol(self):
+        """Sanity check of the checker itself against a protocol we
+        know is broken: the single-representative inquiry client from
+        the anomaly suite produces R1 violations."""
+        from tests.test_anomalies import SingleRepInquiryClient
+
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=103,
+                      refresh_enabled=False)
+        config = triple_config()
+        good = bed.install(config, b"seed")
+        history = []
+        good_recorder = HistoryRecorder(good, "good", history)
+        bed.run(good_recorder.write(b"v2"))     # quorum {s1, s2}
+
+        broken = SingleRepInquiryClient(
+            bed.clients["client"].manager, config, max_attempts=1,
+            inquiry_timeout=100.0)
+        broken_recorder = HistoryRecorder(broken, "broken", history)
+        bed.crash("s1")
+        bed.crash("s2")
+        bed.run(broken_recorder.read())         # stale read, recorded
+        violations = check_history(history, install_data=b"seed")
+        assert any(v.rule == "R1" for v in violations)

@@ -1,0 +1,242 @@
+"""The Violet-style calendar application over file suites."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.testbed import Testbed
+from repro.violet import (Appointment, Calendar, CalendarError,
+                          decode_calendar, empty_calendar_data,
+                          encode_calendar)
+
+
+@pytest.fixture
+def cal_bed():
+    bed = Testbed(servers=["s1", "s2", "s3"], clients=["alice", "bob"],
+                  seed=13)
+    config = triple_config(name="cal")
+    suite_alice = bed.install(config, empty_calendar_data(),
+                              client="alice")
+    suite_bob = bed.suite(config, client="bob")
+    return bed, Calendar(suite_alice, "alice"), Calendar(suite_bob, "bob")
+
+
+class TestAppointment:
+    def test_rejects_reversed_times(self):
+        with pytest.raises(CalendarError):
+            Appointment(entry_id=1, title="x", start=5.0, end=4.0,
+                        owner="a")
+
+    def test_overlap_logic(self):
+        first = Appointment(1, "a", 1.0, 3.0, "u")
+        second = Appointment(2, "b", 2.0, 4.0, "u")
+        third = Appointment(3, "c", 3.0, 5.0, "u")
+        assert first.overlaps(second)
+        assert not first.overlaps(third)  # touching is not overlapping
+
+    def test_encoding_round_trip(self):
+        entries = [Appointment(1, "meet", 9.0, 10.0, "a", ("b", "c"))]
+        blob = encode_calendar(2, entries)
+        next_id, decoded = decode_calendar(blob)
+        assert next_id == 2
+        assert decoded == entries
+
+    def test_decode_empty_blob(self):
+        assert decode_calendar(b"") == (1, [])
+
+    def test_entries_sorted_by_start(self):
+        entries = [Appointment(1, "late", 15.0, 16.0, "a"),
+                   Appointment(2, "early", 9.0, 10.0, "a")]
+        _next, decoded = decode_calendar(encode_calendar(3, entries))
+        assert [e.title for e in decoded] == ["early", "late"]
+
+
+class TestCalendarOperations:
+    def test_add_and_list(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def flow():
+            yield from alice.add_appointment("standup", 9.0, 9.5)
+            yield from bob.add_appointment("review", 10.0, 11.0)
+            entries = yield from alice.appointments()
+            return [(e.title, e.owner) for e in entries]
+
+        assert bed.run(flow()) == [("standup", "alice"),
+                                   ("review", "bob")]
+
+    def test_ids_unique_across_users(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def flow():
+            a = yield from alice.add_appointment("a", 1.0, 2.0)
+            b = yield from bob.add_appointment("b", 3.0, 4.0)
+            c = yield from alice.add_appointment("c", 5.0, 6.0)
+            return [a.entry_id, b.entry_id, c.entry_id]
+
+        ids = bed.run(flow())
+        assert len(set(ids)) == 3
+
+    def test_cancel_own_entry(self, cal_bed):
+        bed, alice, _bob = cal_bed
+
+        def flow():
+            entry = yield from alice.add_appointment("tmp", 1.0, 2.0)
+            yield from alice.cancel(entry.entry_id)
+            return (yield from alice.appointments())
+
+        assert bed.run(flow()) == []
+
+    def test_cancel_foreign_entry_rejected(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def flow():
+            entry = yield from alice.add_appointment("mine", 1.0, 2.0)
+            try:
+                yield from bob.cancel(entry.entry_id)
+                return "cancelled"
+            except CalendarError:
+                return "refused"
+
+        assert bed.run(flow()) == "refused"
+
+    def test_cancel_unknown_rejected(self, cal_bed):
+        bed, alice, _bob = cal_bed
+
+        def flow():
+            try:
+                yield from alice.cancel(999)
+                return "ok"
+            except CalendarError:
+                return "missing"
+
+        assert bed.run(flow()) == "missing"
+
+    def test_reschedule(self, cal_bed):
+        bed, alice, _bob = cal_bed
+
+        def flow():
+            entry = yield from alice.add_appointment("move", 9.0, 10.0)
+            moved = yield from alice.reschedule(entry.entry_id, 14.0, 15.0)
+            entries = yield from alice.appointments()
+            return moved.start, entries[0].start
+
+        assert bed.run(flow()) == (14.0, 14.0)
+
+    def test_agenda_includes_invitations(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def flow():
+            yield from alice.add_appointment("1:1", 9.0, 10.0,
+                                             attendees=("bob",))
+            yield from alice.add_appointment("solo", 11.0, 12.0)
+            agenda = yield from bob.agenda_for("bob")
+            return [e.title for e in agenda]
+
+        assert bed.run(flow()) == ["1:1"]
+
+    def test_between_window(self, cal_bed):
+        bed, alice, _bob = cal_bed
+
+        def flow():
+            yield from alice.add_appointment("early", 8.0, 9.0)
+            yield from alice.add_appointment("mid", 10.0, 11.0)
+            yield from alice.add_appointment("late", 15.0, 16.0)
+            window = yield from alice.between(9.5, 12.0)
+            return [e.title for e in window]
+
+        assert bed.run(flow()) == ["mid"]
+
+
+class TestConflictDetection:
+    def test_conflicting_add_rejected(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def flow():
+            yield from alice.add_appointment("busy", 9.0, 10.0,
+                                             attendees=("bob",))
+            try:
+                yield from bob.add_appointment("clash", 9.5, 10.5,
+                                               reject_conflicts=True)
+                return "added"
+            except CalendarError:
+                return "conflict"
+
+        assert bed.run(flow()) == "conflict"
+
+    def test_non_overlapping_people_no_conflict(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def flow():
+            yield from alice.add_appointment("a-own", 9.0, 10.0)
+            entry = yield from bob.add_appointment(
+                "same-time", 9.0, 10.0, reject_conflicts=True)
+            return entry.title
+
+        assert bed.run(flow()) == "same-time"
+
+    def test_failed_conflict_add_leaves_no_locks(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def flow():
+            yield from alice.add_appointment("busy", 9.0, 10.0,
+                                             attendees=("bob",))
+            try:
+                yield from bob.add_appointment("clash", 9.0, 10.0,
+                                               reject_conflicts=True)
+            except CalendarError:
+                pass
+            # Immediately writable: the aborted attempt released locks.
+            entry = yield from bob.add_appointment("later", 20.0, 21.0)
+            return entry.title
+
+        assert bed.run(flow()) == "later"
+
+
+class TestConcurrency:
+    def test_no_lost_updates(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def race():
+            pa = bed.sim.spawn(alice.add_appointment("a", 1.0, 2.0))
+            pb = bed.sim.spawn(bob.add_appointment("b", 3.0, 4.0))
+            yield bed.sim.all_of([pa, pb])
+            entries = yield from alice.appointments()
+            return sorted(e.title for e in entries)
+
+        assert bed.run(race()) == ["a", "b"]
+
+    def test_concurrent_conflicting_adds_one_wins(self, cal_bed):
+        bed, alice, bob = cal_bed
+
+        def one(cal, title):
+            try:
+                entry = yield from cal.add_appointment(
+                    title, 9.0, 10.0, attendees=("alice", "bob"),
+                    reject_conflicts=True)
+                return entry.title
+            except CalendarError:
+                return None
+
+        def race():
+            pa = bed.sim.spawn(one(alice, "a-slot"))
+            pb = bed.sim.spawn(one(bob, "b-slot"))
+            results = yield bed.sim.all_of([pa, pb])
+            entries = yield from alice.appointments()
+            return results, [e.title for e in entries]
+
+        results, entries = bed.run(race())
+        winners = [r for r in results if r is not None]
+        assert len(winners) == 1
+        assert entries == winners
+
+    def test_calendar_survives_server_crash(self, cal_bed):
+        bed, alice, _bob = cal_bed
+
+        def flow():
+            yield from alice.add_appointment("before", 1.0, 2.0)
+            bed.crash("s1")
+            yield from alice.add_appointment("during", 3.0, 4.0)
+            bed.restart("s1")
+            entries = yield from alice.appointments()
+            return [e.title for e in entries]
+
+        assert bed.run(flow()) == ["before", "during"]

@@ -1,0 +1,174 @@
+"""Meeting scheduling across per-user calendar suites."""
+
+import pytest
+
+from repro.core import make_configuration
+from repro.testbed import Testbed
+from repro.violet import (Calendar, CalendarError, MeetingScheduler,
+                          SchedulingConflict, decode_calendar,
+                          empty_calendar_data)
+
+USERS = ["alice", "bob", "carol"]
+
+
+@pytest.fixture
+def sched_bed():
+    bed = Testbed(servers=["s1", "s2", "s3"], seed=17)
+    node = bed.clients["client"]
+    calendars = {}
+    for user in USERS:
+        config = make_configuration(
+            f"cal-{user}", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+            latency_hints={"s1": 5.0, "s2": 10.0, "s3": 15.0})
+        calendars[user] = bed.install(config, empty_calendar_data())
+    scheduler = MeetingScheduler(node.manager, calendars)
+    return bed, scheduler, calendars
+
+
+def entries_of(bed, suite):
+    result = bed.run(suite.read())
+    return decode_calendar(result.data)[1]
+
+
+class TestScheduling:
+    def test_meeting_appears_on_every_calendar(self, sched_bed):
+        bed, scheduler, calendars = sched_bed
+        meeting = bed.run(scheduler.schedule(
+            "alice", ["bob", "carol"], "kickoff", 9.0, 10.0))
+        assert meeting.participants == ("alice", "bob", "carol")
+        for user in USERS:
+            entries = entries_of(bed, calendars[user])
+            assert len(entries) == 1
+            assert entries[0].title == "kickoff"
+            assert entries[0].meeting_id == meeting.meeting_id
+
+    def test_conflict_rejected_atomically(self, sched_bed):
+        bed, scheduler, calendars = sched_bed
+        bed.run(scheduler.schedule("bob", [], "bob-busy", 9.0, 10.0))
+        with pytest.raises(SchedulingConflict) as excinfo:
+            bed.run(scheduler.schedule(
+                "alice", ["bob", "carol"], "clash", 9.5, 10.5))
+        assert "bob" in excinfo.value.blockers
+        # Nobody else's calendar was touched.
+        assert entries_of(bed, calendars["alice"]) == []
+        assert entries_of(bed, calendars["carol"]) == []
+
+    def test_unknown_participant_rejected(self, sched_bed):
+        bed, scheduler, _calendars = sched_bed
+        with pytest.raises(CalendarError):
+            bed.run(scheduler.schedule("alice", ["mallory"], "x",
+                                       1.0, 2.0))
+
+    def test_meeting_ids_unique(self, sched_bed):
+        bed, scheduler, _calendars = sched_bed
+        first = bed.run(scheduler.schedule("alice", [], "a", 1.0, 2.0))
+        second = bed.run(scheduler.schedule("alice", [], "b", 3.0, 4.0))
+        assert first.meeting_id != second.meeting_id
+
+    def test_survives_one_server_crash(self, sched_bed):
+        bed, scheduler, calendars = sched_bed
+        bed.crash("s3")
+        meeting = bed.run(scheduler.schedule(
+            "alice", ["bob"], "resilient", 9.0, 10.0))
+        for user in ("alice", "bob"):
+            assert entries_of(bed, calendars[user])[0].title == "resilient"
+
+
+class TestCancel:
+    def test_cancel_removes_everywhere(self, sched_bed):
+        bed, scheduler, calendars = sched_bed
+        meeting = bed.run(scheduler.schedule(
+            "alice", ["bob", "carol"], "temp", 9.0, 10.0))
+        bed.run(scheduler.cancel(meeting, by="alice"))
+        for user in USERS:
+            assert entries_of(bed, calendars[user]) == []
+
+    def test_only_organizer_may_cancel(self, sched_bed):
+        bed, scheduler, _calendars = sched_bed
+        meeting = bed.run(scheduler.schedule(
+            "alice", ["bob"], "locked", 9.0, 10.0))
+        with pytest.raises(CalendarError):
+            bed.run(scheduler.cancel(meeting, by="bob"))
+
+    def test_cancel_leaves_other_entries(self, sched_bed):
+        bed, scheduler, calendars = sched_bed
+        keep = bed.run(scheduler.schedule("bob", [], "keep", 13.0, 14.0))
+        victim = bed.run(scheduler.schedule(
+            "alice", ["bob"], "victim", 9.0, 10.0))
+        bed.run(scheduler.cancel(victim, by="alice"))
+        titles = [entry.title
+                  for entry in entries_of(bed, calendars["bob"])]
+        assert titles == ["keep"]
+
+
+class TestFindFreeSlot:
+    def test_finds_earliest_common_gap(self, sched_bed):
+        bed, scheduler, _calendars = sched_bed
+        bed.run(scheduler.schedule("alice", [], "a", 9.0, 10.0))
+        bed.run(scheduler.schedule("bob", [], "b", 10.0, 11.0))
+        slot = bed.run(scheduler.find_free_slot(
+            ["alice", "bob"], duration=1.0,
+            window_start=9.0, window_end=17.0))
+        assert slot == 11.0
+
+    def test_none_when_window_full(self, sched_bed):
+        bed, scheduler, _calendars = sched_bed
+        bed.run(scheduler.schedule("alice", [], "all-day", 9.0, 17.0))
+        slot = bed.run(scheduler.find_free_slot(
+            ["alice"], duration=1.0, window_start=9.0,
+            window_end=17.0))
+        assert slot is None
+
+    def test_slot_respects_duration(self, sched_bed):
+        bed, scheduler, _calendars = sched_bed
+        bed.run(scheduler.schedule("alice", [], "a", 10.0, 11.0))
+        slot = bed.run(scheduler.find_free_slot(
+            ["alice"], duration=1.0, window_start=9.0,
+            window_end=12.0))
+        assert slot == 9.0
+        slot = bed.run(scheduler.find_free_slot(
+            ["alice"], duration=2.0, window_start=9.0,
+            window_end=17.0))
+        assert slot == 11.0
+
+
+class TestConcurrentScheduling:
+    def test_two_organizers_same_slot_one_wins(self):
+        bed = Testbed(servers=["s1", "s2", "s3"],
+                      clients=["c1", "c2"], seed=18)
+        calendars_one, calendars_two = {}, {}
+        for user in ("alice", "bob"):
+            config = make_configuration(
+                f"cal-{user}", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2)
+            calendars_one[user] = bed.install(config, empty_calendar_data(),
+                                              client="c1")
+            calendars_two[user] = bed.suite(config, client="c2")
+        sched_one = MeetingScheduler(bed.clients["c1"].manager,
+                                     calendars_one)
+        sched_two = MeetingScheduler(bed.clients["c2"].manager,
+                                     calendars_two)
+
+        def try_schedule(scheduler, title):
+            try:
+                meeting = yield from scheduler.schedule(
+                    "alice", ["bob"], title, 9.0, 10.0)
+                return meeting.title
+            except SchedulingConflict:
+                return None
+
+        def race():
+            first = bed.sim.spawn(try_schedule(sched_one, "one"))
+            second = bed.sim.spawn(try_schedule(sched_two, "two"))
+            outcomes = yield bed.sim.all_of([first, second])
+            return outcomes
+
+        outcomes = bed.run(race())
+        winners = [outcome for outcome in outcomes if outcome]
+        assert len(winners) == 1
+        # Both calendars agree on the single winner.
+        alice = decode_calendar(
+            bed.run(calendars_one["alice"].read()).data)[1]
+        bob = decode_calendar(
+            bed.run(calendars_one["bob"].read()).data)[1]
+        assert [e.title for e in alice] == winners
+        assert [e.title for e in bob] == winners

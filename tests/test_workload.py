@@ -1,0 +1,124 @@
+"""Workload mixes, payloads and drivers."""
+
+import pytest
+
+from tests.helpers import triple_config
+from repro.sim import RandomStreams
+from repro.workload import (ClosedLoopDriver, OpenLoopDriver, OperationMix,
+                            PayloadShape, READ, WRITE)
+
+
+class TestOperationMix:
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            OperationMix(read_fraction=1.5)
+
+    def test_read_only_and_write_only(self):
+        rng = RandomStreams(0).stream("m")
+        assert all(OperationMix.read_only().choose(rng) == READ
+                   for _ in range(20))
+        assert all(OperationMix.write_only().choose(rng) == WRITE
+                   for _ in range(20))
+
+    def test_mix_roughly_matches_fraction(self):
+        rng = RandomStreams(0).stream("m")
+        mix = OperationMix(read_fraction=0.7)
+        reads = sum(mix.choose(rng) == READ for _ in range(2000))
+        assert 1300 < reads < 1500
+
+
+class TestPayloadShape:
+    def test_fixed_size(self):
+        rng = RandomStreams(0).stream("p")
+        payload = PayloadShape(size=128).build(rng, 7)
+        assert len(payload) == 128
+        assert payload.startswith(b"#7:")
+
+    def test_jitter_varies_size(self):
+        rng = RandomStreams(0).stream("p")
+        shape = PayloadShape(size=1000, jitter=0.5)
+        sizes = {len(shape.build(rng, i)) for i in range(50)}
+        assert len(sizes) > 5
+        assert all(500 <= s <= 1000 for s in sizes)
+
+    def test_tiny_size_truncates_marker(self):
+        rng = RandomStreams(0).stream("p")
+        assert len(PayloadShape(size=2).build(rng, 123)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PayloadShape(size=-1)
+        with pytest.raises(ValueError):
+            PayloadShape(jitter=2.0)
+
+
+class TestClosedLoopDriver:
+    def test_runs_requested_operations(self, bed):
+        suite = bed.install(triple_config(), b"seed")
+        driver = ClosedLoopDriver(bed.sim, suite,
+                                  OperationMix(read_fraction=0.5),
+                                  streams=bed.streams, name="d1")
+        stats = bed.run(driver.run(30))
+        assert stats.operations == 30
+        assert stats.reads + stats.writes == 30
+        assert stats.read_latency.count == stats.reads
+        assert stats.write_latency.count == stats.writes
+
+    def test_think_time_spaces_operations(self, bed):
+        suite = bed.install(triple_config(), b"seed")
+        driver = ClosedLoopDriver(bed.sim, suite,
+                                  OperationMix.read_only(),
+                                  think_time=100.0, streams=bed.streams)
+        start = bed.sim.now
+        bed.run(driver.run(5))
+        assert bed.sim.now - start >= 500.0
+
+    def test_blocked_operations_counted(self, bed):
+        suite = bed.install(triple_config(), b"seed")
+        suite.max_attempts = 1
+        suite.inquiry_timeout = 50.0
+        bed.crash("s1")
+        bed.crash("s2")
+        driver = ClosedLoopDriver(bed.sim, suite, OperationMix.read_only(),
+                                  streams=bed.streams)
+        stats = bed.run(driver.run(5))
+        assert stats.read_blocked == 5
+        assert stats.read_blocking_rate == 1.0
+        assert stats.operations == 0
+
+    def test_run_for_duration(self, bed):
+        suite = bed.install(triple_config(), b"seed")
+        driver = ClosedLoopDriver(bed.sim, suite, OperationMix.read_only(),
+                                  think_time=10.0, streams=bed.streams)
+        stats = bed.run(driver.run_for(500.0))
+        assert stats.operations > 5
+        assert bed.sim.now >= 500.0
+
+    def test_summary_keys(self, bed):
+        suite = bed.install(triple_config(), b"seed")
+        driver = ClosedLoopDriver(bed.sim, suite, OperationMix(0.5),
+                                  streams=bed.streams)
+        stats = bed.run(driver.run(10))
+        summary = stats.summary()
+        assert summary["operations"] == 10.0
+        assert "read_latency_mean" in summary
+
+
+class TestOpenLoopDriver:
+    def test_arrivals_independent_of_latency(self, bed):
+        suite = bed.install(triple_config(), b"seed")
+        driver = OpenLoopDriver(bed.sim, suite, OperationMix.read_only(),
+                                interarrival=5.0, streams=bed.streams)
+        stats = bed.run(driver.run(20))
+        assert stats.operations == 20
+
+    def test_blocked_trials_do_not_stop_arrivals(self, bed):
+        suite = bed.install(triple_config(), b"seed")
+        suite.max_attempts = 1
+        suite.inquiry_timeout = 20.0
+        bed.crash("s1")
+        bed.crash("s2")
+        driver = OpenLoopDriver(bed.sim, suite, OperationMix.read_only(),
+                                interarrival=50.0, streams=bed.streams)
+        stats = bed.run(driver.run(10))
+        assert stats.read_blocked == 10
