@@ -1,12 +1,13 @@
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench examples table1 all clean
+.PHONY: test bench examples table1 results all clean
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYTHON) -m pytest -q benchmarks/ -s
 
 examples:
 	@for script in examples/*.py; do \
@@ -18,8 +19,8 @@ table1:
 	$(PYTHON) -m repro table1
 
 results:
-	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	$(PYTHON) -m pytest -q tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest -q benchmarks/ -s 2>&1 | tee bench_output.txt
 
 all: test bench examples
 

@@ -8,14 +8,18 @@ Subcommands::
     python -m repro tune --read-fraction 0.9 \\
         --server fast:10:0.99 --server slow:200:0.95
     python -m repro demo                       # quickstart scenario
+    python -m repro serve --name server-1      # live storage daemon
+    python -m repro live-demo                  # quorum ops on real TCP
 
-All output is plain text; everything runs in simulated time and
-finishes in seconds.
+Analytic and simulated subcommands run in simulated time and finish in
+seconds; ``serve`` and ``live-demo`` use the asyncio runtime on real
+loopback sockets in wall-clock time.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional, Sequence
 
@@ -225,6 +229,84 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run one live storage server daemon until interrupted."""
+    from .live import LiveStorageServer
+
+    async def _serve() -> None:
+        server = LiveStorageServer(args.name, data_dir=args.data_dir,
+                                   num_pages=args.num_pages,
+                                   page_size=args.page_size)
+        host, port = await server.start(args.host, args.port)
+        where = (f"data in {args.data_dir}" if args.data_dir
+                 else "in-memory pages")
+        print(f"storage server {args.name!r} listening on "
+              f"{host}:{port} ({where})", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # e.g. port already in use
+        print(f"repro serve: cannot listen on "
+              f"{args.host}:{args.port}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_live_demo(args: argparse.Namespace) -> int:
+    """The quickstart demo over real loopback TCP sockets."""
+    from .live import LoopbackCluster
+
+    async def _demo() -> None:
+        async with LoopbackCluster(["s1", "s2", "s3"],
+                                   seed=args.seed) as cluster:
+            for name, server in cluster.servers.items():
+                host, port = server.address
+                print(f"booted {name} on {host}:{port}")
+            config = make_configuration(
+                "live-demo", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+                latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+            suite = await cluster.install(config, b"hello, 1979 (live)")
+            read = await cluster.read(suite)
+            print(f"read {read.data!r} at version {read.version} "
+                  f"(served by {read.served_by})")
+            write = await cluster.write(suite, b"weighted voting over TCP")
+            print(f"wrote version {write.version} to quorum "
+                  f"{sorted(write.quorum)}")
+            await cluster.stop_server("s1")
+            read = await cluster.read(suite)
+            print(f"with s1 stopped, read {read.data!r} at version "
+                  f"{read.version} (served by {read.served_by})")
+            write = await cluster.write(suite, b"s1 missed this write")
+            print(f"with s1 stopped, wrote version {write.version} "
+                  f"to quorum {sorted(write.quorum)}")
+            await cluster.restart_server("s1")
+            # s1 came back stale; ask the refresher to bring it current
+            # and wait for the repair to land on its file system.
+            cluster.client.refresher.schedule(suite, ["rep-1"],
+                                              write.version)
+            loop = asyncio.get_event_loop()
+            deadline = loop.time() + 10.0
+            while loop.time() < deadline:
+                versions = sorted(
+                    node.server.fs.stat(config.file_name).version
+                    for node in cluster.servers.values())
+                if versions == [write.version] * 3:
+                    break
+                await asyncio.sleep(0.05)
+            print(f"after restart and background refresh, "
+                  f"versions: {versions}")
+
+    asyncio.run(_demo())
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -278,6 +360,26 @@ def build_parser() -> argparse.ArgumentParser:
         "scaling", help="availability and message cost vs suite size")
     scaling.add_argument("--availability", type=float, default=0.9)
     scaling.set_defaults(handler=cmd_scaling)
+
+    serve = subparsers.add_parser(
+        "serve", help="run a live storage server daemon (asyncio TCP)")
+    serve.add_argument("--name", required=True,
+                       help="server name clients address RPCs to")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--data-dir", default=None,
+                       help="directory for on-disk stable storage "
+                            "(omit for in-memory pages)")
+    serve.add_argument("--num-pages", type=int, default=4096)
+    serve.add_argument("--page-size", type=int, default=512)
+    serve.set_defaults(handler=cmd_serve)
+
+    live_demo = subparsers.add_parser(
+        "live-demo",
+        help="quorum reads/writes over real loopback TCP sockets")
+    live_demo.add_argument("--seed", type=int, default=0)
+    live_demo.set_defaults(handler=cmd_live_demo)
 
     return parser
 

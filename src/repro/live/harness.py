@@ -1,0 +1,112 @@
+"""In-process loopback cluster: N live servers + a client, one loop.
+
+The live counterpart of :class:`~repro.testbed.Testbed`: boots storage
+servers on ephemeral loopback TCP ports, wires a client runtime to
+them, and exposes the same install/read/write/crash surface — but every
+call crosses real sockets in wall-clock time.  Used by the parity
+tests, the throughput benchmark and the ``live-demo`` CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Generator, Optional, Sequence
+
+from ..core.suite import FileSuiteClient
+from ..core.votes import SuiteConfiguration
+from .runtime import LiveRuntime
+from .server import LiveStorageServer
+
+
+class LoopbackCluster:
+    """Boot N live storage servers plus a client on 127.0.0.1.
+
+    Async context manager::
+
+        async with LoopbackCluster(["s1", "s2", "s3"]) as cluster:
+            suite = await cluster.install(config, b"v1")
+            print(await cluster.read(suite))
+    """
+
+    def __init__(self, servers: Sequence[str],
+                 client_name: str = "client",
+                 call_timeout: float = 2_000.0,
+                 transport_attempts: int = 3,
+                 num_pages: int = 4096,
+                 page_size: int = 512,
+                 data_root: Optional[str] = None,
+                 seed: int = 0) -> None:
+        self._server_names = list(servers)
+        self._client_name = client_name
+        self._call_timeout = call_timeout
+        self._transport_attempts = transport_attempts
+        self._num_pages = num_pages
+        self._page_size = page_size
+        self._data_root = data_root
+        self._seed = seed
+        self.servers: Dict[str, LiveStorageServer] = {}
+        self.client: Optional[LiveRuntime] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "LoopbackCluster":
+        for name in self._server_names:
+            data_dir = (f"{self._data_root}/{name}"
+                        if self._data_root is not None else None)
+            server = LiveStorageServer(
+                name, data_dir=data_dir, num_pages=self._num_pages,
+                page_size=self._page_size)
+            await server.start()
+            self.servers[name] = server
+        self.client = LiveRuntime(
+            self._client_name, call_timeout=self._call_timeout,
+            transport_attempts=self._transport_attempts, seed=self._seed)
+        for name, server in self.servers.items():
+            host, port = server.address  # type: ignore[misc]
+            self.client.register_server(name, host, port)
+        return self
+
+    async def close(self) -> None:
+        if self.client is not None:
+            await self.client.close()
+        for server in self.servers.values():
+            await server.close()
+
+    async def __aenter__(self) -> "LoopbackCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- failure injection -------------------------------------------------
+
+    async def stop_server(self, name: str) -> None:
+        """Take one representative offline (listener closed, host down)."""
+        await self.servers[name].stop()
+
+    async def restart_server(self, name: str) -> None:
+        """Bring a stopped representative back on its old port."""
+        await self.servers[name].restart()
+
+    # -- protocol shortcuts ------------------------------------------------
+
+    def run(self, generator: Generator) -> "asyncio.Future[Any]":
+        assert self.client is not None, "cluster not started"
+        return self.client.run(generator)
+
+    def suite(self, config: SuiteConfiguration,
+              **kwargs: Any) -> FileSuiteClient:
+        assert self.client is not None, "cluster not started"
+        return self.client.suite(config, **kwargs)
+
+    async def install(self, config: SuiteConfiguration,
+                      initial_data: bytes = b"",
+                      **kwargs: Any) -> FileSuiteClient:
+        assert self.client is not None, "cluster not started"
+        return await self.client.install(config, initial_data, **kwargs)
+
+    async def read(self, suite: FileSuiteClient):
+        return await self.run(suite.read())
+
+    async def write(self, suite: FileSuiteClient, data: bytes):
+        return await self.run(suite.write(data))

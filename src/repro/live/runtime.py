@@ -1,0 +1,315 @@
+"""The live runtime: the sim's protocol code on a real asyncio clock.
+
+The whole protocol stack — :class:`~repro.rpc.endpoint.RpcEndpoint`,
+:class:`~repro.txn.coordinator.TransactionManager`,
+:class:`~repro.txn.participant.TransactionParticipant`,
+:class:`~repro.core.suite.FileSuiteClient` — is written as generator
+processes that ``yield`` :class:`~repro.sim.events.Event` objects and
+interact with the world through exactly two kernel primitives:
+``sim.schedule(delay, callback)`` and ``sim.now``.  That narrow waist
+is the whole trick of this module:
+
+* :class:`LiveKernel` subclasses :class:`~repro.sim.simulator.Simulator`
+  but maps ``schedule`` onto ``loop.call_soon`` / ``loop.call_later``
+  and ``now`` onto the event loop's monotonic clock (in milliseconds,
+  the sim's time unit).  Every event, timeout, process, queue and
+  resource then runs unmodified in wall-clock time.
+* :class:`LiveHost` implements the simulated
+  :class:`~repro.sim.network.Host` surface (``send`` / ``receive`` /
+  ``crash`` / ``restart``) over a :class:`~repro.live.transport.TransportNode`,
+  so ``RpcEndpoint`` — timeouts, retransmission, at-most-once dedup and
+  all — *is* the live RPC layer, not a re-implementation of it.
+* :class:`LiveRuntime` is the client-side bundle (kernel + transport +
+  endpoint + transaction manager + background refresher) whose
+  :meth:`LiveRuntime.run` turns any protocol generator into an
+  awaitable, bridging kernel processes to asyncio futures.
+
+One protocol implementation, two schedulers: discrete-event for
+deterministic study, asyncio for serving real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import uuid
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+
+from ..core.refresh import BackgroundRefresher
+from ..core.suite import FileSuiteClient, install_suite
+from ..core.votes import SuiteConfiguration
+from ..rpc.endpoint import RpcEndpoint
+from ..sim.metrics import MetricsRegistry
+from ..sim.queues import Queue
+from ..sim.rng import RandomStreams
+from ..sim.simulator import Simulator
+from ..txn.coordinator import TransactionManager
+from .transport import TransportNode
+
+logger = logging.getLogger("repro.live.runtime")
+
+
+class LiveKernel(Simulator):
+    """A :class:`Simulator` whose event queue is the asyncio loop.
+
+    Time is the loop's monotonic clock expressed in milliseconds, so
+    every timeout constant in the protocol code (all chosen in sim
+    milliseconds) keeps its meaning.  ``run``/``step`` are forbidden:
+    asyncio drives the callbacks, nobody pumps a queue.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None
+                 ) -> None:
+        super().__init__()
+        self.loop = loop or asyncio.get_event_loop()
+        self._epoch = self.loop.time()
+        #: Failures that escaped un-joined processes.  The sim raises
+        #: these out of ``run()``; live code has no such choke point, so
+        #: they are logged and kept for inspection (bounded).
+        self.orphan_failures: List[Tuple[str, BaseException]] = []
+        self._due: Deque[Tuple[Callable[..., None], Tuple[Any, ...]]] = \
+            deque()
+        self._pump_scheduled = False
+
+    @property
+    def now(self) -> float:
+        """Milliseconds since this kernel was created."""
+        return (self.loop.time() - self._epoch) * 1000.0
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Optional[asyncio.TimerHandle]:
+        if delay <= 0.0:
+            # Batch all zero-delay callbacks of one loop pass behind a
+            # single call_soon handle: the protocol machinery settles
+            # several events per arriving frame, and a loop handle per
+            # settle is pure overhead at throughput.
+            self._due.append((callback, args))
+            if not self._pump_scheduled:
+                self._pump_scheduled = True
+                self.loop.call_soon(self._run_due)
+            return None
+        # Returning the handle lets callers (the RPC endpoint) cancel
+        # timers that will never need to fire.
+        return self.loop.call_later(delay / 1000.0, callback, *args)
+
+    def _run_due(self) -> None:
+        # Snapshot semantics: callbacks scheduled while draining run on
+        # the next loop pass, exactly as per-callback call_soon handles
+        # would have.
+        self._pump_scheduled = False
+        for _ in range(len(self._due)):
+            callback, args = self._due.popleft()
+            try:
+                callback(*args)
+            except Exception:
+                logger.exception("unhandled exception in scheduled "
+                                 "callback %r", callback)
+
+    # -- the sim's pumping API is meaningless here -------------------------
+
+    def step(self) -> bool:
+        raise RuntimeError("LiveKernel is driven by the asyncio loop; "
+                           "there is no queue to step")
+
+    def run(self, until: Optional[float] = None,
+            max_steps: Optional[int] = None) -> float:
+        raise RuntimeError("LiveKernel is driven by the asyncio loop; "
+                           "await work instead of calling run()")
+
+    def run_until(self, event, limit: Optional[float] = None) -> Any:
+        raise RuntimeError("LiveKernel is driven by the asyncio loop; "
+                           "use LiveRuntime.run() to await an event")
+
+    # -- orphan failures ---------------------------------------------------
+
+    def _note_orphan_failure(self, process, exception) -> None:
+        logger.error("unhandled failure in live process %r",
+                     process.name, exc_info=exception)
+        if len(self.orphan_failures) < 64:
+            self.orphan_failures.append((process.name, exception))
+
+    def wrap_awaitable(self, event) -> "asyncio.Future[Any]":
+        """An asyncio future that settles when ``event`` does."""
+        future: "asyncio.Future[Any]" = self.loop.create_future()
+
+        def settle(settled) -> None:
+            if future.done():
+                return
+            if settled.failed:
+                future.set_exception(settled.value)
+            else:
+                future.set_result(settled.value)
+
+        event.add_callback(settle)
+        return future
+
+
+class LiveHost:
+    """The simulated ``Host`` surface over a real TCP transport.
+
+    ``send`` is fire-and-forget into the transport; inbound frames land
+    in the same event-based inbox :class:`~repro.sim.queues.Queue` the
+    sim uses, so ``RpcEndpoint``'s server loop is byte-for-byte the same
+    code.  ``crash``/``restart`` keep the sim's semantics: a down host
+    drops everything in both directions and loses volatile state via
+    its crash listeners.
+    """
+
+    def __init__(self, kernel: LiveKernel, name: str,
+                 transport: TransportNode) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.transport = transport
+        self.inbox: Queue = Queue(kernel, name=f"{name}.inbox")
+        #: Optional fast path: when set (to the endpoint's
+        #: ``dispatch_message``), inbound frames skip the inbox queue
+        #: and the RPC server loop entirely.
+        self.dispatch: Optional[Callable[[Any], None]] = None
+        self._up = True
+        self._crash_listeners: List[Callable[[], None]] = []
+        self._restart_listeners: List[Callable[[], None]] = []
+
+    @property
+    def sim(self) -> LiveKernel:
+        return self.kernel
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, destination: str, payload: Any) -> None:
+        if not self._up:
+            return
+        self.transport.send(destination, payload)
+
+    def receive(self):
+        return self.inbox.get()
+
+    def deliver(self, message: Any) -> None:
+        """Transport callback: a frame arrived for this host."""
+        if not self._up:
+            return  # crashed hosts drop inbound traffic
+        if self.dispatch is not None:
+            self.dispatch(message)
+        else:
+            self.inbox.put(message)
+
+    # -- failure injection -------------------------------------------------
+
+    def crash(self) -> None:
+        if not self._up:
+            return
+        self._up = False
+        self.inbox.close()
+        for listener in list(self._crash_listeners):
+            listener()
+
+    def restart(self) -> None:
+        if self._up:
+            return
+        self._up = True
+        self.inbox.reopen()
+        for listener in list(self._restart_listeners):
+            listener()
+
+    def on_crash(self, listener: Callable[[], None]) -> None:
+        self._crash_listeners.append(listener)
+
+    def on_restart(self, listener: Callable[[], None]) -> None:
+        self._restart_listeners.append(listener)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._up else "DOWN"
+        return f"<LiveHost {self.name} {state}>"
+
+
+class LiveRuntime:
+    """Client-side live deployment: everything needed to use a suite.
+
+    Wires a :class:`LiveKernel`, a :class:`TransportNode`, a real
+    :class:`RpcEndpoint` (at-most-once, retransmitting), a
+    :class:`TransactionManager` and a :class:`BackgroundRefresher` —
+    the same composition :class:`~repro.testbed.Testbed` performs for
+    the sim.  Payload deep-copying is off: JSON serialisation at the
+    transport boundary already isolates sender from receiver.
+    """
+
+    def __init__(self, name: Optional[str] = None,
+                 call_timeout: float = 2_000.0,
+                 transport_attempts: int = 3,
+                 seed: int = 0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        if name is None:
+            # Servers key at-most-once dedup state and transaction ids
+            # by the client's source name, and a fresh runtime restarts
+            # its call ids at zero — so a rebooted client that reused a
+            # previous boot's name against long-running daemons would
+            # be answered from the *old* boot's reply cache.  A unique
+            # per-boot name is the classic datagram-RPC fix.
+            name = f"client-{uuid.uuid4().hex[:8]}"
+        self.name = name
+        self.kernel = LiveKernel(loop=loop)
+        self.transport = TransportNode(name, self._on_message)
+        self.host = LiveHost(self.kernel, name, self.transport)
+        self.endpoint = RpcEndpoint(self.kernel, self.host,
+                                    copy_payloads=False)
+        self.host.dispatch = self.endpoint.dispatch_message
+        self.manager = TransactionManager(
+            self.kernel, self.endpoint, call_timeout=call_timeout,
+            transport_attempts=transport_attempts)
+        self.metrics = metrics or MetricsRegistry()
+        self.streams = RandomStreams(seed=seed)
+        self.refresher = BackgroundRefresher(self.manager,
+                                             metrics=self.metrics)
+
+    def _on_message(self, message: Any) -> None:
+        self.host.deliver(message)
+
+    # -- topology ----------------------------------------------------------
+
+    def register_server(self, name: str, host: str, port: int) -> None:
+        """Tell the transport where storage server ``name`` listens."""
+        self.transport.register_peer(name, host, port)
+
+    # -- protocol execution ------------------------------------------------
+
+    def run(self, generator: Generator) -> "asyncio.Future[Any]":
+        """Drive a protocol generator to completion; awaitable.
+
+        This is the live counterpart of ``Testbed.run``: the generator
+        is spawned as a kernel process (its yielded events resolve on
+        the asyncio loop in wall-clock time) and its return value or
+        exception is surfaced through an asyncio future.
+        """
+        return self.kernel.wrap_awaitable(self.kernel.spawn(generator))
+
+    def suite(self, config: SuiteConfiguration,
+              **kwargs: Any) -> FileSuiteClient:
+        """A suite client handle served over real sockets."""
+        kwargs.setdefault("refresher", self.refresher)
+        kwargs.setdefault("metrics", self.metrics)
+        kwargs.setdefault("streams", self.streams)
+        return FileSuiteClient(self.manager, config, **kwargs)
+
+    async def install(self, config: SuiteConfiguration,
+                      initial_data: bytes = b"",
+                      **kwargs: Any) -> FileSuiteClient:
+        """Create the suite on its live servers; returns a handle."""
+        handle = self.suite(config, **kwargs)
+        await self.run(install_suite(self.manager, config, initial_data))
+        return handle
+
+    async def read(self, suite: FileSuiteClient):
+        """Quorum read over real sockets."""
+        return await self.run(suite.read())
+
+    async def write(self, suite: FileSuiteClient, data: bytes):
+        """Quorum write (two-phase commit) over real sockets."""
+        return await self.run(suite.write(data))
+
+    async def close(self) -> None:
+        await self.transport.close()

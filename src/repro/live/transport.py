@@ -1,0 +1,428 @@
+"""Length-prefixed JSON transport over asyncio TCP.
+
+The live runtime keeps the *datagram* contract the simulated network
+gives :class:`~repro.rpc.endpoint.RpcEndpoint`: ``send`` is
+fire-and-forget, silence is detected only by the client-side timeout,
+and a message to an unreachable peer simply vanishes.  TCP gives us
+framing and ordering per connection, but the RPC layer above never
+relies on either — lost connections look exactly like lost packets, so
+the endpoint's retransmission (same call id) and the server's
+at-most-once dedup carry over unchanged.
+
+Wire format: each frame is a 4-byte big-endian length followed by a
+UTF-8 JSON object.  The JSON shapes mirror
+:class:`~repro.rpc.messages.Request` / :class:`~repro.rpc.messages.Reply`
+exactly; ``bytes`` payloads are tagged base64 objects and tuples become
+lists (callers already unpack sequences positionally).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import logging
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from collections import deque
+
+from ..rpc.messages import Reply, Request
+
+logger = logging.getLogger("repro.live.transport")
+
+#: Frames above this size are refused — a corrupt length prefix must
+#: not make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_BYTES_TAG = "__bytes_b64__"
+
+
+class FrameError(Exception):
+    """A malformed frame arrived (bad length, bad JSON, bad shape)."""
+
+
+# ---------------------------------------------------------------------------
+# Payload (de)serialisation
+# ---------------------------------------------------------------------------
+
+def jsonify(value: Any) -> Any:
+    """Make ``value`` JSON-safe: tag bytes, recurse into containers.
+
+    Tuples become lists — every protocol call site unpacks sequences
+    positionally, so the distinction never matters on the wire.
+    """
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, dict):
+        return {key: jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    return value
+
+
+def unjsonify(value: Any) -> Any:
+    """Invert :func:`jsonify` (bytes tags back to ``bytes``)."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {_BYTES_TAG}:
+            return base64.b64decode(value[_BYTES_TAG])
+        return {key: unjsonify(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [unjsonify(item) for item in value]
+    return value
+
+
+def message_to_wire(message: "Request | Reply") -> Dict[str, Any]:
+    """Encode a Request/Reply dataclass as a JSON-safe dict."""
+    if isinstance(message, Request):
+        return {"kind": "request", "call_id": message.call_id,
+                "source": message.source, "method": message.method,
+                "args": jsonify(message.args)}
+    if isinstance(message, Reply):
+        return {"kind": "reply", "call_id": message.call_id,
+                "ok": message.ok, "value": jsonify(message.value),
+                "error_type": message.error_type,
+                "error_detail": message.error_detail}
+    raise TypeError(f"cannot send {type(message).__name__} on the wire")
+
+
+def message_from_wire(raw: Dict[str, Any]) -> "Request | Reply":
+    """Decode a wire dict back into a Request or Reply."""
+    kind = raw.get("kind")
+    if kind == "request":
+        return Request(call_id=raw["call_id"], source=raw["source"],
+                       method=raw["method"],
+                       args=unjsonify(raw.get("args", {})))
+    if kind == "reply":
+        return Reply(call_id=raw["call_id"], ok=raw["ok"],
+                     value=unjsonify(raw.get("value")),
+                     error_type=raw.get("error_type"),
+                     error_detail=raw.get("error_detail"))
+    raise FrameError(f"unknown frame kind {kind!r}")
+
+
+def _json_default(value: Any) -> Any:
+    """``json.dumps`` fallback: tag bytes, leave the rest to fail."""
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
+    raise TypeError(f"cannot serialise {type(value).__name__} on the wire")
+
+
+def _json_object_hook(value: Dict[str, Any]) -> Any:
+    """``json.loads`` hook: restore tagged bytes in one C-driven pass."""
+    if len(value) == 1 and _BYTES_TAG in value:
+        return base64.b64decode(value[_BYTES_TAG])
+    return value
+
+
+#: Shared codec instances — ``json.dumps``/``loads`` with keyword
+#: options construct a fresh encoder/decoder per call, which is pure
+#: overhead on the frame hot path.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), default=_json_default)
+_DECODER = json.JSONDecoder(object_hook=_json_object_hook)
+
+
+def encode_frame(message: "Request | Reply") -> bytes:
+    """One wire frame: 4-byte big-endian length + JSON body.
+
+    Hot path: the payload is not pre-walked — ``json.dumps`` descends
+    into it natively and only bytes values detour through
+    :func:`_json_default` (tuples become lists, as in :func:`jsonify`).
+    """
+    if isinstance(message, Request):
+        wire: Dict[str, Any] = {
+            "kind": "request", "call_id": message.call_id,
+            "source": message.source, "method": message.method,
+            "args": message.args}
+    elif isinstance(message, Reply):
+        wire = {"kind": "reply", "call_id": message.call_id,
+                "ok": message.ok, "value": message.value,
+                "error_type": message.error_type,
+                "error_detail": message.error_detail}
+    else:
+        raise TypeError(f"cannot send {type(message).__name__} on the wire")
+    body = _ENCODER.encode(wire).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds limit")
+    return len(body).to_bytes(4, "big") + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> "Request | Reply":
+    """Read one frame; raises ``IncompleteReadError`` at EOF."""
+    header = await reader.readexactly(4)
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"incoming frame of {length} bytes exceeds limit")
+    body = await reader.readexactly(length)
+    try:
+        return message_from_wire(json.loads(body.decode("utf-8")))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise FrameError(f"malformed frame: {exc}") from exc
+
+
+class FrameParser:
+    """Incremental frame parser for protocol-style (push) reads.
+
+    ``feed`` returns every complete message in the accumulated buffer —
+    several frames often arrive in one TCP segment, and parsing them in
+    a single pass (no coroutine wake-up per frame) is what lets one
+    event loop sustain thousands of messages per second.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> "list[Request | Reply]":
+        self._buffer.extend(data)
+        messages = []
+        buffer = self._buffer
+        offset = 0
+        while len(buffer) - offset >= 4:
+            length = int.from_bytes(buffer[offset:offset + 4], "big")
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"incoming frame of {length} bytes exceeds limit")
+            if len(buffer) - offset - 4 < length:
+                break
+            body = bytes(buffer[offset + 4:offset + 4 + length])
+            offset += 4 + length
+            try:
+                raw = _DECODER.decode(body.decode("utf-8"))
+                kind = raw.get("kind")
+                if kind == "request":
+                    messages.append(Request(
+                        call_id=raw["call_id"], source=raw["source"],
+                        method=raw["method"], args=raw.get("args") or {}))
+                elif kind == "reply":
+                    messages.append(Reply(
+                        call_id=raw["call_id"], ok=raw["ok"],
+                        value=raw.get("value"),
+                        error_type=raw.get("error_type"),
+                        error_detail=raw.get("error_detail")))
+                else:
+                    raise FrameError(f"unknown frame kind {kind!r}")
+            except (ValueError, KeyError, TypeError, AttributeError) as exc:
+                raise FrameError(f"malformed frame: {exc}") from exc
+        if offset:
+            del buffer[:offset]
+        return messages
+
+
+# ---------------------------------------------------------------------------
+# Connections and the transport node
+# ---------------------------------------------------------------------------
+
+class _Connection(asyncio.Protocol):
+    """One TCP stream, either accepted or dialled.
+
+    Implemented as a raw :class:`asyncio.Protocol` rather than a stream
+    reader coroutine: inbound bytes are parsed into frames synchronously
+    in ``data_received``, so a frame costs no task wake-up and several
+    frames arriving in one segment cost one callback.
+
+    Outbound messages queue until the dial completes; if the dial fails
+    every queued message is dropped, which is exactly what a datagram
+    network would have done with them.
+    """
+
+    def __init__(self, node: "TransportNode",
+                 peer: Optional[str] = None) -> None:
+        self.node = node
+        self.peer = peer                 # peer name, once known
+        self.alive = True
+        self._loop = asyncio.get_event_loop()
+        self._transport: Optional[asyncio.Transport] = None
+        self._out: Deque[bytes] = deque()
+        self._flush_scheduled = False
+        self._dial_task: Optional[asyncio.Task] = None
+        self._parser = FrameParser()
+
+    # -- asyncio.Protocol callbacks ----------------------------------------
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        if not self.alive:               # closed while dialling
+            transport.close()
+            return
+        self._transport = transport      # type: ignore[assignment]
+        self._flush()
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            messages = self._parser.feed(data)
+        except FrameError as exc:
+            logger.warning("%s: dropping connection: %s",
+                           self.node.name, exc)
+            self._drop()
+            return
+        for message in messages:
+            self.node._inbound(self, message)
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self._drop()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def dial(self, address: Tuple[str, int]) -> None:
+        """Connect in the background; flush the backlog on success."""
+        self._dial_task = asyncio.ensure_future(self._dial(address))
+
+    async def _dial(self, address: Tuple[str, int]) -> None:
+        try:
+            await asyncio.get_event_loop().create_connection(
+                lambda: self, *address)
+        except OSError:
+            self._drop()  # connect refused/failed: datagrams lost
+
+    def _drop(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self._out.clear()
+        if self._transport is not None:
+            try:
+                self._transport.close()
+            except Exception:  # pragma: no cover - close is best effort
+                pass
+        self.node._connection_lost(self)
+
+    def close(self) -> None:
+        self.alive = False
+        self._out.clear()
+        if self._dial_task is not None:
+            self._dial_task.cancel()
+        if self._transport is not None:
+            try:
+                self._transport.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, frame: bytes) -> None:
+        """Queue a frame; one coalesced write per loop pass.
+
+        Before the dial completes frames queue here too — if the dial
+        fails the queue is dropped wholesale, just as a datagram network
+        would have lost them.
+        """
+        if not self.alive:
+            return
+        self._out.append(frame)
+        if self._transport is not None and not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self.alive or self._transport is None or not self._out:
+            return
+        data = b"".join(self._out) if len(self._out) > 1 else self._out[0]
+        self._out.clear()
+        try:
+            self._transport.write(data)
+        except Exception:
+            self._drop()
+
+
+class TransportNode:
+    """One process's endpoint on the live network.
+
+    Maps peer *names* (the addresses the protocol layer speaks) to TCP
+    connections.  Outbound connections are dialled on first use from a
+    static ``register_peer`` table; inbound connections learn their peer
+    name from the ``source`` field of the first request they carry, so
+    replies can be routed back without the server ever dialling out.
+    """
+
+    def __init__(self, name: str,
+                 on_message: Callable[["Request | Reply"], None]) -> None:
+        self.name = name
+        self.on_message = on_message
+        self.address: Optional[Tuple[str, int]] = None
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        self._connections: Dict[str, _Connection] = {}
+        self._anonymous: set[_Connection] = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def register_peer(self, name: str, host: str, port: int) -> None:
+        """Declare where ``name`` listens, for outbound dialling."""
+        self._addresses[name] = (host, port)
+
+    async def listen(self, host: str = "127.0.0.1",
+                     port: int = 0) -> Tuple[str, int]:
+        """Accept connections; returns the bound ``(host, port)``."""
+        loop = asyncio.get_event_loop()
+        self._server = await loop.create_server(self._accept, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def _accept(self) -> _Connection:
+        connection = _Connection(self)
+        self._anonymous.add(connection)
+        return connection
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, destination: str, message: "Request | Reply") -> None:
+        """Fire-and-forget send; unroutable messages vanish silently."""
+        connection = self._connections.get(destination)
+        if connection is None or not connection.alive:
+            address = self._addresses.get(destination)
+            if address is None:
+                self.frames_dropped += 1
+                return
+            connection = _Connection(self, peer=destination)
+            self._connections[destination] = connection
+            connection.dial(address)
+        connection.send(encode_frame(message))
+        self.frames_sent += 1
+
+    # -- inbound plumbing --------------------------------------------------
+
+    def _inbound(self, connection: _Connection,
+                 message: "Request | Reply") -> None:
+        self.frames_received += 1
+        if isinstance(message, Request) and connection.peer is None:
+            # Learn the reply route for this peer from its own request.
+            connection.peer = message.source
+            self._anonymous.discard(connection)
+            existing = self._connections.get(message.source)
+            if existing is None or not existing.alive:
+                self._connections[message.source] = connection
+        self.on_message(message)
+
+    def _connection_lost(self, connection: _Connection) -> None:
+        self._anonymous.discard(connection)
+        if connection.peer is not None:
+            if self._connections.get(connection.peer) is connection:
+                del self._connections[connection.peer]
+
+    # -- teardown ----------------------------------------------------------
+
+    async def stop_listening(self) -> None:
+        """Close the listener and sever every connection.
+
+        The bound address is remembered so a restarted server can
+        :meth:`listen` on the same port again.
+        """
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:  # pragma: no cover
+                pass
+            self._server = None
+        for connection in list(self._connections.values()):
+            connection.close()
+        for connection in list(self._anonymous):
+            connection.close()
+        self._connections.clear()
+        self._anonymous.clear()
+
+    async def close(self) -> None:
+        await self.stop_listening()

@@ -63,13 +63,25 @@ def reconstruct_error(reply: Reply) -> BaseException:
 class RpcEndpoint:
     """Client+server RPC node bound to one host."""
 
+    #: Deadline applied to ``call(timeout=None)``: without it, a call
+    #: whose destination never answers would leave its ``_pending``
+    #: entry (and the caller's event) stranded forever.
+    DEFAULT_CALL_TIMEOUT = 30_000.0
+
     def __init__(self, sim: "Simulator", host: Host,
-                 copy_payloads: bool = True) -> None:
+                 copy_payloads: bool = True,
+                 default_call_timeout: Optional[float] = None) -> None:
         self.sim = sim
         self.host = host
         self.copy_payloads = copy_payloads
+        self.default_call_timeout = (
+            self.DEFAULT_CALL_TIMEOUT if default_call_timeout is None
+            else default_call_timeout)
         self._handlers: Dict[str, Callable[..., Any]] = {}
         self._pending: Dict[int, Event] = {}
+        #: Cancellable retransmission-timer handles by call id (only
+        #: populated when the kernel's ``schedule`` returns handles).
+        self._retransmit_timers: Dict[int, Any] = {}
         self._next_call_id = 0
         self._handler_processes: Dict[int, Process] = {}
         self._next_handler_key = 0
@@ -105,6 +117,21 @@ class RpcEndpoint:
     def _start_loop(self) -> None:
         self._loop = self.sim.spawn(self._serve(),
                                     name=f"rpc-loop:{self.host.name}")
+
+    def dispatch_message(self, message: Any) -> None:
+        """Dispatch one inbound message without the server-loop hop.
+
+        Live transports call this straight from their socket callbacks.
+        It is equivalent to one iteration of ``_serve`` and safe to run
+        outside a process: every downstream effect (handler spawn,
+        reply-event trigger) defers through ``sim.schedule``, so nothing
+        resumes a generator re-entrantly — and each frame saves a queue
+        put, an event trigger and a loop resume.
+        """
+        if isinstance(message, Request):
+            self._dispatch_request(message)
+        elif isinstance(message, Reply):
+            self._dispatch_reply(message)
 
     def _serve(self):
         while True:
@@ -171,7 +198,10 @@ class RpcEndpoint:
              **args: Any) -> Event:
         """Send a request; returns an event for the reply.
 
-        ``timeout`` is the per-transmission deadline.  With
+        ``timeout`` is the per-transmission deadline; ``None`` means
+        the endpoint's ``default_call_timeout``, so every pending call
+        is bounded — a destination that never answers can no longer
+        strand the ``_pending`` entry (and its event) forever.  With
         ``attempts > 1`` the *same* request (same call id) is
         retransmitted on each timeout — safe against re-execution
         because servers run at-most-once (duplicates are suppressed or
@@ -182,6 +212,8 @@ class RpcEndpoint:
         """
         if attempts < 1:
             raise ValueError("attempts must be >= 1")
+        if timeout is None:
+            timeout = self.default_call_timeout
         call_id = self._next_call_id
         self._next_call_id += 1
         event = self.sim.event(name=f"call:{method}->{destination}")
@@ -190,13 +222,29 @@ class RpcEndpoint:
         request = Request(call_id=call_id, source=self.host.name,
                           method=method, args=self._copy(args))
         self.host.send(destination, request)
-        if timeout is not None:
-            self.sim.schedule(timeout, self._retransmit_or_expire,
-                              request, destination, timeout, attempts - 1)
+        self._arm_retransmit(request, destination, timeout, attempts - 1)
         return event
+
+    def _arm_retransmit(self, request: Request, destination: str,
+                        timeout: float, remaining: int) -> None:
+        # ``schedule`` may return a cancellable handle (the live kernel
+        # does; the sim returns None).  Kept so an answered call can
+        # cancel its timer instead of leaving it to fire as a no-op —
+        # at live throughput those dead timers are real overhead.
+        handle = self.sim.schedule(timeout, self._retransmit_or_expire,
+                                   request, destination, timeout,
+                                   remaining)
+        if handle is not None:
+            self._retransmit_timers[request.call_id] = handle
+
+    def _disarm_retransmit(self, call_id: int) -> None:
+        handle = self._retransmit_timers.pop(call_id, None)
+        if handle is not None:
+            handle.cancel()
 
     def _retransmit_or_expire(self, request: Request, destination: str,
                               timeout: float, remaining: int) -> None:
+        self._retransmit_timers.pop(request.call_id, None)
         event = self._pending.get(request.call_id)
         if event is None or not event.pending:
             return  # answered meanwhile
@@ -205,8 +253,7 @@ class RpcEndpoint:
             return
         self.retransmissions += 1
         self.host.send(destination, request)
-        self.sim.schedule(timeout, self._retransmit_or_expire, request,
-                          destination, timeout, remaining - 1)
+        self._arm_retransmit(request, destination, timeout, remaining - 1)
 
     def call_with_retries(self, destination: str, method: str,
                           timeout: float, attempts: int = 3,
@@ -226,6 +273,7 @@ class RpcEndpoint:
         raise last_error or RpcTimeout(f"{method} -> {destination}")
 
     def _expire(self, call_id: int, method: str, destination: str) -> None:
+        self._disarm_retransmit(call_id)
         event = self._pending.pop(call_id, None)
         if event is not None and event.pending:
             event.fail(RpcTimeout(
@@ -235,6 +283,7 @@ class RpcEndpoint:
         event = self._pending.pop(reply.call_id, None)
         if event is None or not event.pending:
             return  # late reply after timeout: drop
+        self._disarm_retransmit(reply.call_id)
         if reply.ok:
             event.trigger(reply.value)
         else:
@@ -251,6 +300,9 @@ class RpcEndpoint:
         self._handler_processes.clear()
         self._in_progress.clear()
         self._completed.clear()
+        timers, self._retransmit_timers = self._retransmit_timers, {}
+        for handle in timers.values():
+            handle.cancel()
         pending, self._pending = self._pending, {}
         for event in pending.values():
             if event.pending:

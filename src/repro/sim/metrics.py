@@ -31,18 +31,23 @@ class Counter:
 
 
 class Gauge:
-    """A value that can move both ways, with its running maximum."""
+    """A value that can move both ways, with its running maximum.
+
+    ``maximum`` tracks observed values only — it starts ``None`` and
+    the first ``set()`` wins, so a gauge that only ever holds negative
+    values reports that negative maximum rather than a phantom 0.0.
+    """
 
     __slots__ = ("name", "value", "maximum")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
-        self.maximum = 0.0
+        self.maximum: "float | None" = None
 
     def set(self, value: float) -> None:
         self.value = value
-        if value > self.maximum:
+        if self.maximum is None or value > self.maximum:
             self.maximum = value
 
     def add(self, delta: float) -> None:

@@ -32,14 +32,22 @@ class StorageServer:
 
     def __init__(self, sim: "Simulator", host: Host, num_pages: int = 4096,
                  page_size: int = 512, page_io_time: float = 0.0,
-                 scrub_interval: Optional[float] = None) -> None:
+                 scrub_interval: Optional[float] = None,
+                 stable: Optional[StableStore] = None,
+                 format_fs: bool = True) -> None:
         self.sim = sim
         self.host = host
         self.page_io_time = page_io_time
-        self.stable = StableStore.create(num_pages, page_size,
-                                         name=host.name)
+        # A caller may supply its own stable store (e.g. the live
+        # runtime's file-backed pages) and ask for a mount instead of a
+        # format, so existing on-disk state survives a daemon restart.
+        self.stable = stable if stable is not None else StableStore.create(
+            num_pages, page_size, name=host.name)
         self.fs = FileSystem(self.stable)
-        self.fs.format()
+        if format_fs:
+            self.fs.format()
+        else:
+            self.fs.mount()
         self.disk = Resource(sim, capacity=1, name=f"{host.name}.disk")
         self.crashes = 0
         self.recoveries = 0

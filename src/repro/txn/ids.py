@@ -25,6 +25,15 @@ class TransactionId:
             return NotImplemented
         return (self.sequence, self.site) < (other.sequence, other.site)
 
+    def __hash__(self) -> int:
+        # Ids key every lock table and participant map, so the hash is
+        # computed once and cached (the instance is frozen).
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.site, self.sequence))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     def __str__(self) -> str:
         return f"{self.site}#{self.sequence}"
 

@@ -1,0 +1,157 @@
+"""Live transport: framing, datagram semantics, reply routing."""
+
+import asyncio
+
+import pytest
+
+from repro.live.transport import (FrameError, MAX_FRAME_BYTES, TransportNode,
+                                  encode_frame, jsonify, message_from_wire,
+                                  message_to_wire, read_frame, unjsonify)
+from repro.rpc import Reply, Request
+
+
+class TestJson:
+    def test_bytes_round_trip(self):
+        value = {"data": b"\x00\xffbinary", "nested": [b"a", {"b": b"c"}]}
+        assert unjsonify(jsonify(value)) == value
+
+    def test_tuples_become_lists(self):
+        assert jsonify((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_plain_values_untouched(self):
+        for value in (None, True, 3, 2.5, "text", [1, "x"]):
+            assert unjsonify(jsonify(value)) == value
+
+    def test_request_round_trip(self):
+        request = Request(call_id=7, source="client", method="txn.read",
+                          args={"name": "f", "payload": b"\x01\x02"})
+        assert message_from_wire(message_to_wire(request)) == request
+
+    def test_reply_round_trip(self):
+        for reply in (Reply(call_id=3, ok=True, value=(b"data", 4)),
+                      Reply(call_id=4, ok=False, value=None,
+                            error_type="RpcTimeout", error_detail="x")):
+            decoded = message_from_wire(message_to_wire(reply))
+            assert decoded.call_id == reply.call_id
+            assert decoded.ok == reply.ok
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FrameError):
+            message_from_wire({"kind": "mystery"})
+
+
+def _read_frames(raw: bytes, count: int):
+    """Feed ``raw`` into a fresh StreamReader and read ``count`` frames."""
+    async def drain():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return [await read_frame(reader) for _ in range(count)]
+
+    return asyncio.run(drain())
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        request = Request(call_id=1, source="a", method="m",
+                          args={"blob": b"\x00" * 100})
+        assert _read_frames(encode_frame(request), 1) == [request]
+
+    def test_several_frames_in_sequence(self):
+        messages = [Request(call_id=i, source="a", method="m", args={})
+                    for i in range(3)]
+        raw = b"".join(encode_frame(message) for message in messages)
+        assert _read_frames(raw, 3) == messages
+
+    def test_oversized_length_prefix_rejected(self):
+        with pytest.raises(FrameError):
+            _read_frames((MAX_FRAME_BYTES + 1).to_bytes(4, "big"), 1)
+
+    def test_malformed_body_rejected(self):
+        body = b"not json"
+        with pytest.raises(FrameError):
+            _read_frames(len(body).to_bytes(4, "big") + body, 1)
+
+
+class TestTransportNode:
+    def test_request_and_learned_reply_route(self):
+        # The server never dials out: it learns the client's reply route
+        # from the source field of the inbound request.
+        async def scenario():
+            server_inbox, client_inbox = [], []
+            server = TransportNode("server", server_inbox.append)
+            client = TransportNode("client", client_inbox.append)
+            host, port = await server.listen()
+            client.register_peer("server", host, port)
+
+            client.send("server", Request(call_id=1, source="client",
+                                          method="ping", args={}))
+            for _ in range(200):
+                if server_inbox:
+                    break
+                await asyncio.sleep(0.005)
+            assert server_inbox and server_inbox[0].method == "ping"
+
+            server.send("client", Reply(call_id=1, ok=True, value="pong"))
+            for _ in range(200):
+                if client_inbox:
+                    break
+                await asyncio.sleep(0.005)
+            assert client_inbox and client_inbox[0].value == "pong"
+
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_unknown_destination_dropped_silently(self):
+        async def scenario():
+            node = TransportNode("n", lambda message: None)
+            node.send("nowhere", Request(call_id=1, source="n",
+                                         method="m", args={}))
+            assert node.frames_dropped == 1
+            await node.close()
+
+        asyncio.run(scenario())
+
+    def test_send_to_dead_address_is_lost_not_raised(self):
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            await server.stop_listening()
+
+            client = TransportNode("client", lambda message: None)
+            client.register_peer("server", host, port)
+            client.send("server", Request(call_id=1, source="client",
+                                          method="m", args={}))
+            await asyncio.sleep(0.05)  # dial fails in the background
+            assert inbox == []
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_listener_reopens_on_same_port(self):
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            await server.stop_listening()
+            assert server.address == (host, port)
+            again = await server.listen(host, port)
+            assert again == (host, port)
+
+            client = TransportNode("client", lambda message: None)
+            client.register_peer("server", host, port)
+            client.send("server", Request(call_id=1, source="client",
+                                          method="m", args={}))
+            for _ in range(200):
+                if inbox:
+                    break
+                await asyncio.sleep(0.005)
+            assert len(inbox) == 1
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())

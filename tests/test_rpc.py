@@ -171,6 +171,36 @@ class TestTimeoutsAndRetries:
 
         assert sim.run_process(flow()) == "gave up"
 
+    def test_timeout_none_is_bounded_by_default(self, sim, pair):
+        # Regression: call(timeout=None) to a destination that never
+        # answers used to strand its _pending entry (and the caller's
+        # event) forever.  It now expires at the endpoint's default.
+        client, server = pair
+        server.host.crash()
+
+        def flow():
+            try:
+                yield client.call("server", "add", timeout=None, x=1, y=2)
+            except RpcTimeout:
+                return sim.now
+
+        assert sim.run_process(flow()) == RpcEndpoint.DEFAULT_CALL_TIMEOUT
+        assert client._pending == {}
+
+    def test_default_call_timeout_configurable(self, sim, network):
+        client = RpcEndpoint(sim, network.add_host("c2"),
+                             default_call_timeout=50.0)
+        network.add_host("void")
+
+        def flow():
+            try:
+                yield client.call("void", "ping")
+            except RpcTimeout:
+                return sim.now
+
+        assert sim.run_process(flow()) == 50.0
+        assert client._pending == {}
+
 
 class TestCrashBehaviour:
     def test_client_crash_fails_its_pending_calls(self, sim, pair):

@@ -113,6 +113,19 @@ class TestMetrics:
         assert gauge.value == 1.5
         assert gauge.maximum == 3.0
 
+    def test_gauge_maximum_of_negative_values(self):
+        # Regression: a gauge that only ever holds negative values must
+        # report the largest *observed* value, not a phantom 0.0 from
+        # initialisation.
+        gauge = MetricsRegistry().gauge("drift")
+        assert gauge.maximum is None  # unset until the first set()
+        gauge.set(-5.0)
+        assert gauge.maximum == -5.0
+        gauge.set(-2.0)
+        assert gauge.maximum == -2.0
+        gauge.set(-9.0)
+        assert gauge.maximum == -2.0
+
     def test_histogram_statistics(self):
         histogram = Histogram("lat")
         for value in (1.0, 2.0, 3.0, 4.0):
