@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Rerun the canonical loopback scenario traced; export the spans.
+
+CI's failure path runs this after a red test job: it boots the same
+three-server loopback cluster the live tests exercise, performs an
+install, a quorum read, a quorum write and a degraded read (one server
+stopped), and writes every process's spans — client and servers merged,
+stitched by trace id — to one JSONL file that is uploaded as a build
+artifact.  ``python -m repro trace <file>`` renders it as per-operation
+timelines.
+
+Run:  python examples/dump_loopback_trace.py --out loopback-trace.jsonl
+"""
+
+import argparse
+import asyncio
+import os
+import tempfile
+
+from repro.core import make_configuration
+from repro.live import LoopbackCluster
+
+
+def make_config():
+    return make_configuration(
+        "ci-trace", [("s1", 1), ("s2", 1), ("s3", 1)],
+        read_quorum=2, write_quorum=2,
+        latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+
+
+async def scenario(out: str) -> int:
+    async with LoopbackCluster(["s1", "s2", "s3"]) as cluster:
+        suite = await cluster.install(make_config(), b"ci trace v1")
+        await cluster.read(suite)
+        await cluster.write(suite, b"ci trace v2")
+        await cluster.stop_server("s1")
+        await cluster.read(suite)
+        return cluster.export_trace_jsonl(out)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out",
+                        default=os.path.join(tempfile.gettempdir(),
+                                             "loopback-trace.jsonl"))
+    # parse_known_args: the example-runner test executes this script
+    # under pytest's own argv.
+    args, _ = parser.parse_known_args()
+    count = asyncio.run(scenario(args.out))
+    print(f"wrote {count} spans to {args.out}")
+    return 0 if count else 1
+
+
+if __name__ == "__main__":
+    status = main()
+    if status:  # plain return keeps the example-runner test green
+        raise SystemExit(status)

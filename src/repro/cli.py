@@ -10,6 +10,8 @@ Subcommands::
     python -m repro demo                       # quickstart scenario
     python -m repro serve --name server-1      # live storage daemon
     python -m repro live-demo                  # quorum ops on real TCP
+    python -m repro trace spans.jsonl          # per-operation timelines
+    python -m repro metrics --port 9464        # scrape a daemon
 
 Analytic and simulated subcommands run in simulated time and finish in
 seconds; ``serve`` and ``live-demo`` use the asyncio runtime on real
@@ -236,12 +238,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     async def _serve() -> None:
         server = LiveStorageServer(args.name, data_dir=args.data_dir,
                                    num_pages=args.num_pages,
-                                   page_size=args.page_size)
-        host, port = await server.start(args.host, args.port)
+                                   page_size=args.page_size,
+                                   obs=not args.no_obs)
+        host, port = await server.start(
+            args.host, args.port,
+            obs_port=None if args.no_obs else args.obs_port)
         where = (f"data in {args.data_dir}" if args.data_dir
                  else "in-memory pages")
         print(f"storage server {args.name!r} listening on "
               f"{host}:{port} ({where})", flush=True)
+        if server.obs_address is not None:
+            obs_host, obs_port = server.obs_address
+            print(f"observability on http://{obs_host}:{obs_port} "
+                  f"(/metrics /healthz /trace)", flush=True)
         try:
             await server.serve_forever()
         finally:
@@ -304,6 +313,86 @@ def cmd_live_demo(args: argparse.Namespace) -> int:
                   f"versions: {versions}")
 
     asyncio.run(_demo())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Dump/filter a JSONL span export as per-operation timelines."""
+    from .obs import group_traces, load_jsonl, render_trace, summarize
+
+    spans = []
+    for path in args.files:
+        try:
+            spans.extend(load_jsonl(path))
+        except OSError as exc:
+            print(f"repro trace: cannot read {path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+    if args.operation:
+        keep = {span.trace_id for span in spans
+                if span.parent_id is None and span.name == args.operation}
+        spans = [span for span in spans if span.trace_id in keep]
+    if args.trace_id:
+        spans = [span for span in spans
+                 if span.trace_id == args.trace_id]
+    if not spans:
+        print("no spans match", file=sys.stderr)
+        return 1
+    if args.list:
+        _print_rows(
+            ["trace", "operation", "origin", "start ms", "duration ms",
+             "spans", "status"],
+            [(summary.trace_id, summary.root_name, summary.origin,
+              summary.start, summary.duration, summary.span_count,
+              summary.status)
+             for summary in summarize(spans)])
+        return 0
+    traces = group_traces(spans)
+    ordered = sorted(traces.values(),
+                     key=lambda members: min(span.start
+                                             for span in members))
+    for index, members in enumerate(ordered):
+        if index:
+            print()
+        print(render_trace(members, events=not args.no_events))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape a live daemon's /metrics endpoint and pretty-print it."""
+    from .obs import fetch, parse_exposition
+
+    async def _scrape() -> "tuple[int, str]":
+        return await fetch(args.host, args.port, args.path,
+                           timeout=args.timeout)
+
+    try:
+        status, body = asyncio.run(_scrape())
+    except (OSError, asyncio.TimeoutError) as exc:
+        print(f"repro metrics: cannot scrape "
+              f"http://{args.host}:{args.port}{args.path}: {exc}",
+              file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"repro metrics: HTTP {status} from "
+              f"http://{args.host}:{args.port}{args.path}",
+              file=sys.stderr)
+        return 1
+    if args.raw:
+        print(body, end="" if body.endswith("\n") else "\n")
+        return 0
+    samples = parse_exposition(body)
+    if args.filter:
+        samples = [(name, labels, value)
+                   for name, labels, value in samples
+                   if args.filter in name]
+    _print_rows(
+        ["metric", "labels", "value"],
+        [(name,
+          ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+          or "-",
+          value)
+         for name, labels, value in samples])
     return 0
 
 
@@ -373,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(omit for in-memory pages)")
     serve.add_argument("--num-pages", type=int, default=4096)
     serve.add_argument("--page-size", type=int, default=512)
+    serve.add_argument("--obs-port", type=int, default=0,
+                       help="HTTP port for /metrics, /healthz and "
+                            "/trace (0 picks an ephemeral port)")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="disable tracing and the observability "
+                            "HTTP endpoint")
     serve.set_defaults(handler=cmd_serve)
 
     live_demo = subparsers.add_parser(
@@ -380,6 +475,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="quorum reads/writes over real loopback TCP sockets")
     live_demo.add_argument("--seed", type=int, default=0)
     live_demo.set_defaults(handler=cmd_live_demo)
+
+    trace = subparsers.add_parser(
+        "trace", help="render exported JSONL spans as timelines")
+    trace.add_argument("files", nargs="+", metavar="SPANS.jsonl",
+                       help="span exports to merge (one per process)")
+    trace.add_argument("--trace-id", default=None,
+                       help="show only this trace")
+    trace.add_argument("--operation", default=None, metavar="NAME",
+                       help="show only traces whose root span is NAME "
+                            "(e.g. suite.write)")
+    trace.add_argument("--list", action="store_true",
+                       help="one summary line per trace instead of "
+                            "full timelines")
+    trace.add_argument("--no-events", action="store_true",
+                       help="omit span events from the timelines")
+    trace.set_defaults(handler=cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="scrape and pretty-print a daemon's /metrics")
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, required=True,
+                         help="the daemon's observability HTTP port")
+    metrics.add_argument("--path", default="/metrics")
+    metrics.add_argument("--filter", default=None, metavar="SUBSTRING",
+                         help="only metrics whose name contains this")
+    metrics.add_argument("--raw", action="store_true",
+                         help="print the exposition text verbatim")
+    metrics.add_argument("--timeout", type=float, default=5.0)
+    metrics.set_defaults(handler=cmd_metrics)
 
     return parser
 

@@ -69,11 +69,16 @@ def gather_until(sim: "Simulator", calls: Mapping[Hashable, Event],
         except BaseException as exc:  # noqa: BLE001 - reported, not lost
             return (key, False, exc)
 
-    pending = {sim.spawn(wrap(key, event), name=f"gather:{key}")
-               for key, event in calls.items()}
+    # ``pending`` must stay ordered (call order): when several replies
+    # settle at the same instant, AnyOf resolves them in the order its
+    # children were registered, and a set here would make that order —
+    # and hence which representatives form the quorum — depend on
+    # object hash values rather than on the simulation.
+    pending = [sim.spawn(wrap(key, event), name=f"gather:{key}")
+               for key, event in calls.items()]
     while pending:
         settled_event, outcome = yield sim.any_of(pending)
-        pending.discard(settled_event)
+        pending.remove(settled_event)
         key, ok, value = outcome
         if ok:
             successes[key] = value

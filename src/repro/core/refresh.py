@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Set, Tuple
 
 from ..errors import ReproError
+from ..obs.spans import NOOP_SPAN
 from ..sim.metrics import MetricsRegistry
 from ..txn.coordinator import TransactionManager
 
@@ -84,14 +85,24 @@ class BackgroundRefresher:
                  ) -> Generator[Any, Any, None]:
         suite_name = suite.config.suite_name
         keys = [(suite_name, rep_id) for rep_id in rep_ids]
+        # Refresh is its own root trace: it is causally downstream of a
+        # foreground operation but runs detached, and a trace that held
+        # the foreground span open until background work finished would
+        # misreport the operation's latency.
+        span = suite.collector.start_trace(
+            "suite.refresh", kind="internal", suite=suite_name,
+            targets=",".join(sorted(rep_ids)))
         try:
             if self.delay > 0:
                 yield self.sim.timeout(self.delay)
             consecutive_failures = 0
             while consecutive_failures < self.max_attempts:
-                achieved = yield from self._attempt(suite, rep_ids, 0)
+                achieved = yield from self._attempt(suite, rep_ids, 0,
+                                                    span=span)
                 if achieved is None:
                     consecutive_failures += 1
+                    span.event("attempt.failed",
+                               consecutive=consecutive_failures)
                     yield self.sim.timeout(
                         self.retry_backoff * consecutive_failures)
                     continue
@@ -101,16 +112,23 @@ class BackgroundRefresher:
                 if not outstanding:
                     self.metrics.counter(
                         "refresh.completed").increment(len(rep_ids))
+                    span.set_attr("version", achieved)
+                    span.end()
                     return
                 # A newer request landed while we worked: go again.
             self.metrics.counter("refresh.abandoned").increment(len(rep_ids))
+            span.end(error=f"abandoned after {self.max_attempts} "
+                           "consecutive failures")
         finally:
+            if span and not span.finished:
+                span.end(error="refresher killed")
             for key in keys:
                 self._in_flight.discard(key)
                 self._requested.pop(key, None)
 
     def _attempt(self, suite: "FileSuiteClient", rep_ids: List[str],
-                 version: int) -> Generator[Any, Any, Optional[int]]:
+                 version: int,
+                 span=NOOP_SPAN) -> Generator[Any, Any, Optional[int]]:
         """One refresh pass; returns the version installed, or None."""
         # Phase 1 — its own read-only transaction: fetch the
         # authoritative current state through a normal read quorum (it
@@ -121,6 +139,7 @@ class BackgroundRefresher:
         # the quorum's shared locks immediately, so a refresh never
         # starves foreground writers of the suite.
         read_txn = self.manager.begin()
+        read_txn.span = span
         try:
             result = yield from suite.read_in(read_txn)
             yield from read_txn.commit()
@@ -137,6 +156,7 @@ class BackgroundRefresher:
         properties = {"config": config.to_json(),
                       "stamp": config.config_version}
         write_txn = self.manager.begin()
+        write_txn.span = span
         try:
             calls = []
             for rep_id in rep_ids:

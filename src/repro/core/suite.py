@@ -39,6 +39,8 @@ from typing import (TYPE_CHECKING, Any, Dict, Generator, List, Optional,
 from ..errors import (DeadlockError, HostUnreachableError, LockTimeoutError,
                       QuorumUnavailableError, RemoteError, ReproError,
                       RpcTimeout, StaleConfigurationError, TransactionAborted)
+from ..obs.collector import TraceCollector
+from ..obs.spans import NOOP_SPAN
 from ..sim.metrics import MetricsRegistry
 from ..sim.rng import RandomStreams
 from ..sim.trace import Tracer
@@ -100,7 +102,8 @@ class FileSuiteClient:
                  refresher: Optional["BackgroundRefresher"] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  streams: Optional[RandomStreams] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 collector: Optional[TraceCollector] = None) -> None:
         self.manager = manager
         self.sim = manager.sim
         self.config = config
@@ -117,6 +120,12 @@ class FileSuiteClient:
         self.refresher = refresher
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or Tracer(manager.sim, enabled=False)
+        #: Causal tracing: operation root spans, quorum-assembly child
+        #: spans, and (via :attr:`Transaction.span`) every RPC the
+        #: operation issues.  The disabled default makes every span a
+        #: no-op, so untraced runs pay one falsy check per operation.
+        self.collector = collector or TraceCollector(
+            clock=lambda: manager.sim.now, enabled=False)
         streams = streams or RandomStreams(seed=0)
         self._rng = streams.stream(
             f"suite:{config.suite_name}:{manager.endpoint.host.name}")
@@ -128,7 +137,18 @@ class FileSuiteClient:
     def read(self) -> Generator[Any, Any, ReadResult]:
         """Read the current contents of the suite."""
         started = self.sim.now
-        result = yield from self._with_retries(self._read_once)
+        span = self.collector.start_trace(
+            "suite.read", suite=self.config.suite_name)
+        try:
+            result = yield from self._with_retries(self._read_once,
+                                                   span=span)
+        except BaseException as exc:
+            span.end(error=f"{type(exc).__name__}: {exc}")
+            raise
+        span.set_attr("version", result.version)
+        span.set_attr("served_by", result.served_by)
+        span.set_attr("attempts", result.attempts)
+        span.end()
         self.metrics.counter("suite.reads").increment()
         self.metrics.histogram("suite.read_latency").observe(
             self.sim.now - started)
@@ -137,7 +157,17 @@ class FileSuiteClient:
     def write(self, data: bytes) -> Generator[Any, Any, WriteResult]:
         """Replace the contents of the suite."""
         started = self.sim.now
-        result = yield from self._with_retries(self._write_once, data)
+        span = self.collector.start_trace(
+            "suite.write", suite=self.config.suite_name, size=len(data))
+        try:
+            result = yield from self._with_retries(self._write_once, data,
+                                                   span=span)
+        except BaseException as exc:
+            span.end(error=f"{type(exc).__name__}: {exc}")
+            raise
+        span.set_attr("version", result.version)
+        span.set_attr("attempts", result.attempts)
+        span.end()
         self.metrics.counter("suite.writes").increment()
         self.metrics.histogram("suite.write_latency").observe(
             self.sim.now - started)
@@ -295,6 +325,17 @@ class FileSuiteClient:
         the quorum.
         """
         config = self.config
+        started = self.sim.now
+        parent = txn.span
+        qspan = self.collector.start_span(
+            "quorum.assemble", parent=parent,
+            suite=config.suite_name,
+            mode="read" if mode == SHARED else "write",
+            threshold=threshold)
+        if qspan:
+            # Inquiry RPCs (and the detail fetch in
+            # _check_configuration) parent to the assembly span.
+            txn.span = qspan
         calls = {}
         for rep in config.representatives:
             if rep.weak and not include_weak:
@@ -326,14 +367,64 @@ class FileSuiteClient:
                     return False
             return True
 
-        gathered = yield from gather_until(self.sim, calls, enough)
-        yield from self._check_configuration(txn, gathered)
-        if not gathered.satisfied:
+        try:
+            gathered = yield from gather_until(self.sim, calls, enough)
+            self.metrics.histogram("suite.quorum_wait").observe(
+                self.sim.now - started)
             votes = sum(rep.votes for rep in gathered.successes)
-            self.metrics.counter("suite.quorum_failures").increment()
-            raise QuorumUnavailableError(
-                "read" if mode == SHARED else "write", threshold, votes)
-        return gathered
+            if qspan:
+                for rep, stat in sorted(gathered.successes.items(),
+                                        key=lambda item: item[0].rep_id):
+                    qspan.event("version.collect", rep=rep.rep_id,
+                                version=stat["version"], votes=rep.votes)
+            self._observe_lags(gathered)
+            yield from self._check_configuration(txn, gathered)
+            if not gathered.satisfied:
+                self.metrics.counter("suite.quorum_failures").increment()
+                qspan.event("quorum.failed", votes=votes,
+                            threshold=threshold)
+                qspan.end(error=f"quorum unavailable: "
+                                f"{votes}/{threshold} votes")
+                raise QuorumUnavailableError(
+                    "read" if mode == SHARED else "write", threshold,
+                    votes)
+            self.metrics.histogram("suite.quorum_size").observe(
+                float(sum(1 for rep in gathered.successes
+                          if rep.votes > 0)))
+            qspan.event("quorum.satisfied", votes=votes,
+                        threshold=threshold)
+            qspan.set_attr("votes", votes)
+            qspan.end()
+            return gathered
+        except BaseException as exc:
+            if not isinstance(exc, GeneratorExit):
+                qspan.end(error=f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            if qspan:
+                txn.span = parent
+
+    def _observe_lags(self, gathered: GatherResult) -> None:
+        """Per-representative staleness gauges from the inquiry replies.
+
+        The highest version in the responses is (by the quorum
+        intersection argument) the current version, so each responder's
+        shortfall is its observed lag.  Weak representatives get their
+        own family — their staleness is the cache-coherence number the
+        paper's weak-representative discussion is about.
+        """
+        versions = [stat["version"]
+                    for stat in gathered.successes.values()]
+        if not versions:
+            return
+        current = max(versions)
+        suite = self.config.suite_name
+        for rep, stat in gathered.successes.items():
+            family = ("suite.weak_staleness" if rep.weak
+                      else "suite.version_lag")
+            self.metrics.gauge(
+                f"{family}[suite={suite},rep={rep.rep_id}]").set(
+                float(current - stat["version"]))
 
     def _current_version_from(self, gathered: GatherResult,
                               threshold: Optional[int] = None,
@@ -384,12 +475,14 @@ class FileSuiteClient:
     # Transaction + retry wrapper
     # ------------------------------------------------------------------
 
-    def _with_retries(self, operation, *args) -> Generator[Any, Any, Any]:
+    def _with_retries(self, operation, *args,
+                      span=NOOP_SPAN) -> Generator[Any, Any, Any]:
         last_error: Optional[BaseException] = None
         attempts = 0
         config_refreshes = 0
         while attempts < self.max_attempts:
             txn = self.manager.begin()
+            txn.span = span
             try:
                 result = yield from operation(txn, *args)
                 yield from txn.commit()
@@ -400,12 +493,16 @@ class FileSuiteClient:
                 config_refreshes += 1
                 if config_refreshes > 3:
                     raise
+                span.event("config.adopted",
+                           version=self.config.config_version)
                 last_error = exc
                 continue
             except RETRYABLE as exc:
                 yield from txn.abort()
                 attempts += 1
                 last_error = exc
+                span.event("retry", attempt=attempts,
+                           error=type(exc).__name__)
                 self.metrics.counter("suite.retries").increment()
                 if attempts < self.max_attempts and self.retry_backoff > 0:
                     jitter = 0.5 + self._rng.random()

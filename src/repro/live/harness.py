@@ -10,10 +10,12 @@ tests, the throughput benchmark and the ``live-demo`` CLI.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Generator, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.suite import FileSuiteClient
 from ..core.votes import SuiteConfiguration
+from ..obs.collector import dump_jsonl
+from ..obs.spans import Span
 from .runtime import LiveRuntime
 from .server import LiveStorageServer
 
@@ -35,8 +37,10 @@ class LoopbackCluster:
                  num_pages: int = 4096,
                  page_size: int = 512,
                  data_root: Optional[str] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 obs: bool = True) -> None:
         self._server_names = list(servers)
+        self._obs = obs
         self._client_name = client_name
         self._call_timeout = call_timeout
         self._transport_attempts = transport_attempts
@@ -55,12 +59,13 @@ class LoopbackCluster:
                         if self._data_root is not None else None)
             server = LiveStorageServer(
                 name, data_dir=data_dir, num_pages=self._num_pages,
-                page_size=self._page_size)
-            await server.start()
+                page_size=self._page_size, obs=self._obs)
+            await server.start(obs_port=0 if self._obs else None)
             self.servers[name] = server
         self.client = LiveRuntime(
             self._client_name, call_timeout=self._call_timeout,
-            transport_attempts=self._transport_attempts, seed=self._seed)
+            transport_attempts=self._transport_attempts, seed=self._seed,
+            obs=self._obs)
         for name, server in self.servers.items():
             host, port = server.address  # type: ignore[misc]
             self.client.register_server(name, host, port)
@@ -87,6 +92,38 @@ class LoopbackCluster:
     async def restart_server(self, name: str) -> None:
         """Bring a stopped representative back on its old port."""
         await self.servers[name].restart()
+
+    # -- observability -----------------------------------------------------
+
+    def obs_addresses(self) -> Dict[str, Tuple[str, int]]:
+        """Each server's ``/metrics``-``/healthz``-``/trace`` address."""
+        return {name: server.obs_address
+                for name, server in self.servers.items()
+                if server.obs_address is not None}
+
+    def merged_spans(self) -> List[Span]:
+        """Client + server spans in one list, ordered by start time.
+
+        Every process collects its own spans; merging the per-process
+        buffers is what stitches a quorum operation's trace — the
+        coordinator's client spans and each participant's server spans
+        share a trace id via the context carried in the RPC requests.
+        """
+        spans: List[Span] = []
+        if self.client is not None:
+            spans.extend(self.client.collector.spans())
+        for server in self.servers.values():
+            spans.extend(server.collector.spans())
+        spans.sort(key=lambda span: (span.start, span.trace_id,
+                                     span.span_id))
+        return spans
+
+    def export_trace_jsonl(self, path: str) -> int:
+        """Dump the merged cluster trace to ``path``; returns span count."""
+        spans = self.merged_spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            dump_jsonl(spans, handle)
+        return len(spans)
 
     # -- protocol shortcuts ------------------------------------------------
 

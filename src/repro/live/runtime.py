@@ -39,6 +39,7 @@ from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 from ..core.refresh import BackgroundRefresher
 from ..core.suite import FileSuiteClient, install_suite
 from ..core.votes import SuiteConfiguration
+from ..obs.collector import TraceCollector
 from ..rpc.endpoint import RpcEndpoint
 from ..sim.metrics import MetricsRegistry
 from ..sim.queues import Queue
@@ -242,6 +243,7 @@ class LiveRuntime:
                  transport_attempts: int = 3,
                  seed: int = 0,
                  metrics: Optional[MetricsRegistry] = None,
+                 obs: bool = True,
                  loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
         if name is None:
             # Servers key at-most-once dedup state and transaction ids
@@ -253,15 +255,25 @@ class LiveRuntime:
             name = f"client-{uuid.uuid4().hex[:8]}"
         self.name = name
         self.kernel = LiveKernel(loop=loop)
+        self.metrics = metrics or MetricsRegistry()
+        #: Tracing defaults ON live (unlike the sim, where trace bytes
+        #: would perturb the latency model): real deployments want every
+        #: operation explorable after the fact.  The origin is the
+        #: client's per-boot-unique name, so span ids never collide with
+        #: another process's.
+        self.collector = TraceCollector(clock=lambda: self.kernel.now,
+                                        origin=name, enabled=obs)
         self.transport = TransportNode(name, self._on_message)
         self.host = LiveHost(self.kernel, name, self.transport)
         self.endpoint = RpcEndpoint(self.kernel, self.host,
-                                    copy_payloads=False)
+                                    copy_payloads=False,
+                                    collector=self.collector,
+                                    metrics=self.metrics)
         self.host.dispatch = self.endpoint.dispatch_message
         self.manager = TransactionManager(
             self.kernel, self.endpoint, call_timeout=call_timeout,
-            transport_attempts=transport_attempts)
-        self.metrics = metrics or MetricsRegistry()
+            transport_attempts=transport_attempts,
+            collector=self.collector)
         self.streams = RandomStreams(seed=seed)
         self.refresher = BackgroundRefresher(self.manager,
                                              metrics=self.metrics)
@@ -293,6 +305,7 @@ class LiveRuntime:
         kwargs.setdefault("refresher", self.refresher)
         kwargs.setdefault("metrics", self.metrics)
         kwargs.setdefault("streams", self.streams)
+        kwargs.setdefault("collector", self.collector)
         return FileSuiteClient(self.manager, config, **kwargs)
 
     async def install(self, config: SuiteConfiguration,

@@ -16,10 +16,15 @@ server restart does).
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 from typing import Optional, Tuple
 
+from ..obs import prom
+from ..obs.collector import TraceCollector, dumps_jsonl
+from ..obs.httpd import ObsHttpServer
 from ..rpc.endpoint import RpcEndpoint
+from ..sim.metrics import MetricsRegistry
 from ..storage.pages import PageStore
 from ..storage.server import StorageServer
 from ..storage.stable import CarefulStore, StableStore
@@ -120,10 +125,17 @@ class LiveStorageServer:
                  lock_timeout: Optional[float] = 5_000.0,
                  idle_abort_after: Optional[float] = 60_000.0,
                  fsync: bool = False,
+                 obs: bool = True,
                  loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
         self.name = name
         self.data_dir = data_dir
         self.kernel = LiveKernel(loop=loop)
+        self.metrics = MetricsRegistry()
+        #: Server-side spans (rpc.* handlers) carry the trace context the
+        #: coordinator put on the wire, so a scrape of every process's
+        #: span export stitches into one tree per client operation.
+        self.collector = TraceCollector(clock=lambda: self.kernel.now,
+                                        origin=name, enabled=obs)
         self.transport = TransportNode(name, self._on_message)
         self.host = LiveHost(self.kernel, name, self.transport)
         stable = None
@@ -136,12 +148,20 @@ class LiveStorageServer:
                                     page_size=page_size,
                                     stable=stable, format_fs=fresh)
         self.endpoint = RpcEndpoint(self.kernel, self.host,
-                                    copy_payloads=False)
+                                    copy_payloads=False,
+                                    collector=self.collector,
+                                    metrics=self.metrics)
         self.host.dispatch = self.endpoint.dispatch_message
         self.participant = TransactionParticipant(
             self.server, lock_timeout=lock_timeout,
-            idle_abort_after=idle_abort_after)
+            idle_abort_after=idle_abort_after, metrics=self.metrics)
         self.participant.register_handlers(self.endpoint)
+        self.obs_httpd = ObsHttpServer({
+            "/metrics": self._render_metrics,
+            "/healthz": self._render_healthz,
+            "/trace": self._render_trace,
+        })
+        self.obs_address: Optional[Tuple[str, int]] = None
         if not fresh:
             # A mounted (pre-existing) disk may hold committed or
             # in-doubt transaction records from the previous daemon run.
@@ -150,20 +170,56 @@ class LiveStorageServer:
     def _on_message(self, message) -> None:
         self.host.deliver(message)
 
+    # -- observability endpoints -------------------------------------------
+
+    def _render_metrics(self) -> Tuple[str, str]:
+        # Ring-buffer accounting rides along as ad-hoc gauges: a trace
+        # scrape that silently lost spans must be detectable, and they
+        # keep the exposition non-empty on a daemon yet to serve a call.
+        extra = {"obs.spans_buffered": float(len(self.collector.ring)),
+                 "obs.spans_dropped": float(self.collector.dropped),
+                 "server.up": 1.0 if self.host.up else 0.0}
+        return prom.CONTENT_TYPE, prom.render_registry(self.metrics,
+                                                       extra=extra)
+
+    def _render_healthz(self) -> Tuple[str, str]:
+        body = json.dumps({
+            "status": "ok" if self.host.up else "down",
+            "server": self.name,
+            "up": self.host.up,
+            "commits": self.participant.commits,
+            "aborts": self.participant.aborts,
+            "idle_aborts": self.participant.idle_aborts,
+        })
+        return "application/json", body
+
+    def _render_trace(self) -> Tuple[str, str]:
+        return "application/x-ndjson", dumps_jsonl(self.collector.spans())
+
     @property
     def address(self) -> Optional[Tuple[str, int]]:
         return self.transport.address
 
-    async def start(self, host: str = "127.0.0.1",
-                    port: int = 0) -> Tuple[str, int]:
-        """Listen for client connections; returns the bound address."""
-        return await self.transport.listen(host, port)
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    obs_port: Optional[int] = 0) -> Tuple[str, int]:
+        """Listen for client connections; returns the bound address.
+
+        ``obs_port`` picks the port of the sidecar HTTP server exposing
+        ``/metrics``, ``/healthz`` and ``/trace`` (0 = ephemeral); pass
+        ``None`` to run without one.
+        """
+        address = await self.transport.listen(host, port)
+        if obs_port is not None and self.obs_address is None:
+            self.obs_address = await self.obs_httpd.start(host, obs_port)
+        return address
 
     async def stop(self) -> None:
         """Stop serving: close the listener and crash the host.
 
         The crash mirrors sim semantics — volatile state (locks,
         unprepared scratch) is dropped; stable state stays on disk.
+        The observability sidecar keeps answering: a crashed server's
+        /healthz reporting ``down`` is exactly what a prober wants.
         """
         await self.transport.stop_listening()
         self.host.crash()
@@ -175,6 +231,8 @@ class LiveStorageServer:
         return await self.transport.listen(host, port)
 
     async def close(self) -> None:
+        await self.obs_httpd.stop()
+        self.obs_address = None
         await self.transport.close()
         for careful in (self.server.stable.primary,
                         self.server.stable.shadow):

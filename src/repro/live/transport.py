@@ -74,9 +74,12 @@ def unjsonify(value: Any) -> Any:
 def message_to_wire(message: "Request | Reply") -> Dict[str, Any]:
     """Encode a Request/Reply dataclass as a JSON-safe dict."""
     if isinstance(message, Request):
-        return {"kind": "request", "call_id": message.call_id,
+        wire = {"kind": "request", "call_id": message.call_id,
                 "source": message.source, "method": message.method,
                 "args": jsonify(message.args)}
+        if message.trace is not None:
+            wire["trace"] = dict(message.trace)
+        return wire
     if isinstance(message, Reply):
         return {"kind": "reply", "call_id": message.call_id,
                 "ok": message.ok, "value": jsonify(message.value),
@@ -91,7 +94,8 @@ def message_from_wire(raw: Dict[str, Any]) -> "Request | Reply":
     if kind == "request":
         return Request(call_id=raw["call_id"], source=raw["source"],
                        method=raw["method"],
-                       args=unjsonify(raw.get("args", {})))
+                       args=unjsonify(raw.get("args", {})),
+                       trace=raw.get("trace"))
     if kind == "reply":
         return Reply(call_id=raw["call_id"], ok=raw["ok"],
                      value=unjsonify(raw.get("value")),
@@ -133,6 +137,8 @@ def encode_frame(message: "Request | Reply") -> bytes:
             "kind": "request", "call_id": message.call_id,
             "source": message.source, "method": message.method,
             "args": message.args}
+        if message.trace is not None:
+            wire["trace"] = message.trace
     elif isinstance(message, Reply):
         wire = {"kind": "reply", "call_id": message.call_id,
                 "ok": message.ok, "value": message.value,
@@ -191,7 +197,8 @@ class FrameParser:
                 if kind == "request":
                     messages.append(Request(
                         call_id=raw["call_id"], source=raw["source"],
-                        method=raw["method"], args=raw.get("args") or {}))
+                        method=raw["method"], args=raw.get("args") or {},
+                        trace=raw.get("trace")))
                 elif kind == "reply":
                     messages.append(Reply(
                         call_id=raw["call_id"], ok=raw["ok"],

@@ -1,0 +1,56 @@
+"""Observability: causal tracing and metrics exposition.
+
+One layer shared by the deterministic simulator and the live asyncio
+runtime — the same narrow-waist trick the runtimes themselves use.
+Operation spans are created by the protocol layers
+(:mod:`repro.core.suite`, :mod:`repro.txn`, :mod:`repro.rpc`) against a
+:class:`TraceCollector` whose clock is whichever kernel is running;
+trace context crosses process boundaries in
+:class:`~repro.rpc.messages.Request` metadata, so a quorum operation's
+spans — coordinator, every participant, both 2PC phases — stitch into
+one tree even when each daemon records only its own part.
+
+Exposition: every collector keeps a drop-counting ring buffer and can
+export JSONL (``repro trace`` renders it); live daemons additionally
+serve ``/metrics`` (Prometheus text) and ``/healthz`` over a dedicated
+HTTP port (``repro metrics`` scrapes it).
+"""
+
+from .collector import (JsonlSink, RingBufferSink, TraceCollector,
+                        dump_jsonl, dumps_jsonl, load_jsonl)
+from .httpd import ObsHttpServer, fetch
+from .prom import (CONTENT_TYPE, metric_name, parse_exposition,
+                   render_registry, split_labels)
+from .spans import (CLIENT, ERROR, INTERNAL, NOOP_SPAN, OK, SERVER,
+                    NoopSpan, Span, SpanEvent, TraceContext)
+from .timeline import breakdown, group_traces, render_trace, summarize
+
+__all__ = [
+    "CLIENT",
+    "CONTENT_TYPE",
+    "ERROR",
+    "INTERNAL",
+    "JsonlSink",
+    "NOOP_SPAN",
+    "NoopSpan",
+    "OK",
+    "ObsHttpServer",
+    "RingBufferSink",
+    "SERVER",
+    "Span",
+    "SpanEvent",
+    "TraceCollector",
+    "TraceContext",
+    "breakdown",
+    "dump_jsonl",
+    "dumps_jsonl",
+    "fetch",
+    "group_traces",
+    "load_jsonl",
+    "metric_name",
+    "parse_exposition",
+    "render_registry",
+    "render_trace",
+    "split_labels",
+    "summarize",
+]

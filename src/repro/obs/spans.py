@@ -1,0 +1,227 @@
+"""Causal spans: the unit of distributed tracing.
+
+A *span* is one timed piece of work (a suite operation, a quorum
+assembly, one RPC) attributed to a trace.  Spans form a tree: every
+span carries its trace id and its parent's span id, so spans recorded
+by *different* processes — the coordinating client and each storage
+daemon — stitch into one causal tree once their exports are merged.
+
+The wire footprint is deliberately tiny: only a
+:class:`TraceContext` (two short strings) crosses process boundaries,
+riding the ``trace`` field of :class:`~repro.rpc.messages.Request`.
+Span bodies stay local to the process that created them and leave it
+only through a sink (ring buffer, JSONL file, HTTP endpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Span kinds, mirroring the OpenTelemetry vocabulary we need.
+CLIENT = "client"
+SERVER = "server"
+INTERNAL = "internal"
+
+#: Span statuses.
+OK = "ok"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated part of a span: enough to parent a remote child."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, raw: Optional[Dict[str, Any]]
+                  ) -> Optional["TraceContext"]:
+        if not isinstance(raw, dict):
+            return None
+        trace_id = raw.get("trace_id")
+        span_id = raw.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span (e.g. quorum satisfied)."""
+
+    time: float
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "name": self.name, "attrs": self.attrs}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "SpanEvent":
+        return cls(time=float(raw["time"]), name=str(raw["name"]),
+                   attrs=dict(raw.get("attrs") or {}))
+
+
+class Span:
+    """One recorded unit of work; finished spans are immutable by custom.
+
+    Created through :class:`~repro.obs.collector.TraceCollector`, which
+    stamps times from the owning runtime's clock (virtual milliseconds
+    in the sim, wall-clock milliseconds live) and emits the span to its
+    sinks when :meth:`end` is called.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "kind",
+                 "origin", "start", "end_time", "status", "error",
+                 "attrs", "events", "_collector")
+
+    def __init__(self, collector: Any, trace_id: str, span_id: str,
+                 parent_id: Optional[str], name: str, kind: str,
+                 origin: str, start: float,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.origin = origin
+        self.start = start
+        self.end_time: Optional[float] = None
+        self.status = OK
+        self.error: Optional[str] = None
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.events: List[SpanEvent] = []
+        self._collector = collector
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def context(self) -> TraceContext:
+        """The context a child (local or remote) parents itself to."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start
+
+    # -- recording ---------------------------------------------------------
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Add a timestamped point event to this span."""
+        if self.finished:
+            return
+        self.events.append(SpanEvent(time=self._collector.now(),
+                                     name=name, attrs=attrs))
+
+    def set_attr(self, name: str, value: Any) -> None:
+        self.attrs[name] = value
+
+    def end(self, error: Optional[BaseException | str] = None) -> None:
+        """Finish the span (idempotent) and hand it to the sinks."""
+        if self.finished:
+            return
+        if error is not None:
+            self.status = ERROR
+            self.error = (error if isinstance(error, str)
+                          else f"{type(error).__name__}: {error}")
+        self.end_time = self._collector.now()
+        self._collector._emit(self)
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "origin": self.origin,
+            "start": self.start,
+            "end": self.end_time,
+            "status": self.status,
+            "error": self.error,
+            "attrs": self.attrs,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "Span":
+        span = cls(collector=_FINISHED, trace_id=str(raw["trace_id"]),
+                   span_id=str(raw["span_id"]),
+                   parent_id=raw.get("parent_id"),
+                   name=str(raw["name"]), kind=str(raw.get("kind", INTERNAL)),
+                   origin=str(raw.get("origin", "")),
+                   start=float(raw["start"]),
+                   attrs=dict(raw.get("attrs") or {}))
+        span.end_time = (float(raw["end"]) if raw.get("end") is not None
+                         else None)
+        span.status = str(raw.get("status", OK))
+        span.error = raw.get("error")
+        span.events = [SpanEvent.from_dict(event)
+                       for event in raw.get("events") or []]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration:.3f}ms" if self.finished else "open"
+        return (f"<Span {self.name} {self.trace_id}/{self.span_id} "
+                f"{state}>")
+
+
+class _FinishedCollector:
+    """Stand-in collector for deserialised spans (no clock, no sinks)."""
+
+    def now(self) -> float:  # pragma: no cover - deserialised spans only
+        return 0.0
+
+    def _emit(self, span: Span) -> None:  # pragma: no cover
+        pass
+
+
+_FINISHED = _FinishedCollector()
+
+
+class NoopSpan:
+    """The span you get when tracing is off: absorbs everything, is falsy.
+
+    ``context`` is ``None``, so code that forwards ``span.context`` into
+    an RPC naturally propagates nothing when tracing is disabled.
+    """
+
+    __slots__ = ()
+
+    context: Optional[TraceContext] = None
+    trace_id = ""
+    span_id = ""
+    finished = True
+    duration = 0.0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def set_attr(self, name: str, value: Any) -> None:
+        pass
+
+    def end(self, error: Optional[BaseException | str] = None) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NoopSpan>"
+
+
+#: Shared no-op instance; tracing-off paths allocate nothing.
+NOOP_SPAN = NoopSpan()

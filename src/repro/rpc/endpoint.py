@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tupl
 
 from ..errors import (HostUnreachableError, NoSuchMethodError, RemoteError,
                       ReproError, RpcTimeout)
+from ..obs.spans import NOOP_SPAN, TraceContext
 from ..sim.events import Event
 from ..sim.network import Host
 from ..sim.process import Process
@@ -32,6 +33,8 @@ from ..sim.queues import QueueClosed
 from .messages import Reply, Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collector import TraceCollector
+    from ..sim.metrics import MetricsRegistry
     from ..sim.simulator import Simulator
 
 #: Known error classes that are re-raised as themselves on the client.
@@ -70,10 +73,19 @@ class RpcEndpoint:
 
     def __init__(self, sim: "Simulator", host: Host,
                  copy_payloads: bool = True,
-                 default_call_timeout: Optional[float] = None) -> None:
+                 default_call_timeout: Optional[float] = None,
+                 collector: Optional["TraceCollector"] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         self.sim = sim
         self.host = host
         self.copy_payloads = copy_payloads
+        #: Observability hooks, both optional: ``collector`` records an
+        #: ``rpc.client`` span per traced outbound call and an
+        #: ``rpc.server`` span per traced inbound request; ``metrics``
+        #: mirrors the endpoint's transport counters and observes
+        #: server-side handler latency.
+        self.collector = collector
+        self.metrics = metrics
         self.default_call_timeout = (
             self.DEFAULT_CALL_TIMEOUT if default_call_timeout is None
             else default_call_timeout)
@@ -149,22 +161,33 @@ class RpcEndpoint:
         identity = (request.source, request.call_id)
         if identity in self._in_progress:
             self.duplicates_suppressed += 1
+            self._count("rpc.duplicates_suppressed")
             return
         cached = self._completed.get(identity)
         if cached is not None:
             self.duplicates_suppressed += 1
+            self._count("rpc.duplicates_suppressed")
             self.host.send(request.source, cached)
             return
         self._in_progress.add(identity)
+        span = NOOP_SPAN
+        if self.collector is not None and request.trace is not None:
+            span = self.collector.start_span(
+                f"rpc.{request.method}",
+                parent=TraceContext.from_wire(request.trace),
+                kind="server", source=request.source,
+                call_id=request.call_id)
         key = self._next_handler_key
         self._next_handler_key += 1
         process = self.sim.spawn(
-            self._handle(request, key),
+            self._handle(request, key, span),
             name=f"rpc:{self.host.name}:{request.method}#{request.call_id}")
         self._handler_processes[key] = process
 
-    def _handle(self, request: Request, key: int):
+    def _handle(self, request: Request, key: int, span=NOOP_SPAN):
         identity = (request.source, request.call_id)
+        started = self.sim.now
+        reply: Optional[Reply] = None
         try:
             handler = self._handlers.get(request.method)
             if handler is None:
@@ -178,6 +201,7 @@ class RpcEndpoint:
                     reply = Reply.success(request.call_id,
                                           self._copy(result))
                     self.requests_served += 1
+                    self._count("rpc.requests_served")
                 except ReproError as exc:
                     reply = Reply.failure(request.call_id, exc)
             self._remember(identity, reply)
@@ -185,6 +209,15 @@ class RpcEndpoint:
         finally:
             self._in_progress.discard(identity)
             self._handler_processes.pop(key, None)
+            if self.metrics is not None:
+                self.metrics.histogram("rpc.server_latency").observe(
+                    self.sim.now - started)
+            if reply is None:
+                span.end(error="handler killed before replying")
+            elif reply.ok:
+                span.end()
+            else:
+                span.end(error=f"{reply.error_type}: {reply.error_detail}")
 
     def _remember(self, identity: Tuple[str, int], reply: Reply) -> None:
         self._completed[identity] = reply
@@ -195,6 +228,7 @@ class RpcEndpoint:
 
     def call(self, destination: str, method: str,
              timeout: Optional[float] = None, attempts: int = 1,
+             trace: Optional[TraceContext] = None,
              **args: Any) -> Event:
         """Send a request; returns an event for the reply.
 
@@ -209,6 +243,12 @@ class RpcEndpoint:
         :class:`RpcTimeout` only after every transmission has gone
         unanswered, so a single lost datagram costs one timeout, not a
         failed call.
+
+        ``trace`` parents this call into a caller's span: the endpoint
+        opens an ``rpc.client`` span (ended when the reply event
+        settles) and ships the span's context in the request, so the
+        server's handler span joins the same trace.  Retransmissions
+        reuse the request and therefore the same span.
         """
         if attempts < 1:
             raise ValueError("attempts must be >= 1")
@@ -219,8 +259,23 @@ class RpcEndpoint:
         event = self.sim.event(name=f"call:{method}->{destination}")
         self._pending[call_id] = event
         self.calls_sent += 1
+        self._count("rpc.calls_sent")
+        wire_trace: Optional[Dict[str, str]] = None
+        if trace is not None:
+            span = NOOP_SPAN
+            if self.collector is not None:
+                span = self.collector.start_span(
+                    f"rpc.{method}", parent=trace, kind="client",
+                    destination=destination, call_id=call_id)
+            context = span.context if span else trace
+            wire_trace = context.to_wire()
+            if span:
+                event.add_callback(
+                    lambda settled, span=span: span.end(
+                        error=settled.value if settled.failed else None))
         request = Request(call_id=call_id, source=self.host.name,
-                          method=method, args=self._copy(args))
+                          method=method, args=self._copy(args),
+                          trace=wire_trace)
         self.host.send(destination, request)
         self._arm_retransmit(request, destination, timeout, attempts - 1)
         return event
@@ -252,6 +307,7 @@ class RpcEndpoint:
             self._expire(request.call_id, request.method, destination)
             return
         self.retransmissions += 1
+        self._count("rpc.retransmissions")
         self.host.send(destination, request)
         self._arm_retransmit(request, destination, timeout, remaining - 1)
 
@@ -276,6 +332,7 @@ class RpcEndpoint:
         self._disarm_retransmit(call_id)
         event = self._pending.pop(call_id, None)
         if event is not None and event.pending:
+            self._count("rpc.timeouts")
             event.fail(RpcTimeout(
                 f"{method} -> {destination}: no reply"))
 
@@ -318,3 +375,7 @@ class RpcEndpoint:
         if not self.copy_payloads:
             return value
         return copy.deepcopy(value)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment()

@@ -14,12 +14,20 @@ from typing import Any, Dict, Optional
 
 @dataclass(frozen=True)
 class Request:
-    """A remote procedure call request."""
+    """A remote procedure call request.
+
+    ``trace`` is optional observability metadata (a serialised
+    :class:`~repro.obs.spans.TraceContext`): when present, the server
+    parents its handler span to the caller's span, stitching the two
+    processes into one causal trace.  It rides outside ``args`` so
+    handlers never see it.
+    """
 
     call_id: int
     source: str
     method: str
     args: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[Dict[str, str]] = None
 
 
 @dataclass(frozen=True)

@@ -58,16 +58,33 @@ class Gauge:
 
 
 class Histogram:
-    """Exact-sample histogram for latency-style observations."""
+    """Exact-sample histogram for latency-style observations.
 
-    __slots__ = ("name", "samples")
+    Quantile queries share one sorted copy of the samples, invalidated
+    on the next observation — ``summary()`` (four quantiles) and the
+    exporter's repeated scrapes cost one sort, not one per query.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.samples: List[float] = []
+        self._samples: List[float] = []
+        self._sorted: "List[float] | None" = None
+
+    @property
+    def samples(self) -> List[float]:
+        return self._samples
+
+    @samples.setter
+    def samples(self, values: List[float]) -> None:
+        # Assigned wholesale by e.g. workload result merging.
+        self._samples = values
+        self._sorted = None
 
     def observe(self, value: float) -> None:
-        self.samples.append(value)
+        self._samples.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -95,13 +112,18 @@ class Histogram:
         mean = self.mean
         return math.sqrt(sum((s - mean) ** 2 for s in self.samples) / (n - 1))
 
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
     def percentile(self, p: float) -> float:
         """Exact percentile via linear interpolation; ``p`` in [0, 100]."""
         if not 0 <= p <= 100:
             raise ValueError("percentile must be in [0, 100]")
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         if len(ordered) == 1:
             return ordered[0]
         rank = (p / 100.0) * (len(ordered) - 1)
@@ -164,6 +186,7 @@ class MetricsRegistry:
         """Everything, as plain data — handy for printing bench rows."""
         return {
             "counters": self.counters(),
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "gauges": {n: {"value": g.value, "max": g.maximum}
+                       for n, g in sorted(self._gauges.items())},
             "histograms": self.histograms(),
         }

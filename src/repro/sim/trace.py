@@ -39,11 +39,16 @@ class Tracer:
         self.enabled = enabled
         self.capacity = capacity
         self.records: List[TraceRecord] = []
+        #: Records refused because the buffer was full.  A capped trace
+        #: that hides how much it discarded reads as a complete record;
+        #: anything asserting on trace contents should check this is 0.
+        self.dropped = 0
 
     def record(self, component: str, event: str, **details: Any) -> None:
         if not self.enabled:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
             return
         self.records.append(
             TraceRecord(self.sim.now, component, event, details))
@@ -64,6 +69,16 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
+
+    def stats(self) -> Dict[str, Any]:
+        """Buffer accounting: kept, dropped, and the configured cap."""
+        return {"records": len(self.records), "dropped": self.dropped,
+                "capacity": self.capacity}
 
     def dump(self) -> str:  # pragma: no cover - debugging aid
-        return "\n".join(str(record) for record in self.records)
+        lines = [str(record) for record in self.records]
+        if self.dropped:
+            lines.append(f"... {self.dropped} record(s) dropped at "
+                         f"capacity {self.capacity}")
+        return "\n".join(lines)

@@ -27,6 +27,7 @@ from .core.examples import LATENCIES, example_configuration
 from .core.refresh import BackgroundRefresher
 from .core.suite import FileSuiteClient, install_suite
 from .core.votes import SuiteConfiguration
+from .obs.collector import TraceCollector
 from .rpc.endpoint import RpcEndpoint
 from .sim.distributions import Distribution
 from .sim.metrics import MetricsRegistry
@@ -78,7 +79,8 @@ class Testbed:
                  refresh_delay: float = 0.0,
                  refresh_enabled: bool = True,
                  loss_probability: float = 0.0,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 obs: bool = False) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed=seed)
         self.network = Network(self.sim, self.streams,
@@ -86,6 +88,14 @@ class Testbed:
                                loss_probability=loss_probability)
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.sim, enabled=trace)
+        #: Causal tracing (``obs=True``).  Deliberately opt-in: trace
+        #: context rides inside RPC requests, whose estimated byte size
+        #: feeds the latency model — enabling it perturbs simulated
+        #: timings, which paper-comparison runs must not pay silently.
+        #: The whole testbed shares one collector (it is one process),
+        #: so client and server spans land stitched in one buffer.
+        self.collector = TraceCollector(clock=lambda: self.sim.now,
+                                        origin="sim", enabled=obs)
         self.call_timeout = call_timeout
         self.servers: Dict[str, ServerNode] = {}
         self.clients: Dict[str, ClientNode] = {}
@@ -111,10 +121,11 @@ class Testbed:
         server = StorageServer(self.sim, host, num_pages=num_pages,
                                page_size=page_size,
                                page_io_time=page_io_time)
-        endpoint = RpcEndpoint(self.sim, host)
+        endpoint = RpcEndpoint(self.sim, host, collector=self.collector,
+                               metrics=self.metrics)
         participant = TransactionParticipant(
             server, lock_timeout=lock_timeout,
-            idle_abort_after=idle_abort_after)
+            idle_abort_after=idle_abort_after, metrics=self.metrics)
         participant.register_handlers(endpoint)
         node = ServerNode(host=host, server=server, endpoint=endpoint,
                           participant=participant)
@@ -124,9 +135,11 @@ class Testbed:
     def add_client(self, name: str, refresh_delay: float = 0.0,
                    refresh_enabled: bool = True) -> ClientNode:
         host = self.network.add_host(name)
-        endpoint = RpcEndpoint(self.sim, host)
+        endpoint = RpcEndpoint(self.sim, host, collector=self.collector,
+                               metrics=self.metrics)
         manager = TransactionManager(self.sim, endpoint,
-                                     call_timeout=self.call_timeout)
+                                     call_timeout=self.call_timeout,
+                                     collector=self.collector)
         refresher = BackgroundRefresher(manager, delay=refresh_delay,
                                         metrics=self.metrics,
                                         enabled=refresh_enabled)
@@ -147,6 +160,7 @@ class Testbed:
         kwargs.setdefault("metrics", self.metrics)
         kwargs.setdefault("streams", self.streams)
         kwargs.setdefault("tracer", self.tracer)
+        kwargs.setdefault("collector", self.collector)
         return FileSuiteClient(node.manager, config, **kwargs)
 
     def install(self, config: SuiteConfiguration, initial_data: bytes = b"",

@@ -26,11 +26,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, List, Optional, Set, Tuple
 
 from ..errors import ReproError, TransactionAborted
+from ..obs.spans import NOOP_SPAN, TraceContext
 from ..rpc.endpoint import RpcEndpoint
 from .ids import TransactionId, TransactionIdGenerator
 from .participant import VOTE_PREPARED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collector import TraceCollector
     from ..sim.simulator import Simulator
 
 #: RPC methods that stage durable changes at a participant.
@@ -69,6 +71,11 @@ class Transaction:
         self.staged: Set[str] = set()
         self._after_commit: List[Any] = []
         self.state = ACTIVE
+        #: Observability: the span RPCs issued through :meth:`call`
+        #: parent themselves to.  The suite points this at its current
+        #: span (operation root, then quorum-assembly child, ...); the
+        #: no-op default keeps untraced transactions allocation-free.
+        self.span = NOOP_SPAN
 
     def after_commit(self, callback) -> None:
         """Run ``callback()`` if and when this transaction commits.
@@ -102,6 +109,7 @@ class Transaction:
         event = self.manager.endpoint.call(
             server, method, timeout=effective,
             attempts=self.manager.transport_attempts,
+            trace=self.span.context if self.span else None,
             txn=str(self.txn_id), **args)
 
         def confirm(settled, server=server):
@@ -130,9 +138,13 @@ class TransactionManager:
                  call_timeout: float = 1_000.0,
                  commit_retry_interval: float = 500.0,
                  commit_retry_attempts: int = 20,
-                 transport_attempts: int = 3) -> None:
+                 transport_attempts: int = 3,
+                 collector: Optional["TraceCollector"] = None) -> None:
         self.sim = sim
         self.endpoint = endpoint
+        #: Optional observability: with a collector, each staged commit
+        #: records one span per 2PC phase under the transaction's span.
+        self.collector = collector
         self.call_timeout = call_timeout
         #: Retransmissions per RPC (same call id; servers are
         #: at-most-once, so this is safe).  One lost datagram then costs
@@ -178,62 +190,100 @@ class TransactionManager:
             # re-sending if the release message is lost, so a dropped
             # datagram cannot strand a shared lock until the idle
             # sweeper.
+            txn.span.event("2pc.read_only_release",
+                           participants=len(txn.participants))
+            release_trace = txn.span.context if txn.span else None
             for server in sorted(txn.participants):
-                self._spawn_retry(txn.txn_id, server, "txn.prepare")
+                self._spawn_retry(txn.txn_id, server, "txn.prepare",
+                                  trace=release_trace)
             txn.state = COMMITTED
             self.commits += 1
             txn._run_commit_hooks()
             return
 
-        votes = yield from self._gather_votes(txn)
+        prepare_span = self._phase_span(txn, "2pc.prepare")
+        votes = yield from self._gather_votes(
+            txn, trace=self._phase_ctx(prepare_span, txn))
         failures = [(server, outcome) for server, ok, outcome in votes
                     if not ok]
         if failures:
+            server, error = failures[0]
+            prepare_span.end(error=f"prepare failed at {server}: {error}")
             # Abort everywhere, including participants whose vote was
             # lost in transit — they may have durably prepared and will
             # otherwise stay in-doubt forever.
-            to_abort = [server for server, ok, outcome in votes
+            to_abort = [srv for srv, ok, outcome in votes
                         if not ok or outcome == VOTE_PREPARED]
-            self._spawn_aborts(txn.txn_id, to_abort)
+            self._spawn_aborts(txn.txn_id, to_abort,
+                               trace=txn.span.context if txn.span else None)
             txn.state = ABORTED
             self.aborts += 1
-            server, error = failures[0]
             raise TransactionAborted(
                 txn.txn_id, f"prepare failed at {server}: {error}")
+        prepare_span.set_attr("votes", len(votes))
+        prepare_span.end()
 
         # Decision point: everyone voted yes.  Read-only voters are done.
         to_commit = [server for server, _ok, outcome in votes
                      if outcome == VOTE_PREPARED]
-        stragglers = yield from self._send_decision(txn.txn_id, to_commit)
+        commit_span = self._phase_span(txn, "2pc.commit")
+        commit_trace = self._phase_ctx(commit_span, txn)
+        stragglers = yield from self._send_decision(
+            txn.txn_id, to_commit, trace=commit_trace)
         for server in stragglers:
-            self._spawn_retry(txn.txn_id, server, "txn.commit")
+            self._spawn_retry(txn.txn_id, server, "txn.commit",
+                              trace=commit_trace)
+        if stragglers:
+            commit_span.set_attr("stragglers", len(stragglers))
+        commit_span.end()
         txn.state = COMMITTED
         self.commits += 1
         txn._run_commit_hooks()
+
+    def _phase_span(self, txn: Transaction, name: str):
+        """A child span of ``txn.span`` for one 2PC phase (or a no-op)."""
+        if self.collector is not None and txn.span:
+            return self.collector.start_span(name, parent=txn.span,
+                                             txn=str(txn.txn_id))
+        return NOOP_SPAN
+
+    @staticmethod
+    def _phase_ctx(span, txn: Transaction) -> Optional[TraceContext]:
+        """Context the phase's RPCs should carry: the phase span's if it
+        is live, else the transaction's own (collector-less manager)."""
+        if span:
+            return span.context
+        return txn.span.context if txn.span else None
 
     def abort(self, txn: Transaction) -> Generator[Any, Any, None]:
         if txn.state in (COMMITTED, ABORTED):
             return
         txn.state = ABORTED
         self.aborts += 1
+        abort_trace = txn.span.context if txn.span else None
         results = yield from self._broadcast(
-            txn.txn_id, "txn.abort", sorted(txn.attempted))
+            txn.txn_id, "txn.abort", sorted(txn.attempted),
+            trace=abort_trace)
         for server, ok, _outcome in results:
             if not ok:
-                self._spawn_retry(txn.txn_id, server, "txn.abort")
+                self._spawn_retry(txn.txn_id, server, "txn.abort",
+                                  trace=abort_trace)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _gather_votes(self, txn: Transaction
+    def _gather_votes(self, txn: Transaction,
+                      trace: Optional[TraceContext] = None
                       ) -> Generator[Any, Any,
                                      List[Tuple[str, bool, Any]]]:
         return (yield from self._broadcast(
-            txn.txn_id, "txn.prepare", sorted(txn.participants)))
+            txn.txn_id, "txn.prepare", sorted(txn.participants),
+            trace=trace))
 
     def _broadcast(self, txn_id: TransactionId, method: str,
-                   servers: List[str]
+                   servers: List[str],
+                   trace: Optional[TraceContext] = None
                    ) -> Generator[Any, Any, List[Tuple[str, bool, Any]]]:
         """Call ``method`` on every server in parallel; never raises.
 
@@ -244,7 +294,8 @@ class TransactionManager:
             try:
                 value = yield self.endpoint.call(
                     server, method, timeout=self.call_timeout,
-                    attempts=self.transport_attempts, txn=str(txn_id))
+                    attempts=self.transport_attempts, trace=trace,
+                    txn=str(txn_id))
                 return (server, True, value)
             except ReproError as exc:
                 return (server, False, exc)
@@ -255,19 +306,22 @@ class TransactionManager:
         results = yield self.sim.all_of(processes)
         return results
 
-    def _send_decision(self, txn_id: TransactionId, servers: List[str]
+    def _send_decision(self, txn_id: TransactionId, servers: List[str],
+                       trace: Optional[TraceContext] = None
                        ) -> Generator[Any, Any, List[str]]:
         """Send commit to ``servers``; return those that did not ack."""
-        results = yield from self._broadcast(txn_id, "txn.commit", servers)
+        results = yield from self._broadcast(txn_id, "txn.commit", servers,
+                                             trace=trace)
         return [server for server, ok, _outcome in results if not ok]
 
-    def _spawn_aborts(self, txn_id: TransactionId,
-                      servers: List[str]) -> None:
+    def _spawn_aborts(self, txn_id: TransactionId, servers: List[str],
+                      trace: Optional[TraceContext] = None) -> None:
         for server in servers:
-            self._spawn_retry(txn_id, server, "txn.abort")
+            self._spawn_retry(txn_id, server, "txn.abort", trace=trace)
 
     def _spawn_retry(self, txn_id: TransactionId, server: str,
-                     method: str) -> None:
+                     method: str,
+                     trace: Optional[TraceContext] = None) -> None:
         """Detached background retry until the participant answers.
 
         Retries only on *transport* silence (timeout/unreachable); any
@@ -279,7 +333,8 @@ class TransactionManager:
         def send():
             return self.endpoint.call(
                 server, method, timeout=self.call_timeout,
-                attempts=self.transport_attempts, txn=str(txn_id))
+                attempts=self.transport_attempts, trace=trace,
+                txn=str(txn_id))
 
         # The first transmission happens *now*, synchronously with the
         # decision — a partition or crash one event later must not be

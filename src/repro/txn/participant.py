@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
 
 from ..errors import (InvalidTransactionState, NoSuchFileError,
                       TransactionAborted)
+from ..sim.metrics import MetricsRegistry
 from ..storage.server import StorageServer
 from .ids import TransactionId
 from .locks import EXCLUSIVE, SHARED, LockManager
@@ -57,9 +58,13 @@ class TransactionParticipant:
 
     def __init__(self, server: StorageServer,
                  lock_timeout: Optional[float] = None,
-                 idle_abort_after: Optional[float] = None) -> None:
+                 idle_abort_after: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.server = server
         self.sim = server.sim
+        #: Optional observability: per-file version-lag gauges, exposed
+        #: by the live daemon's /metrics endpoint.
+        self.metrics = metrics
         self.locks = LockManager(server.sim, name=server.name,
                                  default_timeout=lock_timeout)
         self._active: Dict[TransactionId, _Scratch] = {}
@@ -180,6 +185,16 @@ class TransactionParticipant:
             exists, current_version = False, -1
         if not exists and not create:
             raise NoSuchFileError(name)
+        if self.metrics is not None and exists:
+            # Observed staleness: a foreground write carries
+            # current + 1, a refresh (only_if_newer) carries the
+            # current version itself — either way the write tells this
+            # representative what the suite-wide version is, and the
+            # shortfall of its own copy is its lag.
+            global_current = version if only_if_newer else version - 1
+            self.metrics.gauge(
+                f"rep.version_lag[file={name},server={self.name}]").set(
+                float(max(0, global_current - current_version)))
         if only_if_newer and exists and current_version >= version:
             return "skipped"
         scratch.intentions[name] = Intention(
@@ -276,6 +291,12 @@ class TransactionParticipant:
                 yield from self.server.write_file(
                     intention.name, intention.data, intention.version,
                     properties=intention.properties, create=True)
+                if self.metrics is not None:
+                    # The copy just caught up to the version this
+                    # transaction told us about.
+                    self.metrics.gauge(
+                        f"rep.version_lag[file={intention.name},"
+                        f"server={self.name}]").set(0.0)
 
     def _forget(self, txn_id: TransactionId) -> None:
         self._active.pop(txn_id, None)
