@@ -1,0 +1,65 @@
+"""Deterministic fault injection and graceful degradation.
+
+Gifford's availability argument is only as good as the failures it is
+exercised against.  This package makes failure a first-class, *seeded*
+input to both runtimes:
+
+* :mod:`~repro.chaos.policy` — a :class:`ChaosPolicy` that decides, per
+  link and per message, whether to drop, delay or duplicate.  The same
+  policy object interposes on the simulated
+  :class:`~repro.sim.network.Network` and the live
+  :class:`~repro.live.transport.TransportNode`, so one fault model
+  drives either runtime.
+* :mod:`~repro.chaos.nemesis` — scripted and seeded-random crash /
+  restart / partition schedules, with adapters for the sim testbed and
+  the live loopback cluster.
+* :mod:`~repro.chaos.retry` — exponential backoff with cap and seeded
+  jitter, threaded through the RPC endpoint, the 2PC decision retries
+  and the suite's operation retries.
+* :mod:`~repro.chaos.health` — per-representative circuit breakers
+  (closed → open → half-open) that quorum assembly consults to route
+  around dead representatives and fail fast when a quorum is provably
+  unattainable.
+* :mod:`~repro.chaos.invariants` — a history-recording checker for the
+  paper's safety claims (version monotonicity, unique commit versions,
+  reads returning the latest committed version).
+
+:mod:`~repro.chaos.soak` (imported on demand — it pulls in the live
+runtime) runs a seeded soak of N operations under the nemesis on either
+runtime and checks the recorded history.
+"""
+
+from .health import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, HealthTracker
+from .invariants import (InvariantReport, OpRecord, Violation,
+                         check_history, history_from_json,
+                         history_to_json)
+from .nemesis import (LiveClusterAdapter, NemesisScript, NemesisStep,
+                      TestbedAdapter, markov_nemesis, random_nemesis,
+                      run_live_nemesis, schedule_on_sim)
+from .policy import ChaosPolicy, ChaosVerdict
+from .retry import RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "ChaosPolicy",
+    "ChaosVerdict",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "HealthTracker",
+    "InvariantReport",
+    "LiveClusterAdapter",
+    "NemesisScript",
+    "NemesisStep",
+    "OPEN",
+    "OpRecord",
+    "RetryPolicy",
+    "TestbedAdapter",
+    "Violation",
+    "check_history",
+    "history_from_json",
+    "history_to_json",
+    "markov_nemesis",
+    "random_nemesis",
+    "run_live_nemesis",
+    "schedule_on_sim",
+]

@@ -1,0 +1,175 @@
+"""Per-representative health tracking: consecutive-failure breakers.
+
+A :class:`CircuitBreaker` per server, in the classic three states:
+
+* **closed** — traffic flows; consecutive transport failures are
+  counted.
+* **open** — ``failure_threshold`` consecutive failures tripped it; all
+  traffic is refused until ``cooldown`` ms have passed.
+* **half-open** — after the cooldown one *probe* call is let through;
+  its success closes the breaker, its failure re-opens it (restarting
+  the cooldown).
+
+The :class:`~repro.rpc.endpoint.RpcEndpoint` feeds outcomes in — any
+reply (even an error reply) proves the host alive and closes the
+breaker; a client-side timeout after all retransmissions counts as one
+failure.  Quorum assembly (:meth:`FileSuiteClient._inquire`) consults
+:meth:`HealthTracker.allow` to skip representatives whose breaker is
+open, and fails fast with
+:class:`~repro.errors.QuorumUnattainableError` when the votes still
+admitted provably cannot reach the threshold — instead of paying a full
+RPC timeout to learn what the breaker already knew.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.metrics import MetricsRegistry
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of the states (0 = traffic flows freely).
+_STATE_VALUE = {CLOSED: 0.0, HALF_OPEN: 0.5, OPEN: 1.0}
+
+
+class CircuitBreaker:
+    """One server's breaker.  ``clock`` supplies "now" in ms."""
+
+    def __init__(self, clock: Callable[[], float],
+                 failure_threshold: int = 3,
+                 cooldown: float = 400.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self._probe_at: Optional[float] = None
+        self.opens = 0
+
+    def allow(self) -> bool:
+        """May a call be sent now?  Claims the half-open probe slot.
+
+        In the open state, the first caller after the cooldown gets
+        ``True`` and moves the breaker to half-open; subsequent callers
+        are refused until the probe's outcome is recorded.  A probe
+        whose outcome never arrives (caller gave up before its own
+        timeout) releases the slot after another cooldown, so a lost
+        probe cannot wedge the breaker open forever.
+        """
+        if self.state == CLOSED:
+            return True
+        now = self.clock()
+        if self.state == OPEN:
+            if self.opened_at is None \
+                    or now - self.opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self._probe_at = now
+                return True
+            return False
+        # HALF_OPEN: the probe is in flight.
+        if self._probe_at is None or now - self._probe_at >= self.cooldown:
+            self._probe_at = now
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self.opened_at = None
+        self._probe_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._open()
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.opened_at = self.clock()
+        self._probe_at = None
+        self.opens += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CircuitBreaker {self.state} "
+                f"failures={self.consecutive_failures}>")
+
+
+class HealthTracker:
+    """Breakers for every server a client talks to.
+
+    Unknown servers start closed (healthy).  With a ``metrics``
+    registry, each breaker's state is mirrored in a
+    ``health.breaker_state[server=...]`` gauge (0 closed, 0.5
+    half-open, 1 open) and trips count in ``health.breaker_opens``.
+    """
+
+    def __init__(self, clock: Callable[[], float],
+                 failure_threshold: int = 3,
+                 cooldown: float = 400.0,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.metrics = metrics
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, server: str) -> CircuitBreaker:
+        existing = self._breakers.get(server)
+        if existing is not None:
+            return existing
+        breaker = CircuitBreaker(self.clock,
+                                 failure_threshold=self.failure_threshold,
+                                 cooldown=self.cooldown)
+        self._breakers[server] = breaker
+        return breaker
+
+    def allow(self, server: str) -> bool:
+        breaker = self.breaker(server)
+        allowed = breaker.allow()
+        self._mirror(server, breaker)
+        return allowed
+
+    def record_success(self, server: str) -> None:
+        breaker = self.breaker(server)
+        breaker.record_success()
+        self._mirror(server, breaker)
+
+    def record_failure(self, server: str) -> None:
+        breaker = self.breaker(server)
+        before = breaker.opens
+        breaker.record_failure()
+        if self.metrics is not None and breaker.opens > before:
+            self.metrics.counter("health.breaker_opens").increment()
+        self._mirror(server, breaker)
+
+    def _mirror(self, server: str, breaker: CircuitBreaker) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                f"health.breaker_state[server={server}]").set(
+                _STATE_VALUE[breaker.state])
+
+    def state(self, server: str) -> str:
+        """The breaker state without claiming a probe slot."""
+        breaker = self._breakers.get(server)
+        return breaker.state if breaker is not None else CLOSED
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe view of every breaker (for ``/healthz``)."""
+        return {
+            server: {"state": breaker.state,
+                     "consecutive_failures": breaker.consecutive_failures,
+                     "opens": breaker.opens}
+            for server, breaker in sorted(self._breakers.items())
+        }

@@ -1,0 +1,171 @@
+"""History recording and invariant checking for chaos soaks.
+
+The soak driver records one :class:`OpRecord` per operation a
+*sequential* client issued — reads and writes, successful and failed.
+:func:`check_history` then verifies the safety claims weighted voting
+makes, in a form that is decidable from the client's viewpoint:
+
+* **unique-version** — no two committed writes installed the same
+  version number (``2w > N``: write quorums always intersect, so
+  versions totally order writes);
+* **monotonic-commit** — committed versions strictly increase in
+  client order;
+* **fresh-read** — every successful read returned the version (and
+  payload) of the latest committed write (``r + w > N``: every read
+  quorum intersects the last write quorum);
+* **rep-monotonic** — the version each representative reported across
+  inquiries never decreased (representatives never move backwards; the
+  refresher's ``only_if_newer`` staging exists to guarantee this).
+
+The verdicts are unambiguous because a *failed* suite write is provably
+uncommitted: the client-side coordinator can only raise before the
+commit decision point — once every participant has voted, ``commit``
+returns success no matter which acknowledgements still straggle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class OpRecord:
+    """One client operation, as observed by the soak driver."""
+
+    index: int                 # sequence number in the client's history
+    kind: str                  # "read" | "write"
+    ok: bool
+    started: float             # runtime clock, ms
+    finished: float
+    version: Optional[int] = None   # committed (write) / returned (read)
+    tag: Optional[str] = None       # payload tag written / read back
+    served_by: Optional[str] = None
+    quorum: List[str] = field(default_factory=list)
+    #: Version each responding representative reported in the inquiry.
+    observed: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+    attempts: int = 1
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, object]) -> "OpRecord":
+        return cls(**raw)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant broken at one point in the history."""
+
+    index: int                 # OpRecord.index where it was detected
+    rule: str
+    detail: str
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of checking one history."""
+
+    ok: bool
+    violations: List[Violation]
+    ops: int
+    committed_writes: int
+    successful_reads: int
+    failed_ops: int
+    final_version: int
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else (
+            f"{len(self.violations)} VIOLATION"
+            f"{'S' if len(self.violations) != 1 else ''}")
+        return (f"{verdict}: {self.ops} ops "
+                f"({self.committed_writes} commits, "
+                f"{self.successful_reads} reads, "
+                f"{self.failed_ops} failed), "
+                f"final version {self.final_version}")
+
+
+def check_history(history: Sequence[OpRecord],
+                  initial_version: int = 1,
+                  initial_tag: Optional[str] = None) -> InvariantReport:
+    """Check a sequential client's history against the suite invariants.
+
+    ``initial_version``/``initial_tag`` describe the state
+    :func:`~repro.core.suite.install_suite` left behind (version 1).
+    """
+    violations: List[Violation] = []
+    latest_version = initial_version
+    latest_tag = initial_tag
+    committed_versions = {initial_version}
+    rep_floor: Dict[str, int] = {}
+    committed_writes = 0
+    successful_reads = 0
+    failed_ops = 0
+
+    for op in history:
+        # Representative monotonicity holds across every inquiry that
+        # completed, whatever the operation's own fate.
+        for rep_id, version in sorted(op.observed.items()):
+            floor = rep_floor.get(rep_id)
+            if floor is not None and version < floor:
+                violations.append(Violation(
+                    op.index, "rep-monotonic",
+                    f"{rep_id} reported version {version} after "
+                    f"having reported {floor}"))
+            rep_floor[rep_id] = max(floor or 0, version)
+
+        if not op.ok:
+            failed_ops += 1
+            continue
+
+        if op.kind == "write":
+            committed_writes += 1
+            if op.version in committed_versions:
+                violations.append(Violation(
+                    op.index, "unique-version",
+                    f"version {op.version} committed twice"))
+            if op.version is None or op.version <= latest_version:
+                violations.append(Violation(
+                    op.index, "monotonic-commit",
+                    f"committed version {op.version} does not exceed "
+                    f"previous committed version {latest_version}"))
+            if op.version is not None:
+                committed_versions.add(op.version)
+                latest_version = max(latest_version, op.version)
+                latest_tag = op.tag
+        elif op.kind == "read":
+            successful_reads += 1
+            if op.version != latest_version:
+                violations.append(Violation(
+                    op.index, "fresh-read",
+                    f"read returned version {op.version}; latest "
+                    f"committed is {latest_version}"))
+            elif (op.tag is not None and latest_tag is not None
+                    and op.tag != latest_tag):
+                violations.append(Violation(
+                    op.index, "fresh-read",
+                    f"read at version {op.version} returned payload "
+                    f"{op.tag!r}, committed payload was {latest_tag!r}"))
+
+    return InvariantReport(ok=not violations, violations=violations,
+                           ops=len(history),
+                           committed_writes=committed_writes,
+                           successful_reads=successful_reads,
+                           failed_ops=failed_ops,
+                           final_version=latest_version)
+
+
+# ---------------------------------------------------------------------------
+# History (de)serialisation — the CI artifact uploaded on a failed soak
+# ---------------------------------------------------------------------------
+
+def history_to_json(history: Sequence[OpRecord]) -> str:
+    """The history as a JSON array (one object per operation)."""
+    return json.dumps([op.to_json() for op in history], indent=1)
+
+
+def history_from_json(text: str) -> List[OpRecord]:
+    return [OpRecord.from_json(raw) for raw in json.loads(text)]

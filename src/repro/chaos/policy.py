@@ -1,0 +1,162 @@
+"""Per-link message fault policy, shared by both runtimes.
+
+A :class:`ChaosPolicy` answers one question — "what happens to this
+message from ``source`` to ``destination``?" — with a
+:class:`ChaosVerdict`: drop it, delay it, and/or deliver a duplicate.
+Each directed link draws from its own named stream of the policy's
+:class:`~repro.sim.rng.RandomStreams`, so the fault pattern on one link
+is independent of traffic on every other and fully determined by the
+seed.
+
+The policy is the interposition point for *partitions* too: symmetric
+group splits with the same semantics as
+:meth:`repro.sim.network.Network.partition` (hosts not listed in any
+group belong to the implicit group 0).  Putting partitions here rather
+than in each runtime is what lets one nemesis script drive the
+simulator and a live TCP cluster identically.
+
+Reordering falls out of random per-message delays: two frames on the
+same link with different sampled delays arrive out of order, which is
+all the datagram contract above (client timeouts, at-most-once servers)
+has to survive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class ChaosVerdict:
+    """What the policy decided for one message."""
+
+    drop: bool = False
+    delay: float = 0.0            # extra latency, ms
+    duplicate: bool = False
+    duplicate_delay: float = 0.0  # extra latency of the duplicate, ms
+
+
+#: Shared "no fault" verdict — the hot-path answer when chaos is off.
+PASS = ChaosVerdict()
+_DROP = ChaosVerdict(drop=True)
+
+
+class ChaosPolicy:
+    """Seeded per-link drop / delay / duplicate decisions + partitions.
+
+    All probabilities are per *message*; delays are uniform in
+    ``[delay_min, delay_max]`` ms.  A duplicate is delivered once more
+    after an additional delay drawn from the same range (so duplicates
+    typically arrive late, after the original — the case the
+    at-most-once machinery exists for).
+    """
+
+    def __init__(self, streams: Optional[RandomStreams] = None,
+                 seed: int = 0,
+                 drop_probability: float = 0.0,
+                 delay_probability: float = 0.0,
+                 delay_min: float = 0.0,
+                 delay_max: float = 0.0,
+                 duplicate_probability: float = 0.0) -> None:
+        for name, probability in (("drop", drop_probability),
+                                  ("delay", delay_probability),
+                                  ("duplicate", duplicate_probability)):
+            if not 0.0 <= probability < 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1)")
+        if delay_min < 0 or delay_max < delay_min:
+            raise ValueError("need 0 <= delay_min <= delay_max")
+        self.streams = streams or RandomStreams(seed=seed)
+        self.drop_probability = drop_probability
+        self.delay_probability = delay_probability
+        self.delay_min = delay_min
+        self.delay_max = delay_max
+        self.duplicate_probability = duplicate_probability
+        #: Master switch: a disabled policy passes everything untouched
+        #: (the nemesis flips this off when its script ends, so a soak's
+        #: final convergence reads run on a clean network).
+        self.enabled = True
+        self._partition_of: Dict[str, int] = {}
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+        self.partition_drops = 0
+
+    # -- partitions --------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split hosts into isolated groups; unlisted hosts join group 0."""
+        self._partition_of = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                self._partition_of[name] = index
+
+    def heal(self) -> None:
+        """Remove the partition (message-level faults keep applying)."""
+        self._partition_of = {}
+
+    @property
+    def partitioned_hosts(self) -> Dict[str, int]:
+        """Current explicit group assignment (empty = no partition)."""
+        return dict(self._partition_of)
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """True if the current partition separates ``a`` from ``b``."""
+        if not self._partition_of:
+            return False
+        return (self._partition_of.get(a, 0)
+                != self._partition_of.get(b, 0))
+
+    # -- per-message verdicts ----------------------------------------------
+
+    def _rng(self, source: str, destination: str) -> random.Random:
+        return self.streams.stream(f"chaos:{source}->{destination}")
+
+    def filter(self, source: str, destination: str) -> ChaosVerdict:
+        """Decide the fate of one message on the ``source -> destination``
+        link.  Mutates only the policy's own counters and rng streams."""
+        if not self.enabled:
+            return PASS
+        if source != destination and self.partitioned(source, destination):
+            self.partition_drops += 1
+            return _DROP
+        if source == destination:
+            return PASS  # loopback never faults (matches the sim network)
+        rng = self._rng(source, destination)
+        if (self.drop_probability > 0.0
+                and rng.random() < self.drop_probability):
+            self.dropped += 1
+            return _DROP
+        delay = 0.0
+        if (self.delay_probability > 0.0
+                and rng.random() < self.delay_probability):
+            delay = rng.uniform(self.delay_min, self.delay_max)
+            self.delayed += 1
+        duplicate = False
+        duplicate_delay = 0.0
+        if (self.duplicate_probability > 0.0
+                and rng.random() < self.duplicate_probability):
+            duplicate = True
+            duplicate_delay = delay + rng.uniform(self.delay_min,
+                                                  self.delay_max)
+            self.duplicated += 1
+        if not delay and not duplicate:
+            return PASS
+        return ChaosVerdict(delay=delay, duplicate=duplicate,
+                            duplicate_delay=duplicate_delay)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for reports."""
+        return {"dropped": self.dropped, "delayed": self.delayed,
+                "duplicated": self.duplicated,
+                "partition_drops": self.partition_drops}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ChaosPolicy drop={self.drop_probability} "
+                f"delay={self.delay_probability}"
+                f"[{self.delay_min},{self.delay_max}]ms "
+                f"dup={self.duplicate_probability} "
+                f"{'on' if self.enabled else 'off'}>")

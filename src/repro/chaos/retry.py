@@ -1,0 +1,64 @@
+"""Retry backoff policy: exponential, capped, with seeded jitter.
+
+One small immutable object shared by every layer that retries —
+:meth:`~repro.rpc.endpoint.RpcEndpoint.call_with_retries`, the 2PC
+coordinator's decision retries, and the suite's per-operation retry
+loop.  Jitter draws come from the caller's
+:class:`~repro.sim.rng.RandomStreams` stream, so simulated runs stay
+bit-for-bit deterministic and live runs de-synchronise naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Delay schedule for attempt ``n`` (0-based): ``base * multiplier**n``,
+    capped at ``cap``, scaled by a jitter factor in
+    ``[1 - jitter, 1 + jitter]``.
+
+    The defaults give 25, 50, 100, ... ms (±50 %), capped at 2 s — a
+    conventional exponential-backoff ladder.  ``jitter=0.5`` draws the
+    factor as ``0.5 + rng.random()``, which is exactly the jitter the
+    suite's retry loop has always used, so adopting the policy there
+    changes no simulated timing.
+    """
+
+    base: float = 25.0
+    multiplier: float = 2.0
+    cap: float = 2_000.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("base must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based), in ms.
+
+        Draws from ``rng`` exactly once when jitter is enabled and the
+        delay is non-zero — callers relying on common random numbers
+        can count draws.
+        """
+        if self.base <= 0:
+            return 0.0
+        raw = min(self.cap, self.base * self.multiplier ** attempt)
+        if self.jitter <= 0:
+            return raw
+        factor = 1.0 - self.jitter + 2.0 * self.jitter * rng.random()
+        return raw * factor
+
+    def with_base(self, base: float) -> "RetryPolicy":
+        """This policy with a different first-step delay."""
+        return replace(self, base=base)
+
+    def constant(self) -> "RetryPolicy":
+        """This policy flattened to a fixed ``base`` delay (no growth)."""
+        return replace(self, multiplier=1.0, jitter=0.0)

@@ -1,0 +1,333 @@
+"""Invariant-checked soak runs under the nemesis, on either runtime.
+
+One seeded :class:`SoakConfig` determines everything: the chaos policy's
+per-link faults, the nemesis schedule, and the operation mix a
+sequential client issues.  :func:`run_sim_soak` executes it on a
+:class:`~repro.testbed.Testbed` in virtual time; :func:`run_live_soak`
+executes it on a :class:`~repro.live.harness.LoopbackCluster` over real
+sockets.  Both record the same :class:`~repro.chaos.invariants.OpRecord`
+history and hand it to the same checker, so the ``repro chaos`` CLI can
+replay a live soak's exact fault script on the simulator and compare
+verdicts.
+
+The op driver is one generator shared verbatim by both runtimes — the
+same property that lets the whole protocol stack run on either kernel.
+Failed operations are recorded, not fatal: under a nemesis that never
+downs more representatives than the quorum tolerates, most operations
+ride through on retries, breakers route around dead representatives,
+and an operation that still fails must fail *cleanly* (a failed write is
+provably uncommitted).  After the nemesis ends and the policy is
+disabled, a handful of convergence reads on the healed cluster must
+observe the latest committed version — the soak's proof that degraded
+service, not corrupted state, was the worst that happened.
+
+This module imports the live runtime, so :mod:`repro.chaos` does not
+import it eagerly; reach it as ``repro.chaos.soak``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..core.votes import Representative, SuiteConfiguration
+from ..errors import ReproError
+from ..sim.rng import RandomStreams
+from .health import HealthTracker
+from .invariants import InvariantReport, OpRecord, check_history
+from .nemesis import (NemesisScript, random_nemesis, run_live_nemesis,
+                      schedule_on_sim)
+from .policy import ChaosPolicy
+
+#: Payload installed at version 1.
+INITIAL_TAG = "soak-init"
+
+
+@dataclass
+class SoakConfig:
+    """Everything a soak run needs, fully determined by ``seed``."""
+
+    reps: int = 5
+    ops: int = 500
+    seed: int = 1
+    read_fraction: float = 0.7
+    final_reads: int = 3
+
+    # Per-message chaos (applies on every link, both runtimes).
+    loss: float = 0.05
+    delay_probability: float = 0.25
+    delay_min: float = 1.0
+    delay_max: float = 15.0
+    duplicate_probability: float = 0.02
+
+    # Nemesis (crash / restart / partition schedule).
+    horizon: Optional[float] = None      # ms; default derived from ops
+    mean_interval: float = 1_000.0
+    max_down: Optional[int] = None       # default (reps - 1) // 2
+
+    # Client aggressiveness.  Short timeouts keep a loopback soak brisk;
+    # generous attempt counts let operations ride out crash windows.
+    call_timeout: float = 300.0
+    inquiry_timeout: float = 250.0
+    data_timeout: float = 500.0
+    transport_attempts: int = 2
+    max_attempts: int = 8
+    retry_backoff: float = 40.0
+
+    # Server-side lock discipline, tightened so locks stranded by a
+    # killed client resolve well inside one op-retry ladder.
+    lock_timeout: float = 400.0
+    idle_abort_after: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.reps < 3:
+            raise ValueError("need at least 3 representatives")
+        if self.ops < 1:
+            raise ValueError("need at least one operation")
+
+    @property
+    def server_names(self) -> List[str]:
+        return [f"s{i + 1}" for i in range(self.reps)]
+
+    @property
+    def majority(self) -> int:
+        return self.reps // 2 + 1
+
+    def nemesis_horizon(self) -> float:
+        if self.horizon is not None:
+            return self.horizon
+        return max(6_000.0, 20.0 * self.ops)
+
+    def suite_configuration(self) -> SuiteConfiguration:
+        """One vote per representative, majority read and write quorums
+        (``r + w > N`` and ``2w > N`` both hold with the largest
+        tolerance for crashed representatives)."""
+        reps = tuple(
+            Representative(rep_id=f"rep-{i + 1}", server=name, votes=1,
+                           latency_hint=float(i))
+            for i, name in enumerate(self.server_names))
+        return SuiteConfiguration(suite_name="chaosdb",
+                                  representatives=reps,
+                                  read_quorum=self.majority,
+                                  write_quorum=self.majority)
+
+    def chaos_policy(self, streams: RandomStreams) -> ChaosPolicy:
+        return ChaosPolicy(streams=streams,
+                           drop_probability=self.loss,
+                           delay_probability=self.delay_probability,
+                           delay_min=self.delay_min,
+                           delay_max=self.delay_max,
+                           duplicate_probability=self.duplicate_probability)
+
+    def nemesis(self, streams: RandomStreams) -> NemesisScript:
+        return random_nemesis(self.server_names, streams=streams,
+                              horizon=self.nemesis_horizon(),
+                              mean_interval=self.mean_interval,
+                              max_down=self.max_down)
+
+
+@dataclass
+class SoakReport:
+    """Everything a soak run produced."""
+
+    runtime: str                         # "sim" | "live"
+    config: SoakConfig
+    report: InvariantReport
+    history: List[OpRecord]
+    chaos_stats: Dict[str, int]
+    nemesis_steps: int
+    breakers: Dict[str, Any] = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def verdict(self) -> str:
+        """Runtime-independent outcome, for sim/live comparison."""
+        return "OK" if self.report.ok else "VIOLATIONS:" + ",".join(
+            sorted({violation.rule
+                    for violation in self.report.violations}))
+
+    def summary(self) -> str:
+        chaos = ", ".join(f"{name}={count}" for name, count
+                          in sorted(self.chaos_stats.items()))
+        return (f"[{self.runtime}] seed={self.config.seed} "
+                f"{self.report.summary()} | nemesis steps: "
+                f"{self.nemesis_steps} | {chaos} | "
+                f"{self.elapsed_ms:.0f}ms")
+
+
+# ---------------------------------------------------------------------------
+# The shared op driver (one generator, both runtimes)
+# ---------------------------------------------------------------------------
+
+def _drive_ops(suite, clock, config: SoakConfig,
+               rng) -> Generator[Any, Any, List[OpRecord]]:
+    """Issue the seeded op mix sequentially; record every outcome."""
+    history: List[OpRecord] = []
+    for index in range(config.ops):
+        if rng.random() < config.read_fraction:
+            yield from _one_read(suite, clock, index, history)
+        else:
+            yield from _one_write(suite, clock, index, history,
+                                  tag=f"soak-{index}")
+    return history
+
+
+def _final_reads(suite, clock, config: SoakConfig,
+                 start_index: int) -> Generator[Any, Any, List[OpRecord]]:
+    """Convergence reads on the healed, chaos-free cluster."""
+    history: List[OpRecord] = []
+    for offset in range(config.final_reads):
+        yield from _one_read(suite, clock, start_index + offset, history)
+    return history
+
+
+def _one_read(suite, clock, index: int,
+              history: List[OpRecord]) -> Generator[Any, Any, None]:
+    started = clock()
+    try:
+        result = yield from suite.read()
+    except ReproError as exc:
+        history.append(OpRecord(
+            index=index, kind="read", ok=False, started=started,
+            finished=clock(), error=type(exc).__name__))
+        return
+    history.append(OpRecord(
+        index=index, kind="read", ok=True, started=started,
+        finished=clock(), version=result.version,
+        tag=result.data.decode("utf-8", errors="replace"),
+        served_by=result.served_by, quorum=list(result.quorum),
+        observed=dict(result.observed), attempts=result.attempts))
+
+
+def _one_write(suite, clock, index: int, history: List[OpRecord],
+               tag: str) -> Generator[Any, Any, None]:
+    started = clock()
+    try:
+        result = yield from suite.write(tag.encode("utf-8"))
+    except ReproError as exc:
+        history.append(OpRecord(
+            index=index, kind="write", ok=False, started=started,
+            finished=clock(), tag=tag, error=type(exc).__name__))
+        return
+    history.append(OpRecord(
+        index=index, kind="write", ok=True, started=started,
+        finished=clock(), version=result.version, tag=tag,
+        quorum=list(result.quorum), observed=dict(result.observed),
+        attempts=result.attempts))
+
+
+def _suite_kwargs(config: SoakConfig) -> Dict[str, Any]:
+    return {"inquiry_timeout": config.inquiry_timeout,
+            "data_timeout": config.data_timeout,
+            "max_attempts": config.max_attempts,
+            "retry_backoff": config.retry_backoff}
+
+
+# ---------------------------------------------------------------------------
+# Runtime-specific runners
+# ---------------------------------------------------------------------------
+
+def run_sim_soak(config: SoakConfig) -> SoakReport:
+    """The soak on a simulated testbed, in virtual time."""
+    from ..testbed import Testbed
+
+    streams = RandomStreams(seed=config.seed)
+    policy = config.chaos_policy(streams)
+    policy.enabled = False               # clean install first
+    script = config.nemesis(streams)
+
+    bed = Testbed(config.server_names, seed=config.seed,
+                  call_timeout=config.call_timeout,
+                  lock_timeout=config.lock_timeout,
+                  idle_abort_after=config.idle_abort_after, obs=True)
+    bed.network.chaos = policy
+    client = bed.clients["client"]
+    client.manager.transport_attempts = config.transport_attempts
+    health = HealthTracker(clock=lambda: bed.sim.now,
+                           metrics=bed.metrics)
+    client.endpoint.health = health
+
+    suite = bed.install(config.suite_configuration(),
+                        INITIAL_TAG.encode("utf-8"),
+                        health=health, **_suite_kwargs(config))
+    started = bed.sim.now
+
+    policy.enabled = True
+    adapter = schedule_on_sim(bed, script, policy, disable_at_end=False)
+    ops_rng = streams.stream("soak:ops")
+    history = bed.run(_drive_ops(suite, lambda: bed.sim.now, config,
+                                 ops_rng))
+
+    # Let the nemesis script finish (heal + restart-all), then verify
+    # convergence on the healed cluster without message-level faults.
+    remaining = script.horizon - bed.sim.now
+    bed.settle(grace=max(1_000.0, remaining + 1_000.0))
+    policy.enabled = False
+    history += bed.run(_final_reads(suite, lambda: bed.sim.now, config,
+                                    start_index=config.ops))
+
+    return SoakReport(
+        runtime="sim", config=config,
+        report=check_history(history, initial_tag=INITIAL_TAG),
+        history=history, chaos_stats=policy.stats(),
+        nemesis_steps=len(adapter.applied),
+        breakers=health.snapshot(),
+        elapsed_ms=bed.sim.now - started)
+
+
+async def run_live_soak(config: SoakConfig,
+                        data_root: Optional[str] = None,
+                        trace_path: Optional[str] = None) -> SoakReport:
+    """The soak on a live loopback cluster, over real sockets."""
+    from ..live.harness import LoopbackCluster
+
+    streams = RandomStreams(seed=config.seed)
+    policy = config.chaos_policy(streams)
+    policy.enabled = False               # clean install first
+    script = config.nemesis(streams)
+
+    async with LoopbackCluster(
+            config.server_names, chaos=policy,
+            call_timeout=config.call_timeout,
+            transport_attempts=config.transport_attempts,
+            lock_timeout=config.lock_timeout,
+            idle_abort_after=config.idle_abort_after,
+            data_root=data_root, seed=config.seed) as cluster:
+        suite = await cluster.install(config.suite_configuration(),
+                                      INITIAL_TAG.encode("utf-8"),
+                                      **_suite_kwargs(config))
+        kernel = cluster.client.kernel
+        started = kernel.now
+
+        policy.enabled = True
+        nemesis_task = asyncio.ensure_future(
+            run_live_nemesis(cluster, script, policy,
+                             disable_at_end=False))
+        ops_rng = streams.stream("soak:ops")
+        try:
+            history = await cluster.run(
+                _drive_ops(suite, lambda: kernel.now, config, ops_rng))
+        finally:
+            # The op run never outlives this scope with servers down:
+            # the script's tail heals and restarts everything.
+            adapter = await nemesis_task
+        policy.enabled = False
+        history += await cluster.run(
+            _final_reads(suite, lambda: kernel.now, config,
+                         start_index=config.ops))
+        elapsed = kernel.now - started
+        breakers = cluster.client.health.snapshot()
+        if trace_path is not None:
+            cluster.export_trace_jsonl(trace_path)
+
+    return SoakReport(
+        runtime="live", config=config,
+        report=check_history(history, initial_tag=INITIAL_TAG),
+        history=history, chaos_stats=policy.stats(),
+        nemesis_steps=len(adapter.applied),
+        breakers=breakers, elapsed_ms=elapsed)

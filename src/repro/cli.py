@@ -10,6 +10,7 @@ Subcommands::
     python -m repro demo                       # quickstart scenario
     python -m repro serve --name server-1      # live storage daemon
     python -m repro live-demo                  # quorum ops on real TCP
+    python -m repro chaos --seed 1             # fault-injected soak
     python -m repro trace spans.jsonl          # per-operation timelines
     python -m repro metrics --port 9464        # scrape a daemon
 
@@ -316,6 +317,71 @@ def cmd_live_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Invariant-checked soak under deterministic fault injection."""
+    import json
+    import os
+
+    from .chaos.invariants import history_to_json
+    from .chaos.soak import SoakConfig, run_live_soak, run_sim_soak
+
+    config = SoakConfig(reps=args.reps, ops=args.ops, seed=args.seed,
+                        read_fraction=args.read_fraction,
+                        loss=args.loss, horizon=args.horizon)
+    runtimes = (["live", "sim"] if args.runtime == "both"
+                else [args.runtime])
+    export_dir = args.export_dir
+    if export_dir is not None:
+        os.makedirs(export_dir, exist_ok=True)
+
+    def _artifact(name: str) -> "Optional[str]":
+        if export_dir is None:
+            return None
+        return os.path.join(export_dir,
+                            f"chaos-seed{args.seed}-{name}")
+
+    reports = {}
+    for runtime in runtimes:
+        print(f"soak [{runtime}] seed={args.seed} ops={args.ops} "
+              f"reps={args.reps} loss={config.loss} "
+              f"horizon={config.nemesis_horizon():.0f}ms ...",
+              flush=True)
+        if runtime == "live":
+            report = asyncio.run(run_live_soak(
+                config, trace_path=_artifact("live-trace.jsonl")))
+        else:
+            report = run_sim_soak(config)
+        reports[runtime] = report
+        print(report.summary())
+        history_path = _artifact(f"{runtime}-history.json")
+        if history_path is not None or not report.ok:
+            # Always dump the history on a violation, even without
+            # --export-dir: a failed soak must leave evidence behind.
+            history_path = (history_path
+                            or f"chaos-seed{args.seed}-{runtime}"
+                               f"-history.json")
+            with open(history_path, "w", encoding="utf-8") as handle:
+                json.dump({"seed": args.seed, "runtime": runtime,
+                           "verdict": report.verdict,
+                           "breakers": report.breakers,
+                           "chaos": report.chaos_stats,
+                           "history": history_to_json(report.history)},
+                          handle, indent=2)
+            print(f"  history -> {history_path}")
+        for violation in report.report.violations:
+            print(f"  VIOLATION op {violation.index} "
+                  f"[{violation.rule}]: {violation.detail}")
+
+    if len(reports) == 2:
+        live, sim = reports["live"], reports["sim"]
+        match = live.verdict == sim.verdict
+        print(f"verdict parity: live={live.verdict} sim={sim.verdict} "
+              f"-> {'MATCH' if match else 'MISMATCH'}")
+        if not match:
+            return 1
+    return 0 if all(report.ok for report in reports.values()) else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Dump/filter a JSONL span export as per-operation timelines."""
     from .obs import group_traces, load_jsonl, render_trace, summarize
@@ -475,6 +541,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="quorum reads/writes over real loopback TCP sockets")
     live_demo.add_argument("--seed", type=int, default=0)
     live_demo.set_defaults(handler=cmd_live_demo)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="invariant-checked soak under deterministic fault "
+             "injection (crashes, partitions, message chaos)")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--ops", type=int, default=500)
+    chaos.add_argument("--reps", type=int, default=5)
+    chaos.add_argument("--runtime", choices=("live", "sim", "both"),
+                       default="live",
+                       help="which runtime to soak; 'both' also "
+                            "compares verdicts")
+    chaos.add_argument("--read-fraction", type=float, default=0.7)
+    chaos.add_argument("--loss", type=float, default=0.05,
+                       help="per-message drop probability")
+    chaos.add_argument("--horizon", type=float, default=None,
+                       help="nemesis horizon in ms (default scales "
+                            "with --ops)")
+    chaos.add_argument("--export-dir", default=None, metavar="DIR",
+                       help="write op history (and live trace) "
+                            "artifacts here")
+    chaos.set_defaults(handler=cmd_chaos)
 
     trace = subparsers.add_parser(
         "trace", help="render exported JSONL spans as timelines")

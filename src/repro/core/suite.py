@@ -32,13 +32,15 @@ paper assumes from its transactional storage system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Dict, Generator, List, Optional,
                     Sequence)
 
+from ..chaos.retry import RetryPolicy
 from ..errors import (DeadlockError, HostUnreachableError, LockTimeoutError,
-                      QuorumUnavailableError, RemoteError, ReproError,
-                      RpcTimeout, StaleConfigurationError, TransactionAborted)
+                      QuorumUnattainableError, QuorumUnavailableError,
+                      RemoteError, ReproError, RpcTimeout,
+                      StaleConfigurationError, TransactionAborted)
 from ..obs.collector import TraceCollector
 from ..obs.spans import NOOP_SPAN
 from ..sim.metrics import MetricsRegistry
@@ -71,6 +73,9 @@ class ReadResult:
     quorum: List[str]                   # rep_ids whose votes were counted
     stale: List[str]                    # responders below the current version
     attempts: int = 1
+    #: Version each responding representative reported in the inquiry —
+    #: the raw material for external invariant checking.
+    observed: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -81,6 +86,7 @@ class WriteResult:
     quorum: List[str]                   # rep_ids written
     stale: List[str]                    # reps left behind (refresh targets)
     attempts: int = 1
+    observed: Dict[str, int] = field(default_factory=dict)
 
 
 class FileSuiteClient:
@@ -103,7 +109,8 @@ class FileSuiteClient:
                  metrics: Optional[MetricsRegistry] = None,
                  streams: Optional[RandomStreams] = None,
                  tracer: Optional[Tracer] = None,
-                 collector: Optional[TraceCollector] = None) -> None:
+                 collector: Optional[TraceCollector] = None,
+                 health: Optional[Any] = None) -> None:
         self.manager = manager
         self.sim = manager.sim
         self.config = config
@@ -126,9 +133,21 @@ class FileSuiteClient:
         #: no-op, so untraced runs pay one falsy check per operation.
         self.collector = collector or TraceCollector(
             clock=lambda: manager.sim.now, enabled=False)
+        #: Optional :class:`~repro.chaos.health.HealthTracker` (duck
+        #: typed: anything with ``allow(server)``).  Quorum assembly
+        #: skips representatives it refuses and fails fast with
+        #: :class:`QuorumUnattainableError` when the admitted votes
+        #: cannot reach the threshold.
+        self.health = health
         streams = streams or RandomStreams(seed=0)
         self._rng = streams.stream(
             f"suite:{config.suite_name}:{manager.endpoint.host.name}")
+        #: Backoff between operation attempts: exponential from
+        #: ``retry_backoff``, uncapped (``max_attempts`` bounds it),
+        #: jittered the way this loop always was.
+        self._retry_policy = RetryPolicy(base=retry_backoff,
+                                         multiplier=2.0,
+                                         cap=float("inf"), jitter=0.5)
 
     # ------------------------------------------------------------------
     # Public operations (each manages its own transaction + retries)
@@ -275,7 +294,10 @@ class FileSuiteClient:
                            stale=len(stale))
         return ReadResult(data=data, version=current, served_by=served_by,
                           quorum=quorum_ids,
-                          stale=[rep.rep_id for rep in stale])
+                          stale=[rep.rep_id for rep in stale],
+                          observed={rep.rep_id: stat["version"]
+                                    for rep, stat
+                                    in gathered.successes.items()})
 
     def _write_once(self, txn: Transaction,
                     data: bytes) -> Generator[Any, Any, WriteResult]:
@@ -314,7 +336,10 @@ class FileSuiteClient:
                 left_behind=len(left_behind)))
         return WriteResult(version=new_version,
                            quorum=sorted(quorum_ids),
-                           stale=[rep.rep_id for rep in left_behind])
+                           stale=[rep.rep_id for rep in left_behind],
+                           observed={rep.rep_id: stat["version"]
+                                     for rep, stat
+                                     in gathered.successes.items()})
 
     def _inquire(self, txn: Transaction, threshold: int, mode: str,
                  include_weak: bool) -> Generator[Any, Any, GatherResult]:
@@ -336,17 +361,21 @@ class FileSuiteClient:
             # Inquiry RPCs (and the detail fetch in
             # _check_configuration) parent to the assembly span.
             txn.span = qspan
-        calls = {}
+        # Consult the circuit breakers *before* soliciting anyone:
+        # representatives whose breaker refuses traffic are left out of
+        # the inquiry entirely (an open breaker past its cooldown
+        # admits one probe call here).
+        admitted: List[Representative] = []
+        vetoed: List[Representative] = []
         for rep in config.representatives:
             if rep.weak and not include_weak:
                 continue
-            # Weak representatives only ever serve reads: shared mode.
-            rep_mode = SHARED if rep.weak else mode
-            timeout = (self.weak_inquiry_timeout if rep.weak
-                       else self.inquiry_timeout)
-            calls[rep] = txn.call(rep.server, "txn.stat",
-                                  name=config.file_name, mode=rep_mode,
-                                  timeout=timeout)
+            if self.health is not None \
+                    and not self.health.allow(rep.server):
+                vetoed.append(rep)
+                continue
+            admitted.append(rep)
+        calls = {}
 
         def enough(successes, failures):
             votes = sum(rep.votes for rep in successes)
@@ -368,6 +397,30 @@ class FileSuiteClient:
             return True
 
         try:
+            if vetoed:
+                qspan.event("health.vetoed",
+                            reps=",".join(sorted(rep.rep_id
+                                                 for rep in vetoed)))
+            attainable = sum(rep.votes for rep in admitted)
+            if attainable < threshold:
+                # Fail fast: even if every admitted representative
+                # answered, the votes cannot reach the quorum.  Cheaper
+                # by one full RPC timeout than discovering it the slow
+                # way below.
+                self.metrics.counter("suite.unattainable").increment()
+                qspan.event("quorum.unattainable", attainable=attainable,
+                            threshold=threshold)
+                raise QuorumUnattainableError(
+                    "read" if mode == SHARED else "write", threshold,
+                    attainable)
+            for rep in admitted:
+                # Weak representatives only serve reads: shared mode.
+                rep_mode = SHARED if rep.weak else mode
+                timeout = (self.weak_inquiry_timeout if rep.weak
+                           else self.inquiry_timeout)
+                calls[rep] = txn.call(rep.server, "txn.stat",
+                                      name=config.file_name,
+                                      mode=rep_mode, timeout=timeout)
             gathered = yield from gather_until(self.sim, calls, enough)
             self.metrics.histogram("suite.quorum_wait").observe(
                 self.sim.now - started)
@@ -505,9 +558,8 @@ class FileSuiteClient:
                            error=type(exc).__name__)
                 self.metrics.counter("suite.retries").increment()
                 if attempts < self.max_attempts and self.retry_backoff > 0:
-                    jitter = 0.5 + self._rng.random()
                     yield self.sim.timeout(
-                        self.retry_backoff * (2 ** (attempts - 1)) * jitter)
+                        self._retry_policy.delay(attempts - 1, self._rng))
                 continue
             except GeneratorExit:
                 raise  # killed process: must not yield during close()
@@ -527,29 +579,44 @@ class FileSuiteClient:
 
 def install_suite(manager: TransactionManager, config: SuiteConfiguration,
                   initial_data: bytes = b"",
+                  attempts: int = 4, retry_delay: float = 150.0,
                   ) -> Generator[Any, Any, None]:
     """Create a suite: install the file at *every* representative.
 
     Creation requires all representatives (voting and weak) to be
     reachable — a deliberate, one-time strictness so the suite starts
     with every copy current at version 1 and every copy carrying the
-    configuration.
+    configuration.  Transient failures (a lost datagram, a timed-out
+    lock) retry with a fresh transaction: re-staging version 1 with
+    ``create=True`` is idempotent at the servers, and locks stranded by
+    an aborted attempt are released by the best-effort aborts before the
+    next attempt's ``retry_delay`` expires.
     """
-    txn = manager.begin()
-    try:
-        properties = {"config": config.to_json(),
-                      "stamp": config.config_version}
-        calls = [
-            txn.call(rep.server, "txn.stage_write", name=config.file_name,
-                     data=initial_data, version=1, properties=properties,
-                     create=True)
-            for rep in config.representatives
-        ]
-        yield manager.sim.all_of(calls)
-        yield from txn.commit()
-    except ReproError:
-        yield from txn.abort()
-        raise
+    properties = {"config": config.to_json(),
+                  "stamp": config.config_version}
+    last_error: Optional[ReproError] = None
+    for attempt in range(attempts):
+        txn = manager.begin()
+        try:
+            calls = [
+                txn.call(rep.server, "txn.stage_write",
+                         name=config.file_name, data=initial_data,
+                         version=1, properties=properties, create=True)
+                for rep in config.representatives
+            ]
+            yield manager.sim.all_of(calls)
+            yield from txn.commit()
+            return
+        except RETRYABLE as exc:
+            yield from txn.abort()
+            last_error = exc
+            if attempt + 1 < attempts and retry_delay > 0:
+                yield manager.sim.timeout(retry_delay)
+        except ReproError:
+            yield from txn.abort()
+            raise
+    assert last_error is not None
+    raise last_error
 
 
 def delete_suite(manager: TransactionManager, config: SuiteConfiguration,

@@ -147,6 +147,28 @@ class QuorumUnavailableError(VotingError):
         self.gathered = gathered
 
 
+class QuorumUnattainableError(QuorumUnavailableError):
+    """The reachable representatives provably cannot reach the quorum.
+
+    Raised *before* any votes are solicited, when the health tracker's
+    circuit breakers exclude so many representatives that the remaining
+    votes sum below the threshold — the fail-fast variant of
+    :class:`QuorumUnavailableError` (which is discovered the slow way,
+    by timing out on the wire).
+    """
+
+    def __init__(self, kind: str, needed: int, attainable: int) -> None:
+        VotingError.__init__(
+            self,
+            f"{kind} quorum unattainable: needed {needed} votes, only "
+            f"{attainable} held by representatives not known unhealthy"
+        )
+        self.kind = kind
+        self.needed = needed
+        self.gathered = attainable
+        self.attainable = attainable
+
+
 class SuiteNotFoundError(VotingError):
     """The named file suite does not exist on a representative."""
 

@@ -38,7 +38,10 @@ class LoopbackCluster:
                  page_size: int = 512,
                  data_root: Optional[str] = None,
                  seed: int = 0,
-                 obs: bool = True) -> None:
+                 obs: bool = True,
+                 chaos: Optional[Any] = None,
+                 lock_timeout: Optional[float] = 5_000.0,
+                 idle_abort_after: Optional[float] = 60_000.0) -> None:
         self._server_names = list(servers)
         self._obs = obs
         self._client_name = client_name
@@ -48,6 +51,12 @@ class LoopbackCluster:
         self._page_size = page_size
         self._data_root = data_root
         self._seed = seed
+        self._lock_timeout = lock_timeout
+        self._idle_abort_after = idle_abort_after
+        #: Optional :class:`~repro.chaos.policy.ChaosPolicy` interposed
+        #: on every transport (client and servers): one object decides
+        #: per-link drops, delays, duplicates and partitions.
+        self.chaos = chaos
         self.servers: Dict[str, LiveStorageServer] = {}
         self.client: Optional[LiveRuntime] = None
 
@@ -59,13 +68,17 @@ class LoopbackCluster:
                         if self._data_root is not None else None)
             server = LiveStorageServer(
                 name, data_dir=data_dir, num_pages=self._num_pages,
-                page_size=self._page_size, obs=self._obs)
+                page_size=self._page_size, obs=self._obs,
+                lock_timeout=self._lock_timeout,
+                idle_abort_after=self._idle_abort_after)
+            server.transport.chaos = self.chaos
             await server.start(obs_port=0 if self._obs else None)
             self.servers[name] = server
         self.client = LiveRuntime(
             self._client_name, call_timeout=self._call_timeout,
             transport_attempts=self._transport_attempts, seed=self._seed,
             obs=self._obs)
+        self.client.transport.chaos = self.chaos
         for name, server in self.servers.items():
             host, port = server.address  # type: ignore[misc]
             self.client.register_server(name, host, port)
@@ -89,9 +102,20 @@ class LoopbackCluster:
         """Take one representative offline (listener closed, host down)."""
         await self.servers[name].stop()
 
-    async def restart_server(self, name: str) -> None:
+    async def restart_server(self, name: str) -> Tuple[str, int]:
         """Bring a stopped representative back on its old port."""
-        await self.servers[name].restart()
+        return await self.servers[name].restart()
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Split the cluster via the chaos policy (requires one)."""
+        if self.chaos is None:
+            raise RuntimeError("cluster started without a chaos policy")
+        self.chaos.partition(groups)
+
+    def heal(self) -> None:
+        if self.chaos is None:
+            raise RuntimeError("cluster started without a chaos policy")
+        self.chaos.heal()
 
     # -- observability -----------------------------------------------------
 

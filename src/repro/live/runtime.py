@@ -36,6 +36,7 @@ import uuid
 from collections import deque
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
+from ..chaos.health import HealthTracker
 from ..core.refresh import BackgroundRefresher
 from ..core.suite import FileSuiteClient, install_suite
 from ..core.votes import SuiteConfiguration
@@ -265,16 +266,23 @@ class LiveRuntime:
                                         origin=name, enabled=obs)
         self.transport = TransportNode(name, self._on_message)
         self.host = LiveHost(self.kernel, name, self.transport)
+        self.streams = RandomStreams(seed=seed)
+        #: Circuit breakers for the servers this client talks to.  The
+        #: endpoint feeds outcomes in; quorum assembly consults them.
+        self.health = HealthTracker(clock=lambda: self.kernel.now,
+                                    metrics=self.metrics)
         self.endpoint = RpcEndpoint(self.kernel, self.host,
                                     copy_payloads=False,
                                     collector=self.collector,
-                                    metrics=self.metrics)
+                                    metrics=self.metrics,
+                                    streams=self.streams,
+                                    health=self.health)
         self.host.dispatch = self.endpoint.dispatch_message
         self.manager = TransactionManager(
             self.kernel, self.endpoint, call_timeout=call_timeout,
             transport_attempts=transport_attempts,
-            collector=self.collector)
-        self.streams = RandomStreams(seed=seed)
+            collector=self.collector,
+            streams=self.streams)
         self.refresher = BackgroundRefresher(self.manager,
                                              metrics=self.metrics)
 
@@ -306,6 +314,7 @@ class LiveRuntime:
         kwargs.setdefault("metrics", self.metrics)
         kwargs.setdefault("streams", self.streams)
         kwargs.setdefault("collector", self.collector)
+        kwargs.setdefault("health", self.health)
         return FileSuiteClient(self.manager, config, **kwargs)
 
     async def install(self, config: SuiteConfiguration,

@@ -20,6 +20,7 @@ import json
 import os
 from typing import Optional, Tuple
 
+from ..chaos.health import HealthTracker
 from ..obs import prom
 from ..obs.collector import TraceCollector, dumps_jsonl
 from ..obs.httpd import ObsHttpServer
@@ -147,10 +148,16 @@ class LiveStorageServer:
                                     num_pages=num_pages,
                                     page_size=page_size,
                                     stable=stable, format_fs=fresh)
+        #: Breakers for any peer this daemon itself calls; surfaced in
+        #: ``/healthz`` so a prober sees which peers the daemon has
+        #: given up on, not just whether the daemon is up.
+        self.health = HealthTracker(clock=lambda: self.kernel.now,
+                                    metrics=self.metrics)
         self.endpoint = RpcEndpoint(self.kernel, self.host,
                                     copy_payloads=False,
                                     collector=self.collector,
-                                    metrics=self.metrics)
+                                    metrics=self.metrics,
+                                    health=self.health)
         self.host.dispatch = self.endpoint.dispatch_message
         self.participant = TransactionParticipant(
             self.server, lock_timeout=lock_timeout,
@@ -190,6 +197,10 @@ class LiveStorageServer:
             "commits": self.participant.commits,
             "aborts": self.participant.aborts,
             "idle_aborts": self.participant.idle_aborts,
+            "in_doubt": [str(txn_id)
+                         for txn_id in self.participant.in_doubt()],
+            "recoveries": self.server.recoveries,
+            "breakers": self.health.snapshot(),
         })
         return "application/json", body
 
@@ -225,9 +236,26 @@ class LiveStorageServer:
         self.host.crash()
 
     async def restart(self) -> Tuple[str, int]:
-        """Bring a stopped server back on its previous address."""
-        self.host.restart()
+        """Bring a stopped server back on its previous address.
+
+        Recovery ordering is the contract here: ``host.restart()``
+        synchronously remounts the file system and fires the restart
+        listeners — :meth:`TransactionParticipant.recover` replays
+        committed records and re-acquires locks for in-doubt ones —
+        *before* the listener reopens, so no request can observe the
+        half-recovered state.  Idempotent: restarting a running server
+        only re-opens its listener if needed.
+        """
+        if not self.host.up:
+            recoveries_before = self.server.recoveries
+            self.host.restart()
+            # host.restart() must have driven the recovery chain
+            # (remount + record replay) before we accept connections.
+            assert self.server.recoveries == recoveries_before + 1, \
+                "restart did not run recovery before re-listening"
         host, port = self.transport.address or ("127.0.0.1", 0)
+        if self.transport.listening:
+            return host, port
         return await self.transport.listen(host, port)
 
     async def close(self) -> None:

@@ -349,9 +349,17 @@ class TransportNode:
         self._connections: Dict[str, _Connection] = {}
         self._anonymous: set[_Connection] = set()
         self._server: Optional[asyncio.base_events.Server] = None
+        #: Optional :class:`~repro.chaos.policy.ChaosPolicy` (duck
+        #: typed: ``filter(source, destination)``) interposed on every
+        #: outbound send — the live counterpart of the hook on
+        #: :class:`~repro.sim.network.Network`, so the same policy
+        #: object fault-injects either runtime.
+        self.chaos: Optional[Any] = None
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_dropped = 0
+        self.frames_delayed = 0
+        self.frames_duplicated = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -368,6 +376,11 @@ class TransportNode:
         self.address = (sockname[0], sockname[1])
         return self.address
 
+    @property
+    def listening(self) -> bool:
+        """True while the accept socket is open."""
+        return self._server is not None
+
     def _accept(self) -> _Connection:
         connection = _Connection(self)
         self._anonymous.add(connection)
@@ -376,7 +389,34 @@ class TransportNode:
     # -- sending -----------------------------------------------------------
 
     def send(self, destination: str, message: "Request | Reply") -> None:
-        """Fire-and-forget send; unroutable messages vanish silently."""
+        """Fire-and-forget send; unroutable messages vanish silently.
+
+        With a chaos policy attached the frame may instead be dropped,
+        delayed (``loop.call_later``), or delivered twice — faults that
+        the datagram contract above already tolerates.
+        """
+        if self.chaos is None:
+            self._send_now(destination, message)
+            return
+        verdict = self.chaos.filter(self.name, destination)
+        if verdict.drop:
+            self.frames_dropped += 1
+            return
+        if verdict.duplicate:
+            self.frames_duplicated += 1
+            asyncio.get_event_loop().call_later(
+                verdict.duplicate_delay / 1000.0,
+                self._send_now, destination, message)
+        if verdict.delay > 0:
+            self.frames_delayed += 1
+            asyncio.get_event_loop().call_later(
+                verdict.delay / 1000.0, self._send_now, destination,
+                message)
+            return
+        self._send_now(destination, message)
+
+    def _send_now(self, destination: str,
+                  message: "Request | Reply") -> None:
         connection = self._connections.get(destination)
         if connection is None or not connection.alive:
             address = self._addresses.get(destination)

@@ -23,6 +23,7 @@ import copy
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
 
+from ..chaos.retry import RetryPolicy
 from ..errors import (HostUnreachableError, NoSuchMethodError, RemoteError,
                       ReproError, RpcTimeout)
 from ..obs.spans import NOOP_SPAN, TraceContext
@@ -30,9 +31,11 @@ from ..sim.events import Event
 from ..sim.network import Host
 from ..sim.process import Process
 from ..sim.queues import QueueClosed
+from ..sim.rng import RandomStreams
 from .messages import Reply, Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.health import HealthTracker
     from ..obs.collector import TraceCollector
     from ..sim.metrics import MetricsRegistry
     from ..sim.simulator import Simulator
@@ -75,10 +78,25 @@ class RpcEndpoint:
                  copy_payloads: bool = True,
                  default_call_timeout: Optional[float] = None,
                  collector: Optional["TraceCollector"] = None,
-                 metrics: Optional["MetricsRegistry"] = None) -> None:
+                 metrics: Optional["MetricsRegistry"] = None,
+                 streams: Optional[RandomStreams] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 health: Optional["HealthTracker"] = None) -> None:
         self.sim = sim
         self.host = host
         self.copy_payloads = copy_payloads
+        #: Backoff schedule for :meth:`call_with_retries`; jitter draws
+        #: come from this endpoint's own named stream so retry timing is
+        #: seeded per host.
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._retry_rng = (streams or RandomStreams(seed=0)).stream(
+            f"rpc-retry:{host.name}")
+        #: Optional per-destination circuit breakers.  The endpoint only
+        #: *feeds* them — any reply (even an error reply) proves the
+        #: destination alive; an expired call (every retransmission
+        #: unanswered) counts one failure.  Consulting the breakers is
+        #: the caller's business (quorum assembly does).
+        self.health = health
         #: Observability hooks, both optional: ``collector`` records an
         #: ``rpc.client`` span per traced outbound call and an
         #: ``rpc.server`` span per traced inbound request; ``metrics``
@@ -91,6 +109,8 @@ class RpcEndpoint:
             else default_call_timeout)
         self._handlers: Dict[str, Callable[..., Any]] = {}
         self._pending: Dict[int, Event] = {}
+        #: Destination by call id, for attributing outcomes to breakers.
+        self._call_destinations: Dict[int, str] = {}
         #: Cancellable retransmission-timer handles by call id (only
         #: populated when the kernel's ``schedule`` returns handles).
         self._retransmit_timers: Dict[int, Any] = {}
@@ -258,6 +278,7 @@ class RpcEndpoint:
         self._next_call_id += 1
         event = self.sim.event(name=f"call:{method}->{destination}")
         self._pending[call_id] = event
+        self._call_destinations[call_id] = destination
         self.calls_sent += 1
         self._count("rpc.calls_sent")
         wire_trace: Optional[Dict[str, str]] = None
@@ -313,9 +334,20 @@ class RpcEndpoint:
 
     def call_with_retries(self, destination: str, method: str,
                           timeout: float, attempts: int = 3,
-                          backoff: float = 0.0, **args: Any
-                          ) -> Generator[Any, Any, Any]:
-        """Process generator: retry a call up to ``attempts`` times."""
+                          backoff: float = 0.0,
+                          retry_policy: Optional[RetryPolicy] = None,
+                          **args: Any) -> Generator[Any, Any, Any]:
+        """Process generator: retry a call up to ``attempts`` times.
+
+        Delays between attempts follow ``retry_policy`` (default: the
+        endpoint's policy — exponential with cap and seeded jitter).
+        A non-zero ``backoff`` is kept for compatibility and becomes the
+        policy's first-step delay, growing exponentially from there
+        rather than linearly as it once did.
+        """
+        policy = retry_policy or self.retry_policy
+        if backoff > 0:
+            policy = policy.with_base(backoff)
         last_error: Optional[BaseException] = None
         for attempt in range(attempts):
             try:
@@ -324,23 +356,32 @@ class RpcEndpoint:
                 return result
             except (RpcTimeout, HostUnreachableError) as exc:
                 last_error = exc
-                if backoff > 0 and attempt + 1 < attempts:
-                    yield self.sim.timeout(backoff * (attempt + 1))
+                if attempt + 1 < attempts:
+                    delay = policy.delay(attempt, self._retry_rng)
+                    if delay > 0:
+                        yield self.sim.timeout(delay)
         raise last_error or RpcTimeout(f"{method} -> {destination}")
 
     def _expire(self, call_id: int, method: str, destination: str) -> None:
         self._disarm_retransmit(call_id)
+        self._call_destinations.pop(call_id, None)
         event = self._pending.pop(call_id, None)
         if event is not None and event.pending:
             self._count("rpc.timeouts")
+            if self.health is not None:
+                self.health.record_failure(destination)
             event.fail(RpcTimeout(
                 f"{method} -> {destination}: no reply"))
 
     def _dispatch_reply(self, reply: Reply) -> None:
+        destination = self._call_destinations.pop(reply.call_id, None)
         event = self._pending.pop(reply.call_id, None)
         if event is None or not event.pending:
             return  # late reply after timeout: drop
         self._disarm_retransmit(reply.call_id)
+        if self.health is not None and destination is not None:
+            # Any reply — even a failure reply — proves the peer alive.
+            self.health.record_success(destination)
         if reply.ok:
             event.trigger(reply.value)
         else:
@@ -360,6 +401,9 @@ class RpcEndpoint:
         timers, self._retransmit_timers = self._retransmit_timers, {}
         for handle in timers.values():
             handle.cancel()
+        # A local crash says nothing about peers' health: drop the
+        # attributions rather than charge breakers for our own outage.
+        self._call_destinations.clear()
         pending, self._pending = self._pending, {}
         for event in pending.values():
             if event.pending:

@@ -199,6 +199,12 @@ class Network:
         self.default_byte_time = 0.0
         self._links_down: set[Tuple[str, str]] = set()
         self._partition_of: Dict[str, int] = {}
+        #: Optional :class:`~repro.chaos.policy.ChaosPolicy` (duck
+        #: typed: anything with ``filter(source, destination)``).  Its
+        #: verdict applies *after* the network's own reachability and
+        #: loss checks — same interposition point as the live
+        #: transport's, so one policy drives both runtimes.
+        self.chaos: Optional[Any] = None
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -315,10 +321,24 @@ class Network:
                 and self._rng.random() < self.loss_probability):
             self.messages_dropped += 1
             return
+        verdict = (self.chaos.filter(source, destination)
+                   if self.chaos is not None else None)
+        if verdict is not None and verdict.drop:
+            self.messages_dropped += 1
+            return
         latency = self.latency_between(source, destination).sample(self._rng)
         byte_time = self.byte_time_between(source, destination)
         if byte_time > 0.0:
             latency += byte_time * estimate_size(payload)
+        if verdict is not None:
+            latency += verdict.delay
+            if verdict.duplicate:
+                self.messages_duplicated += 1
+                self.sim.schedule(
+                    self.latency_between(source,
+                                         destination).sample(self._rng)
+                    + verdict.duplicate_delay,
+                    self._deliver, destination, payload)
         if self.medium is not None and source != destination:
             self.sim.spawn(
                 self._transmit_shared(destination, payload, latency),

@@ -32,8 +32,15 @@ from .ids import TransactionId, TransactionIdGenerator
 from .participant import VOTE_PREPARED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.retry import RetryPolicy
     from ..obs.collector import TraceCollector
+    from ..sim.rng import RandomStreams
     from ..sim.simulator import Simulator
+
+
+def _default_streams() -> "RandomStreams":
+    from ..sim.rng import RandomStreams
+    return RandomStreams(seed=0)
 
 #: RPC methods that stage durable changes at a participant.
 _STAGING_METHODS = frozenset({"txn.stage_write", "txn.stage_delete"})
@@ -139,7 +146,9 @@ class TransactionManager:
                  commit_retry_interval: float = 500.0,
                  commit_retry_attempts: int = 20,
                  transport_attempts: int = 3,
-                 collector: Optional["TraceCollector"] = None) -> None:
+                 collector: Optional["TraceCollector"] = None,
+                 retry_policy: Optional["RetryPolicy"] = None,
+                 streams: Optional["RandomStreams"] = None) -> None:
         self.sim = sim
         self.endpoint = endpoint
         #: Optional observability: with a collector, each staged commit
@@ -152,6 +161,14 @@ class TransactionManager:
         self.transport_attempts = transport_attempts
         self.commit_retry_interval = commit_retry_interval
         self.commit_retry_attempts = commit_retry_attempts
+        #: Optional exponential backoff for decision retries.  ``None``
+        #: keeps the historic fixed ``commit_retry_interval`` (tests
+        #: assign that attribute after construction and expect it
+        #: honoured); a policy makes retries to a down participant back
+        #: off instead of hammering every interval.
+        self.retry_policy = retry_policy
+        self._retry_rng = (streams or _default_streams()).stream(
+            f"2pc-retry:{endpoint.host.name}")
         self._ids = TransactionIdGenerator(endpoint.host.name)
         self.commits = 0
         self.aborts = 0
@@ -342,12 +359,13 @@ class TransactionManager:
         first = send()
 
         def retry(outstanding):
-            for _attempt in range(self.commit_retry_attempts):
+            for attempt in range(self.commit_retry_attempts):
                 try:
                     yield outstanding
                     return
                 except (RpcTimeout, HostUnreachableError):
-                    yield self.sim.timeout(self.commit_retry_interval)
+                    yield self.sim.timeout(
+                        self._decision_retry_delay(attempt))
                     outstanding = send()
                 except ReproError:
                     return  # definitive response from the participant
@@ -355,3 +373,9 @@ class TransactionManager:
             # (or a test) resolves it explicitly.
 
         self.sim.spawn(retry(first), name=f"2pc-retry:{method}:{server}")
+
+    def _decision_retry_delay(self, attempt: int) -> float:
+        """Delay before decision-retry ``attempt`` (0-based)."""
+        if self.retry_policy is None:
+            return self.commit_retry_interval
+        return self.retry_policy.delay(attempt, self._retry_rng)

@@ -1,0 +1,100 @@
+"""History invariant checker: each rule trips on the histories it should."""
+
+from repro.chaos import (OpRecord, check_history, history_from_json,
+                         history_to_json)
+
+
+def read(index, version, tag=None, observed=None, ok=True):
+    return OpRecord(index=index, kind="read", ok=ok, started=float(index),
+                    finished=float(index) + 1.0, version=version, tag=tag,
+                    observed=observed or {})
+
+
+def write(index, version, tag=None, observed=None, ok=True):
+    return OpRecord(index=index, kind="write", ok=ok,
+                    started=float(index), finished=float(index) + 1.0,
+                    version=version, tag=tag, observed=observed or {})
+
+
+class TestCheckHistory:
+    def test_clean_history_is_ok(self):
+        history = [
+            read(0, 1, tag="init"),
+            write(1, 2, tag="a", observed={"rep-1": 1, "rep-2": 1}),
+            read(2, 2, tag="a", observed={"rep-1": 2, "rep-3": 1}),
+            write(3, 3, tag="b"),
+            read(4, 3, tag="b"),
+        ]
+        report = check_history(history, initial_version=1,
+                               initial_tag="init")
+        assert report.ok
+        assert report.committed_writes == 2
+        assert report.successful_reads == 3
+        assert report.final_version == 3
+
+    def test_stale_read_is_flagged(self):
+        history = [write(0, 2, tag="a"), read(1, 1, tag="init")]
+        report = check_history(history)
+        assert not report.ok
+        assert report.violations[0].rule == "fresh-read"
+
+    def test_wrong_payload_at_right_version_is_flagged(self):
+        history = [write(0, 2, tag="a"), read(1, 2, tag="zzz")]
+        report = check_history(history)
+        assert [v.rule for v in report.violations] == ["fresh-read"]
+
+    def test_duplicate_committed_version_is_flagged(self):
+        history = [write(0, 2, tag="a"), write(1, 2, tag="b")]
+        report = check_history(history)
+        rules = {v.rule for v in report.violations}
+        assert "unique-version" in rules and "monotonic-commit" in rules
+
+    def test_version_going_backwards_is_flagged(self):
+        history = [write(0, 5, tag="a"), write(1, 3, tag="b")]
+        report = check_history(history)
+        assert any(v.rule == "monotonic-commit"
+                   for v in report.violations)
+
+    def test_rep_version_regression_is_flagged_even_on_failed_ops(self):
+        history = [
+            read(0, 1, observed={"rep-1": 4}),
+            read(1, None, ok=False, observed={"rep-1": 2}),
+        ]
+        report = check_history(history, initial_version=1)
+        violations = [v for v in report.violations
+                      if v.rule == "rep-monotonic"]
+        assert len(violations) == 1 and violations[0].index == 1
+
+    def test_failed_ops_are_counted_but_not_judged(self):
+        history = [
+            write(0, None, tag="lost", ok=False),
+            read(1, 1, tag="init"),
+        ]
+        report = check_history(history, initial_version=1,
+                               initial_tag="init")
+        assert report.ok
+        assert report.failed_ops == 1
+
+    def test_initial_version_collision_is_flagged(self):
+        # install_suite leaves version 1; a "committed" write claiming
+        # version 1 again must trip unique-version.
+        report = check_history([write(0, 1, tag="a")], initial_version=1)
+        assert any(v.rule == "unique-version"
+                   for v in report.violations)
+
+    def test_summary_mentions_violations(self):
+        report = check_history([write(0, 2), write(1, 2)])
+        assert "VIOLATION" in report.summary()
+        assert check_history([]).summary().startswith("OK")
+
+
+class TestHistorySerialisation:
+    def test_round_trip(self):
+        history = [
+            write(0, 2, tag="a", observed={"rep-1": 1}),
+            read(1, 2, tag="a"),
+            OpRecord(index=2, kind="read", ok=False, started=2.0,
+                     finished=3.0, error="RpcTimeout", attempts=4),
+        ]
+        restored = history_from_json(history_to_json(history))
+        assert restored == history

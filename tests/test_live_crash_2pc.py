@@ -1,0 +1,232 @@
+"""Crash-mid-2PC over real sockets, and restart-recovery regressions.
+
+The live ports of ``test_coordinator_crash.py``: a coordinator that
+prepares both participants and then goes silent (the blocking face of
+2PC) leaves real TCP servers in-doubt; the in-doubt state must survive
+a server crash/restart, block conflicting transactions, and resolve
+when an operator supplies the decision.  Plus regression pins for
+``LiveStorageServer.restart()``: recovery must run before the listener
+reopens, on the same address, idempotently.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.live import LoopbackCluster
+from repro.live.server import LiveStorageServer
+
+
+def prepare_then_abandon(cluster, holder):
+    """Stage + prepare on both servers, then never send phase 2 —
+    indistinguishable, to the participants, from coordinator death."""
+    manager = cluster.client.manager
+
+    def flow():
+        txn = manager.begin()
+        holder["txn"] = txn
+        yield txn.call("s1", "txn.stage_write", name="f", data=b"doomed",
+                       version=1, create=True)
+        yield txn.call("s2", "txn.stage_write", name="f", data=b"doomed",
+                       version=1, create=True)
+        vote_one = yield txn.call("s1", "txn.prepare")
+        vote_two = yield txn.call("s2", "txn.prepare")
+        assert vote_one == vote_two == "prepared"
+        return txn
+
+    return cluster.run(flow())
+
+
+class TestLiveCoordinatorCrash:
+    def test_in_doubt_survives_server_restart(self):
+        async def scenario():
+            holder = {}
+            async with LoopbackCluster(["s1", "s2"], seed=21,
+                                       call_timeout=1_000.0) as cluster:
+                txn = await prepare_then_abandon(cluster, holder)
+                await cluster.stop_server("s1")
+                await cluster.restart_server("s1")
+                participant = cluster.servers["s1"].participant
+                return txn.txn_id, participant.in_doubt()
+
+        txn_id, in_doubt = asyncio.run(scenario())
+        assert in_doubt == [txn_id]
+
+    def test_in_doubt_blocks_conflicting_transactions(self):
+        async def scenario():
+            holder = {}
+            async with LoopbackCluster(
+                    ["s1", "s2"], seed=22, call_timeout=800.0,
+                    lock_timeout=300.0) as cluster:
+                await prepare_then_abandon(cluster, holder)
+                await cluster.stop_server("s1")
+                await cluster.restart_server("s1")
+                manager = cluster.client.manager
+
+                def conflicting():
+                    other = manager.begin()
+                    try:
+                        yield other.call("s1", "txn.stage_write",
+                                         name="f", data=b"other",
+                                         version=1, create=True,
+                                         timeout=600.0)
+                        yield from other.commit()
+                        return "committed"
+                    except ReproError:
+                        yield from other.abort()
+                        return "blocked"
+
+                return await cluster.run(conflicting())
+
+        assert asyncio.run(scenario()) == "blocked"
+
+    def test_operator_resolution_commit_after_restart(self):
+        async def scenario():
+            holder = {}
+            async with LoopbackCluster(["s1", "s2"], seed=23,
+                                       call_timeout=1_000.0) as cluster:
+                txn = await prepare_then_abandon(cluster, holder)
+                await cluster.stop_server("s1")
+                await cluster.restart_server("s1")
+                endpoint = cluster.client.endpoint
+
+                def resolve():
+                    acks = []
+                    for server in ("s1", "s2"):
+                        ack = yield endpoint.call(
+                            server, "txn.commit", timeout=1_000.0,
+                            txn=str(txn.txn_id))
+                        acks.append(ack)
+                    return acks
+
+                acks = await cluster.run(resolve())
+                contents = {
+                    name: node.server.fs.read_file_sync("f")
+                    for name, node in cluster.servers.items()}
+                pending = {name: node.participant.in_doubt()
+                           for name, node in cluster.servers.items()}
+                return acks, contents, pending
+
+        acks, contents, pending = asyncio.run(scenario())
+        assert acks == ["ack", "ack"]
+        assert contents == {"s1": (b"doomed", 1), "s2": (b"doomed", 1)}
+        assert pending == {"s1": [], "s2": []}
+
+    def test_operator_resolution_abort(self):
+        async def scenario():
+            holder = {}
+            async with LoopbackCluster(["s1", "s2"], seed=24,
+                                       call_timeout=1_000.0) as cluster:
+                txn = await prepare_then_abandon(cluster, holder)
+                endpoint = cluster.client.endpoint
+
+                def resolve():
+                    for server in ("s1", "s2"):
+                        yield endpoint.call(server, "txn.abort",
+                                            timeout=1_000.0,
+                                            txn=str(txn.txn_id))
+
+                await cluster.run(resolve())
+                return {name: node.server.fs.exists("f")
+                        for name, node in cluster.servers.items()}
+
+        assert asyncio.run(scenario()) == {"s1": False, "s2": False}
+
+    def test_in_doubt_survives_daemon_replacement_on_disk(self, tmp_path):
+        """The strongest recovery claim: a *new* daemon process (fresh
+        LiveStorageServer object) mounting the old data directory finds
+        the in-doubt record and replays it into the same blocked
+        state."""
+
+        async def scenario():
+            holder = {}
+            async with LoopbackCluster(
+                    ["s1", "s2"], seed=25, call_timeout=1_000.0,
+                    data_root=str(tmp_path)) as cluster:
+                txn = await prepare_then_abandon(cluster, holder)
+            # Cluster closed; boot a replacement daemon on s1's disk.
+            replacement = LiveStorageServer(
+                "s1", data_dir=str(tmp_path / "s1"), obs=False)
+            try:
+                return txn.txn_id, replacement.participant.in_doubt()
+            finally:
+                await replacement.close()
+
+        txn_id, in_doubt = asyncio.run(scenario())
+        assert in_doubt == [txn_id]
+
+
+class TestLiveRestartRecovery:
+    """Regression pins for LiveStorageServer.restart() ordering."""
+
+    def test_restart_runs_recovery_exactly_once(self):
+        async def scenario():
+            async with LoopbackCluster(["s1", "s2"],
+                                       seed=31) as cluster:
+                server = cluster.servers["s1"]
+                before = server.server.recoveries
+                await cluster.stop_server("s1")
+                await cluster.restart_server("s1")
+                return before, server.server.recoveries
+
+        before, after = asyncio.run(scenario())
+        assert after == before + 1
+
+    def test_restart_preserves_the_address(self):
+        async def scenario():
+            async with LoopbackCluster(["s1", "s2"],
+                                       seed=32) as cluster:
+                old = cluster.servers["s1"].address
+                await cluster.stop_server("s1")
+                new = await cluster.restart_server("s1")
+                return old, new
+
+        old, new = asyncio.run(scenario())
+        assert new == old
+
+    def test_restart_of_a_running_server_is_a_no_op_recovery_wise(self):
+        async def scenario():
+            async with LoopbackCluster(["s1", "s2"],
+                                       seed=33) as cluster:
+                server = cluster.servers["s1"]
+                before = server.server.recoveries
+                await cluster.restart_server("s1")   # never stopped
+                still_up = server.host.up
+                return before, server.server.recoveries, still_up
+
+        before, after, still_up = asyncio.run(scenario())
+        assert after == before and still_up
+
+    def test_no_request_observes_the_pre_recovery_window(self):
+        """A client hammering a restarting server must only ever see a
+        timeout (listener closed) or a fully recovered answer — never
+        an error from half-recovered state."""
+
+        async def scenario():
+            async with LoopbackCluster(
+                    ["s1", "s2"], seed=34,
+                    call_timeout=300.0) as cluster:
+                endpoint = cluster.client.endpoint
+                manager = cluster.client.manager
+                outcomes = []
+
+                def poke():
+                    txn = str(manager.begin().txn_id)
+                    try:
+                        ack = yield endpoint.call(
+                            "s1", "txn.abort", timeout=250.0, txn=txn)
+                        outcomes.append(ack)
+                    except ReproError as exc:
+                        outcomes.append(type(exc).__name__)
+
+                await cluster.stop_server("s1")
+                pokes = asyncio.gather(
+                    *(cluster.run(poke()) for _ in range(5)))
+                await asyncio.sleep(0.05)
+                await cluster.restart_server("s1")
+                await pokes
+                return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert outcomes and set(outcomes) <= {"ack", "RpcTimeout"}
