@@ -1,13 +1,35 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench examples table1 results all clean
+.PHONY: test bench bench-json perf-compare examples table1 results \
+	all clean
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
 
 bench:
 	$(PYTHON) -m pytest -q benchmarks/ -s
+
+# Regenerate the committed BENCH_*.json baselines in place (sim and
+# analytic benches only — live wall-clock numbers are machine-specific
+# and advisory).  Run after an intentional perf change, then commit.
+bench-json:
+	$(PYTHON) -m pytest -q benchmarks/ -s -k "not live"
+
+# Regression gate: rerun the gated benches into a scratch directory and
+# diff each fresh BENCH_*.json against its committed baseline.  Exits
+# non-zero when a gated metric moved past tolerance.
+perf-compare:
+	rm -rf bench-out && mkdir -p bench-out
+	REPRO_BENCH_DIR=bench-out \
+		$(PYTHON) -m pytest -q benchmarks/ -s -k "not live"
+	@status=0; \
+	for new in bench-out/BENCH_*.json; do \
+		old=$$(basename $$new); \
+		echo "== compare $$old"; \
+		$(PYTHON) -m repro perf compare $$old $$new || status=1; \
+	done; \
+	exit $$status
 
 examples:
 	@for script in examples/*.py; do \

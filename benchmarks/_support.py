@@ -7,9 +7,11 @@ rows; pytest-benchmark wraps the run so wall-clock cost is tracked too.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Iterable, List, Sequence
+import os
+from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.perf import BenchRegistry, BenchResult, current_git_sha
 from repro.sim import RandomStreams
 from repro.testbed import Testbed, example_data, example_testbed
 
@@ -37,6 +39,48 @@ def _format(cell: Any) -> str:
             return f"{cell:.2e}"
         return f"{cell:,.2f}"
     return str(cell)
+
+
+#: One registry per benchmark process; every ``record`` flushes, so a
+#: crashed later benchmark cannot lose earlier scripts' results.
+_REGISTRY: Optional[BenchRegistry] = None
+
+
+def _registry() -> BenchRegistry:
+    global _REGISTRY
+    if _REGISTRY is None:
+        # BENCH_*.json land at the repo root (the parent of this
+        # directory) unless REPRO_BENCH_DIR redirects them — the CI
+        # bench job writes candidates next to, not over, the baselines.
+        root = os.environ.get(
+            "REPRO_BENCH_DIR",
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        os.makedirs(root, exist_ok=True)
+        _REGISTRY = BenchRegistry(root)
+    return _REGISTRY
+
+
+def record(area: str, bench: str, metric: str, value: float, unit: str,
+           config: str = "", runtime: str = "sim",
+           seed: Optional[int] = None,
+           duration_s: Optional[float] = None,
+           gate: bool = True) -> None:
+    """Record one schema-validated result into ``BENCH_<AREA>.json``.
+
+    Benchmarks call this right where they print their paper-style
+    table, so the human row and the machine record can never disagree.
+    Set ``gate=False`` for wall-clock (live) numbers: they are recorded
+    for trend-watching but never fail ``repro perf compare``.
+    ``REPRO_BENCH_DISABLE=1`` turns recording off entirely.
+    """
+    if os.environ.get("REPRO_BENCH_DISABLE"):
+        return
+    registry = _registry()
+    registry.record(area, BenchResult(
+        bench=bench, metric=metric, value=float(value), unit=unit,
+        config=config, runtime=runtime, seed=seed,
+        git_sha=current_git_sha(), duration_s=duration_s, gate=gate))
+    registry.flush()
 
 
 def timed(bed: Testbed, operation: Generator) -> Generator:

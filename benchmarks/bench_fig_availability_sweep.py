@@ -23,7 +23,7 @@ import asyncio
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.chaos import ChaosPolicy, markov_nemesis, run_live_nemesis
 from repro.core import SuiteAnalysis, example_configuration, \
     make_configuration
@@ -62,6 +62,17 @@ def test_fig_availability_sweep(benchmark):
         ["availability", "ex1 read", "ex1 write", "ex2 read",
          "ex2 write", "ex3 read", "ex3 write"],
         rows)
+    for row in rows:
+        availability = row[0]
+        for n, (read_block, write_block) in zip(
+                (1, 2, 3), zip(row[1::2], row[2::2])):
+            config = f"example-{n}/a={availability}"
+            record("figs", "fig_availability_sweep", "read_blocking",
+                   read_block, "probability", config=config,
+                   runtime="analytic")
+            record("figs", "fig_availability_sweep", "write_blocking",
+                   write_block, "probability", config=config,
+                   runtime="analytic")
 
     for column in range(1, 7):
         series = [row[column] for row in rows]
@@ -150,6 +161,12 @@ def test_fig_availability_live_markov(benchmark):
         ["availability", "observed failures", "analytic write block"],
         [(availability, observed[availability], analytic[availability])
          for availability in LIVE_SWEEP])
+    for availability in LIVE_SWEEP:
+        # Wall-clock fault schedule on real sockets: advisory only.
+        record("figs", "fig_availability_sweep", "op_failure_fraction",
+               observed[availability], "probability",
+               config=f"a={availability}", runtime="live", seed=41,
+               gate=False)
 
     low, high = min(LIVE_SWEEP), max(LIVE_SWEEP)
     # Monotone shape, not point equality: retries, repair timing and

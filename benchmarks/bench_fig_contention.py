@@ -14,7 +14,7 @@ Shape assertions:
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.core import make_configuration
 from repro.testbed import Testbed
 from repro.workload import (ClosedLoopDriver, OperationMix, PayloadShape,
@@ -93,6 +93,16 @@ def test_fig_contention(benchmark):
         ["clients", "ops done", "read ms (mean)", "write ms (mean)",
          "ops/sec", "retries"],
         rows)
+    for clients, ops, read_mean, write_mean, throughput, retries in rows:
+        config = f"clients={clients}"
+        record("figs", "fig_contention", "read_latency_ms", read_mean,
+               "ms", config=config, seed=55)
+        record("figs", "fig_contention", "write_latency_ms", write_mean,
+               "ms", config=config, seed=55)
+        record("figs", "fig_contention", "throughput_ops_per_sec",
+               throughput, "ops/s", config=config, seed=55)
+        record("figs", "fig_contention", "retries", float(retries),
+               "count", config=config, seed=55)
 
     for clients, cell in results.items():
         stats = cell["stats"]

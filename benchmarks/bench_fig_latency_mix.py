@@ -14,7 +14,7 @@ Shape assertions:
 
 import pytest
 
-from _support import print_table, timed
+from _support import print_table, record, timed
 from repro.core import example_analysis
 from repro.testbed import example_data, example_testbed
 from repro.workload import ClosedLoopDriver, OperationMix, PayloadShape
@@ -66,6 +66,16 @@ def test_fig_latency_mix(benchmark):
         f"(simulated, {OPERATIONS} ops)",
         ["read fraction", "example 1", "example 2", "example 3"],
         sim_rows)
+    for fraction, ex1, ex2, ex3 in rows:
+        for example, mean in zip((1, 2, 3), (ex1, ex2, ex3)):
+            record("figs", "fig_latency_mix", "mean_latency_ms", mean,
+                   "ms", config=f"example-{example}/rf={fraction}",
+                   runtime="analytic")
+    for fraction, ex1, ex2, ex3 in sim_rows:
+        for example, mean in zip((1, 2, 3), (ex1, ex2, ex3)):
+            record("figs", "fig_latency_mix", "mean_latency_ms", mean,
+                   "ms", config=f"example-{example}/rf={fraction}/sim",
+                   seed=0)
 
     # Example 1 dominates at every mix (cheap reads AND cheap writes in
     # its local-network setting); example 3 is worst with any writes.

@@ -12,7 +12,7 @@ total votes, showing weights dominating for a skewed workload.
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.core import (SuiteAnalysis, feasible_quorum_pairs,
                         make_configuration)
 
@@ -42,6 +42,16 @@ def test_fig_quorum_tradeoff(benchmark):
                 ["r", "w", "read avail", "write avail"], frontier_99)
     print_table("F4 — (r, w) frontier, per-replica availability 0.90",
                 ["r", "w", "read avail", "write avail"], frontier_90)
+    for availability, frontier in ((0.99, frontier_99),
+                                   (0.90, frontier_90)):
+        for r, w, read_avail, write_avail in frontier:
+            config = f"r={r},w={w}/a={availability}"
+            record("figs", "fig_quorum_tradeoff", "read_availability",
+                   read_avail, "probability", config=config,
+                   runtime="analytic")
+            record("figs", "fig_quorum_tradeoff", "write_availability",
+                   write_avail, "probability", config=config,
+                   runtime="analytic")
 
     for frontier in (frontier_99, frontier_90):
         reads = [row[2] for row in frontier]

@@ -17,7 +17,7 @@ drift arbitrarily far behind.
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.testbed import Testbed, example_data
 from repro.core import example_configuration
 from repro.testbed import example_testbed
@@ -86,6 +86,15 @@ def test_fig_refresh_ablation(benchmark):
         ["configuration", "mean stale reps", "stale at end",
          "read latency ms", "refresh txns"],
         rows)
+    for label, cell in results.items():
+        config = label.replace(" ", "-")
+        record("figs", "fig_refresh", "mean_staleness",
+               cell["mean_staleness"], "reps", config=config, seed=0)
+        record("figs", "fig_refresh", "read_latency_ms",
+               cell["read_latency"], "ms", config=config, seed=0)
+        record("figs", "fig_refresh", "refresh_txns",
+               float(cell["refresh_txns"]), "count", config=config,
+               seed=0)
 
     on = results["refresh on"]
     off = results["refresh off"]

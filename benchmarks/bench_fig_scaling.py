@@ -15,7 +15,7 @@ majorities) actually deployed:
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.core import SuiteAnalysis, make_configuration, message_cost
 from repro.core.quorum import blocking_probability
 
@@ -52,6 +52,17 @@ def test_fig_scaling(benchmark):
         ["members", "quorum", "op availability", "write latency ms",
          "read msgs", "write msgs"],
         rows)
+    for size, quorum, avail, write_latency, read_msgs, write_msgs in rows:
+        config = f"members={size}"
+        record("figs", "fig_scaling", "write_availability", avail,
+               "probability", config=config, runtime="analytic")
+        record("figs", "fig_scaling", "write_latency_ms", write_latency,
+               "ms", config=config, runtime="analytic")
+        record("figs", "fig_scaling", "read_messages", float(read_msgs),
+               "count", config=config, runtime="analytic")
+        record("figs", "fig_scaling", "write_messages",
+               float(write_msgs), "count", config=config,
+               runtime="analytic")
 
     availabilities = [row[2] for row in rows]
     # More members → more availability, with diminishing returns.

@@ -20,7 +20,7 @@ strictly better for the skewed mixes the paper motivates.
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.core import SuiteAnalysis, make_configuration
 from repro.core.tuning import ServerProfile, best_configuration, score
 
@@ -70,6 +70,21 @@ def test_fig_tuning(benchmark):
         ["read fraction", "tuned choice", "tuned ms", "uniform ms",
          "rowa ms", "tuned r-avail", "tuned w-avail"],
         rows)
+    for fraction, _choice, tuned_ms, uniform_ms, rowa_ms, read_avail, \
+            write_avail in rows:
+        config = f"rf={fraction}"
+        record("figs", "fig_tuning", "tuned_latency_ms", tuned_ms, "ms",
+               config=config, runtime="analytic")
+        record("figs", "fig_tuning", "uniform_latency_ms", uniform_ms,
+               "ms", config=config, runtime="analytic")
+        record("figs", "fig_tuning", "rowa_latency_ms", rowa_ms, "ms",
+               config=config, runtime="analytic")
+        record("figs", "fig_tuning", "tuned_read_availability",
+               read_avail, "probability", config=config,
+               runtime="analytic")
+        record("figs", "fig_tuning", "tuned_write_availability",
+               write_avail, "probability", config=config,
+               runtime="analytic")
 
     for fraction, _choice, tuned_ms, uniform_ms, rowa_ms, read_avail, \
             write_avail in rows:

@@ -16,7 +16,7 @@ Shape assertions:
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.core import Representative, SuiteConfiguration
 from repro.errors import ReproError
 from repro.testbed import Testbed
@@ -95,6 +95,15 @@ def test_fig_weak_representatives(benchmark):
         ["update rate", "weak: read ms", "weak: hit rate",
          "weak: master load", "no-weak: read ms", "no-weak: master load"],
         rows)
+    for update_rate, weak_ms, hit_rate, weak_load, plain_ms, \
+            plain_load in rows:
+        config = f"ur={update_rate}"
+        record("figs", "fig_weak_reps", "weak_read_latency_ms", weak_ms,
+               "ms", config=config, seed=5)
+        record("figs", "fig_weak_reps", "weak_hit_rate", hit_rate,
+               "fraction", config=config, seed=5)
+        record("figs", "fig_weak_reps", "plain_read_latency_ms",
+               plain_ms, "ms", config=config, seed=5)
 
     for update_rate, weak_ms, hit_rate, weak_load, plain_ms, \
             plain_load in rows:

@@ -15,7 +15,7 @@ preferred representative, lock-releasing commit).
 import asyncio
 import gc
 
-from _support import print_table
+from _support import print_table, record
 from repro.core import make_configuration
 from repro.live import LoopbackCluster
 
@@ -24,17 +24,23 @@ WARMUP_SECONDS = 0.5
 MEASURE_SECONDS = 2.0
 FLOOR_READS_PER_SECOND = 1_000.0
 
+#: The phase profiler may not cost more than this fraction of the
+#: measurement window when enabled on the full hot path.
+PROFILER_OVERHEAD_BUDGET = 0.05
+
 
 def run_live_read_throughput(workers=WORKERS,
                              warmup=WARMUP_SECONDS,
-                             measure=MEASURE_SECONDS):
-    """Return (reads, elapsed_seconds, reads_per_second)."""
+                             measure=MEASURE_SECONDS,
+                             profile=False):
+    """Return (reads, elapsed_seconds, reads_per_second[, profiler])."""
     config = make_configuration(
         "bench-live", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
         latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+    cluster = LoopbackCluster(["s1", "s2", "s3"], profile=profile)
 
     async def scenario():
-        async with LoopbackCluster(["s1", "s2", "s3"]) as cluster:
+        async with cluster:
             await cluster.install(config, b"live throughput payload")
             loop = asyncio.get_event_loop()
             completed = 0
@@ -69,6 +75,8 @@ def run_live_read_throughput(workers=WORKERS,
             return completed, elapsed
 
     reads, elapsed = asyncio.run(scenario())
+    if profile:
+        return reads, elapsed, reads / elapsed, cluster.profiler
     return reads, elapsed, reads / elapsed
 
 
@@ -91,4 +99,33 @@ def test_live_loopback_read_throughput(benchmark):
         "L1 — live loopback quorum-read throughput (r=2, N=3)",
         ["workers", "reads", "seconds", "reads/sec", "floor"],
         rows)
+    # Wall-clock on shared hardware: recorded for trend-watching, never
+    # gated by the comparator.
+    record("live", "live_throughput", "reads_per_sec", best, "ops/s",
+           config=f"workers={WORKERS}", runtime="live",
+           duration_s=elapsed, gate=False)
     assert best >= FLOOR_READS_PER_SECOND
+
+
+def test_live_profiler_overhead():
+    """The phase profiler must stay within its budget on the L1 path.
+
+    Re-runs a shortened throughput window with ``profile=True`` so
+    every hot-path instrumentation point (encode/decode, RPC
+    round-trips, quorum assembly, 2PC phases) is live, then checks the
+    profiler's self-measured cost against the window.
+    """
+    reads, elapsed, rate, profiler = run_live_read_throughput(
+        warmup=0.2, measure=1.0, profile=True)
+    assert reads > 0
+    assert profiler is not None and profiler.samples > 0
+    overhead = profiler.overhead_fraction(elapsed)
+    print_table(
+        "L1b — profiler overhead on the live hot path",
+        ["reads", "seconds", "samples", "overhead fraction", "budget"],
+        [(reads, elapsed, profiler.samples, overhead,
+          PROFILER_OVERHEAD_BUDGET)])
+    record("live", "live_throughput", "profiler_overhead_fraction",
+           overhead, "fraction", config=f"workers={WORKERS}",
+           runtime="live", duration_s=elapsed, gate=False)
+    assert overhead < PROFILER_OVERHEAD_BUDGET

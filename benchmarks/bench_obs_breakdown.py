@@ -20,7 +20,7 @@ import json
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.obs import breakdown, group_traces
 from repro.testbed import example_data, example_testbed
 
@@ -62,6 +62,11 @@ def test_span_latency_breakdown(benchmark):
         print(json.dumps({"experiment": "O1", "operation": operation,
                           "span": name, "count": count,
                           "mean_ms": round(mean, 3)}))
+    for operation, name, count, mean in rows:
+        # Per-phase spans of the two operation types; deterministic sim
+        # run, so these gate like any other latency.
+        record("obs", "obs_breakdown", "span_mean_ms", mean, "ms",
+               config=f"{operation}/{name}", seed=0)
 
     # Structure: every operation produced exactly one stitched trace.
     traces = group_traces(spans)

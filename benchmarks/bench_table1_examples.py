@@ -8,7 +8,7 @@ paper's printed rounding).
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.core import EXACT, EXPECTED, example_analysis
 
 
@@ -40,6 +40,18 @@ def test_table1_analytic(benchmark):
     print_table("T1 — paper's published values",
                 ["configuration", "read lat ms", "read block",
                  "write lat ms", "write block"], paper_rows)
+    for (label, read_lat, read_block, write_lat, write_block), n \
+            in zip(rows, (1, 2, 3)):
+        config = f"example-{n}"
+        record("tables", "table1_examples", "read_latency_ms", read_lat,
+               "ms", config=config, runtime="analytic")
+        record("tables", "table1_examples", "write_latency_ms",
+               write_lat, "ms", config=config, runtime="analytic")
+        record("tables", "table1_examples", "read_blocking", read_block,
+               "probability", config=config, runtime="analytic")
+        record("tables", "table1_examples", "write_blocking",
+               write_block, "probability", config=config,
+               runtime="analytic")
 
     for (label, read_lat, read_block, write_lat, write_block), n \
             in zip(rows, (1, 2, 3)):

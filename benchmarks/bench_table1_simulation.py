@@ -17,7 +17,7 @@ blocking rates = analytic values within sampling error.
 import pytest
 
 from _support import (blocking_trials, measure_example_latencies,
-                      print_table)
+                      print_table, record)
 from repro.core import EXACT, EXPECTED
 
 TRIALS = 4_000
@@ -50,6 +50,16 @@ def test_table1_simulated(benchmark):
         ["configuration", "read ms", "paper", "write ms", "paper",
          "read blk", "exact", "write blk", "exact"],
         display)
+    for example, read_lat, write_lat, read_block, write_block in rows:
+        config = f"example-{example}"
+        record("tables", "table1_simulation", "read_latency_ms",
+               read_lat, "ms", config=config, seed=99)
+        record("tables", "table1_simulation", "write_latency_ms",
+               write_lat, "ms", config=config, seed=99)
+        record("tables", "table1_simulation", "read_blocking",
+               read_block, "probability", config=config, seed=99)
+        record("tables", "table1_simulation", "write_blocking",
+               write_block, "probability", config=config, seed=99)
 
     for example, read_lat, write_lat, read_block, write_block in rows:
         paper_read = EXPECTED[example]["read_latency"]

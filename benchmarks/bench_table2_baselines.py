@@ -16,7 +16,7 @@ Shape assertions (the paper's qualitative claims):
 
 import pytest
 
-from _support import print_table
+from _support import print_table, record
 from repro.baselines import (MajorityConsensusClient, PrimaryCopyClient,
                              ReadOneWriteAllClient)
 from repro.core import install_suite, make_configuration
@@ -101,6 +101,17 @@ def test_table2_baselines(benchmark):
         ["phase", "protocol", "reads ok", "reads blocked",
          "writes ok", "writes blocked"],
         rows)
+    phase_slugs = {"healthy": "healthy", "one crash (s2)": "crash-s2",
+                   "partition (s3 cut)": "partition-s3"}
+    for phase_name, results in phases.items():
+        for protocol, stats in results.items():
+            config = f"{phase_slugs[phase_name]}/{protocol}"
+            record("tables", "table2_baselines", "ops_blocked",
+                   float(stats.blocked), "count", config=config,
+                   seed=31)
+            record("tables", "table2_baselines", "ops_completed",
+                   float(stats.reads + stats.writes), "count",
+                   config=config, seed=31)
 
     healthy = phases["healthy"]
     for protocol in healthy:

@@ -13,6 +13,8 @@ Subcommands::
     python -m repro chaos --seed 1             # fault-injected soak
     python -m repro trace spans.jsonl          # per-operation timelines
     python -m repro metrics --port 9464        # scrape a daemon
+    python -m repro perf compare old.json new.json   # regression gate
+    python -m repro perf profile --runtime live      # hot-path phases
 
 Analytic and simulated subcommands run in simulated time and finish in
 seconds; ``serve`` and ``live-demo`` use the asyncio runtime on real
@@ -462,6 +464,91 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    """Diff two BENCH_*.json files; exit 1 on a gated regression."""
+    from .perf import SchemaError, compare_results, load_results
+
+    try:
+        old = load_results(args.old)
+        new = load_results(args.new)
+    except (OSError, ValueError) as exc:
+        detail = getattr(exc, "strerror", None) or str(exc)
+        print(f"repro perf compare: {detail}", file=sys.stderr)
+        return 2
+    report = compare_results(old, new, tolerance=args.tolerance)
+    print(report.render(verbose=args.verbose))
+    return 1 if report.failed else 0
+
+
+def _profile_sim(args: argparse.Namespace):
+    """Seeded read/write workload on the simulated runtime."""
+    import time
+
+    bed = Testbed(servers=["s1", "s2", "s3"], seed=args.seed,
+                  profile=True)
+    config = make_configuration(
+        "perf", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+        latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+    suite = bed.install(config, b"profile payload")
+    start = time.monotonic()
+    for index in range(args.ops):
+        if index % 10 < 7:                # 70% reads
+            bed.run(suite.read())
+        else:
+            bed.run(suite.write(b"profile payload %d" % index))
+    bed.settle()
+    # Phase durations are virtual milliseconds, but the overhead budget
+    # is about *wall* cost — so the window the profiler is judged
+    # against is the real time the workload took to simulate.
+    return bed.profiler, (time.monotonic() - start) * 1000.0
+
+
+def _profile_live(args: argparse.Namespace):
+    """Seeded read/write workload on the live loopback runtime."""
+    import tempfile
+    import time
+
+    from .live import LoopbackCluster
+
+    async def scenario(cluster):
+        async with cluster:
+            config = make_configuration(
+                "perf", [("s1", 1), ("s2", 1), ("s3", 1)], 2, 2,
+                latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+            suite = await cluster.install(config, b"profile payload")
+            start = time.monotonic()
+            for index in range(args.ops):
+                if index % 10 < 7:
+                    await cluster.read(suite)
+                else:
+                    await cluster.write(suite,
+                                        b"profile payload %d" % index)
+            return (time.monotonic() - start) * 1000.0
+
+    with tempfile.TemporaryDirectory() as data_root:
+        # On-disk stable stores so "storage.page_write" is a real phase.
+        cluster = LoopbackCluster(["s1", "s2", "s3"], seed=args.seed,
+                                  obs=False, data_root=data_root,
+                                  profile=True)
+        elapsed_ms = asyncio.run(scenario(cluster))
+    return cluster.profiler, elapsed_ms
+
+
+def cmd_perf_profile(args: argparse.Namespace) -> int:
+    """Print a top-N hot-path phase breakdown for a seeded workload."""
+    profiler, elapsed_ms = (_profile_sim(args) if args.runtime == "sim"
+                            else _profile_live(args))
+    unit = "sim ms" if args.runtime == "sim" else "ms"
+    print(f"phase breakdown — {args.ops} ops on the {args.runtime} "
+          f"runtime (seed {args.seed}):")
+    print(profiler.render(top_n=args.top, unit=unit))
+    overhead = profiler.overhead_fraction(elapsed_ms / 1000.0)
+    print(f"\nprofiler: {profiler.samples} samples, self-measured "
+          f"overhead {overhead:.3%} of the "
+          f"{elapsed_ms / 1000.0:.2f}s window")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -592,6 +679,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the exposition text verbatim")
     metrics.add_argument("--timeout", type=float, default=5.0)
     metrics.set_defaults(handler=cmd_metrics)
+
+    perf = subparsers.add_parser(
+        "perf", help="benchmark results: regression compare, profiling")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    compare = perf_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json files; non-zero exit on regression")
+    compare.add_argument("old", metavar="OLD.json",
+                         help="baseline result file")
+    compare.add_argument("new", metavar="NEW.json",
+                         help="candidate result file")
+    compare.add_argument("--tolerance", type=float, default=0.25,
+                         help="relative tolerance before a gated metric "
+                              "fails (default 0.25)")
+    compare.add_argument("--verbose", action="store_true",
+                         help="also print in-tolerance and advisory "
+                              "rows")
+    compare.set_defaults(handler=cmd_perf_compare)
+
+    profile = perf_sub.add_parser(
+        "profile",
+        help="hot-path phase breakdown for a seeded workload")
+    profile.add_argument("--runtime", choices=("sim", "live"),
+                         default="sim")
+    profile.add_argument("--ops", type=int, default=200,
+                         help="operations to drive (70%% reads)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=10,
+                         help="phases to print, heaviest first")
+    profile.set_defaults(handler=cmd_perf_profile)
 
     return parser
 

@@ -110,7 +110,8 @@ class FileSuiteClient:
                  streams: Optional[RandomStreams] = None,
                  tracer: Optional[Tracer] = None,
                  collector: Optional[TraceCollector] = None,
-                 health: Optional[Any] = None) -> None:
+                 health: Optional[Any] = None,
+                 profiler: Optional[Any] = None) -> None:
         self.manager = manager
         self.sim = manager.sim
         self.config = config
@@ -139,6 +140,9 @@ class FileSuiteClient:
         #: :class:`QuorumUnattainableError` when the admitted votes
         #: cannot reach the threshold.
         self.health = health
+        #: Optional :class:`~repro.perf.PhaseProfiler`; when wired it
+        #: aggregates quorum-assembly durations under "quorum.assemble".
+        self.profiler = profiler
         streams = streams or RandomStreams(seed=0)
         self._rng = streams.stream(
             f"suite:{config.suite_name}:{manager.endpoint.host.name}")
@@ -424,6 +428,9 @@ class FileSuiteClient:
             gathered = yield from gather_until(self.sim, calls, enough)
             self.metrics.histogram("suite.quorum_wait").observe(
                 self.sim.now - started)
+            if self.profiler is not None:
+                self.profiler.observe("quorum.assemble",
+                                      self.sim.now - started)
             votes = sum(rep.votes for rep in gathered.successes)
             if qspan:
                 for rep, stat in sorted(gathered.successes.items(),

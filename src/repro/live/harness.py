@@ -10,14 +10,21 @@ tests, the throughput benchmark and the ``live-demo`` CLI.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.suite import FileSuiteClient
 from ..core.votes import SuiteConfiguration
 from ..obs.collector import dump_jsonl
 from ..obs.spans import Span
+from ..perf.profiler import PhaseProfiler
 from .runtime import LiveRuntime
 from .server import LiveStorageServer
+
+
+def _wall_ms() -> float:
+    """Wall clock in milliseconds — the live kernels' time unit."""
+    return time.monotonic() * 1000.0
 
 
 class LoopbackCluster:
@@ -41,7 +48,8 @@ class LoopbackCluster:
                  obs: bool = True,
                  chaos: Optional[Any] = None,
                  lock_timeout: Optional[float] = 5_000.0,
-                 idle_abort_after: Optional[float] = 60_000.0) -> None:
+                 idle_abort_after: Optional[float] = 60_000.0,
+                 profile: bool = False) -> None:
         self._server_names = list(servers)
         self._obs = obs
         self._client_name = client_name
@@ -57,6 +65,12 @@ class LoopbackCluster:
         #: on every transport (client and servers): one object decides
         #: per-link drops, delays, duplicates and partitions.
         self.chaos = chaos
+        #: One shared :class:`~repro.perf.PhaseProfiler` across the
+        #: whole cluster (``profile=True``).  Durations are clock
+        #: differences, so mixing the client's and each server's kernel
+        #: epochs is sound; the clock is wall time in milliseconds.
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler(clock=_wall_ms) if profile else None)
         self.servers: Dict[str, LiveStorageServer] = {}
         self.client: Optional[LiveRuntime] = None
 
@@ -70,14 +84,15 @@ class LoopbackCluster:
                 name, data_dir=data_dir, num_pages=self._num_pages,
                 page_size=self._page_size, obs=self._obs,
                 lock_timeout=self._lock_timeout,
-                idle_abort_after=self._idle_abort_after)
+                idle_abort_after=self._idle_abort_after,
+                profiler=self.profiler)
             server.transport.chaos = self.chaos
             await server.start(obs_port=0 if self._obs else None)
             self.servers[name] = server
         self.client = LiveRuntime(
             self._client_name, call_timeout=self._call_timeout,
             transport_attempts=self._transport_attempts, seed=self._seed,
-            obs=self._obs)
+            obs=self._obs, profiler=self.profiler)
         self.client.transport.chaos = self.chaos
         for name, server in self.servers.items():
             host, port = server.address  # type: ignore[misc]

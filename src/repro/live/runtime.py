@@ -245,7 +245,8 @@ class LiveRuntime:
                  seed: int = 0,
                  metrics: Optional[MetricsRegistry] = None,
                  obs: bool = True,
-                 loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+                 loop: Optional[asyncio.AbstractEventLoop] = None,
+                 profiler: Optional[Any] = None) -> None:
         if name is None:
             # Servers key at-most-once dedup state and transaction ids
             # by the client's source name, and a fresh runtime restarts
@@ -264,7 +265,12 @@ class LiveRuntime:
         #: another process's.
         self.collector = TraceCollector(clock=lambda: self.kernel.now,
                                         origin=name, enabled=obs)
+        #: Optional shared :class:`~repro.perf.PhaseProfiler`.  Phase
+        #: durations are clock *differences*, so a profiler built on a
+        #: different kernel's epoch still aggregates correctly here.
+        self.profiler = profiler
         self.transport = TransportNode(name, self._on_message)
+        self.transport.profiler = profiler
         self.host = LiveHost(self.kernel, name, self.transport)
         self.streams = RandomStreams(seed=seed)
         #: Circuit breakers for the servers this client talks to.  The
@@ -276,13 +282,15 @@ class LiveRuntime:
                                     collector=self.collector,
                                     metrics=self.metrics,
                                     streams=self.streams,
-                                    health=self.health)
+                                    health=self.health,
+                                    profiler=profiler)
         self.host.dispatch = self.endpoint.dispatch_message
         self.manager = TransactionManager(
             self.kernel, self.endpoint, call_timeout=call_timeout,
             transport_attempts=transport_attempts,
             collector=self.collector,
-            streams=self.streams)
+            streams=self.streams,
+            profiler=profiler)
         self.refresher = BackgroundRefresher(self.manager,
                                              metrics=self.metrics)
 
@@ -315,6 +323,7 @@ class LiveRuntime:
         kwargs.setdefault("streams", self.streams)
         kwargs.setdefault("collector", self.collector)
         kwargs.setdefault("health", self.health)
+        kwargs.setdefault("profiler", self.profiler)
         return FileSuiteClient(self.manager, config, **kwargs)
 
     async def install(self, config: SuiteConfiguration,

@@ -253,8 +253,14 @@ class _Connection(asyncio.Protocol):
         self._flush()
 
     def data_received(self, data: bytes) -> None:
+        profiler = self.node.profiler
         try:
-            messages = self._parser.feed(data)
+            if profiler is not None:
+                token = profiler.start()
+                messages = self._parser.feed(data)
+                profiler.stop("rpc.decode", token)
+            else:
+                messages = self._parser.feed(data)
         except FrameError as exc:
             logger.warning("%s: dropping connection: %s",
                            self.node.name, exc)
@@ -355,6 +361,11 @@ class TransportNode:
         #: :class:`~repro.sim.network.Network`, so the same policy
         #: object fault-injects either runtime.
         self.chaos: Optional[Any] = None
+        #: Optional :class:`~repro.perf.PhaseProfiler` timing frame
+        #: encode ("rpc.encode") and decode ("rpc.decode") on this
+        #: node's hot path.  Attribute, not constructor arg, so the
+        #: harness can attach one profiler across a whole cluster.
+        self.profiler: Optional[Any] = None
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_dropped = 0
@@ -426,7 +437,13 @@ class TransportNode:
             connection = _Connection(self, peer=destination)
             self._connections[destination] = connection
             connection.dial(address)
-        connection.send(encode_frame(message))
+        if self.profiler is not None:
+            token = self.profiler.start()
+            frame = encode_frame(message)
+            self.profiler.stop("rpc.encode", token)
+        else:
+            frame = encode_frame(message)
+        connection.send(frame)
         self.frames_sent += 1
 
     # -- inbound plumbing --------------------------------------------------

@@ -66,7 +66,14 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Appends each finished span as one JSON line to a file."""
+    """Appends each finished span as one JSON line to a file.
+
+    Usable as a context manager: ``with JsonlSink(path) as sink: ...``
+    flushes on exit and closes the file when the sink opened it itself
+    (a caller-provided handle is flushed but left open — the caller
+    owns its lifetime).  ``close`` is idempotent, and always flushes
+    before closing so no buffered span can be lost at shutdown.
+    """
 
     def __init__(self, target: "str | IO[str]") -> None:
         if isinstance(target, str):
@@ -75,18 +82,35 @@ class JsonlSink:
         else:
             self._file = target
             self._owned = False
+        self._closed = False
 
     def emit(self, span: Span) -> None:
+        if self._closed:
+            raise ValueError("emit on a closed JsonlSink")
         self._file.write(json.dumps(span.to_dict(),
                                     separators=(",", ":")) + "\n")
 
     def flush(self) -> None:
-        self._file.flush()
+        if not self._closed:
+            self._file.flush()
 
     def close(self) -> None:
+        if self._closed:
+            return
         self._file.flush()
         if self._owned:
             self._file.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class TraceCollector:

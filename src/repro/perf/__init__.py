@@ -1,0 +1,25 @@
+"""repro.perf — benchmark result registry, regression gate, profiler.
+
+Three pieces: the :class:`BenchResult` schema and ``BENCH_*.json``
+registry (every benchmark records what it printed), the comparator that
+turns two result files into pass/fail (``repro perf compare``), and
+the :class:`PhaseProfiler` that explains *why* a number moved
+(``repro perf profile``).
+"""
+
+from .compare import (DEFAULT_TOLERANCE, ComparisonReport, Delta,
+                      MetricRule, compare_results, infer_direction)
+from .profiler import PhaseProfiler, PhaseStat
+from .registry import (BenchRegistry, bench_path, discover, load_results,
+                       write_results)
+from .result import (RUNTIMES, SCHEMA_VERSION, BenchResult, SchemaError,
+                     current_git_sha, validate_result)
+
+__all__ = [
+    "BenchRegistry", "BenchResult", "ComparisonReport",
+    "DEFAULT_TOLERANCE", "Delta", "MetricRule", "PhaseProfiler",
+    "PhaseStat", "RUNTIMES", "SCHEMA_VERSION", "SchemaError",
+    "bench_path", "compare_results", "current_git_sha", "discover",
+    "infer_direction", "load_results", "validate_result",
+    "write_results",
+]

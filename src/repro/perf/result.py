@@ -1,0 +1,145 @@
+"""The benchmark result schema: one measured number, fully attributed.
+
+Every benchmark emits :class:`BenchResult` records instead of (only)
+pretty tables, so the repo's perf trajectory is machine-readable: a
+result names its benchmark, metric and unit, the configuration label it
+was measured under, the runtime that produced it (analytic closed form,
+deterministic simulation, or live sockets), the seed, the git revision
+and the wall-clock cost of producing it.  Records are versioned
+(:data:`SCHEMA_VERSION`) and validated on both write and read, so a
+drifting producer fails loudly rather than poisoning baselines.
+
+``gate`` marks whether the value is deterministic enough to fail a
+build over: analytic and seeded-sim numbers are bit-stable run to run
+and gate; live wall-clock numbers vary with the hardware and are
+recorded advisory-only.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+#: Bump when the record shape changes incompatibly; the comparator
+#: refuses to diff records across schema versions.
+SCHEMA_VERSION = 1
+
+#: Runtimes a result may be attributed to.
+RUNTIMES = ("analytic", "sim", "live")
+
+
+class SchemaError(ValueError):
+    """A benchmark result violated the schema."""
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured data point of one benchmark run."""
+
+    bench: str                        # benchmark id, e.g. "fig_scaling"
+    metric: str                       # e.g. "write_latency_ms"
+    value: float
+    unit: str                         # "ms", "ops/s", "probability", ...
+    config: str = ""                  # config label, e.g. "example-2"
+    runtime: str = "sim"              # one of RUNTIMES
+    seed: Optional[int] = None
+    git_sha: str = "unknown"
+    duration_s: Optional[float] = None  # wall clock of the producing run
+    gate: bool = True                 # False: advisory, never fails compare
+    schema: int = field(default=SCHEMA_VERSION)
+
+    def key(self) -> tuple:
+        """Identity for baseline matching (value-independent)."""
+        return (self.bench, self.metric, self.config, self.runtime)
+
+    def label(self) -> str:
+        parts = [self.bench, self.metric]
+        if self.config:
+            parts.append(self.config)
+        parts.append(self.runtime)
+        return "/".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "BenchResult":
+        validate_result(raw)
+        return cls(**{name: raw.get(name, _DEFAULTS.get(name))
+                      for name in _FIELDS})
+
+
+_FIELDS = ("bench", "metric", "value", "unit", "config", "runtime",
+           "seed", "git_sha", "duration_s", "gate", "schema")
+_DEFAULTS = {"config": "", "runtime": "sim", "seed": None,
+             "git_sha": "unknown", "duration_s": None, "gate": True,
+             "schema": SCHEMA_VERSION}
+
+
+def validate_result(raw: Dict[str, Any]) -> None:
+    """Raise :class:`SchemaError` unless ``raw`` is a valid record."""
+    if not isinstance(raw, dict):
+        raise SchemaError(f"result must be an object, got "
+                          f"{type(raw).__name__}")
+    schema = raw.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise SchemaError(f"unsupported result schema {schema!r} "
+                          f"(this tool speaks {SCHEMA_VERSION})")
+    for name, kinds in (("bench", str), ("metric", str), ("unit", str)):
+        value = raw.get(name)
+        if not isinstance(value, kinds) or not value:
+            raise SchemaError(f"{name!r} must be a non-empty string, "
+                              f"got {value!r}")
+    value = raw.get("value")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SchemaError(f"'value' must be a number, got {value!r}")
+    runtime = raw.get("runtime", "sim")
+    if runtime not in RUNTIMES:
+        raise SchemaError(f"'runtime' must be one of {RUNTIMES}, "
+                          f"got {runtime!r}")
+    config = raw.get("config", "")
+    if not isinstance(config, str):
+        raise SchemaError(f"'config' must be a string, got {config!r}")
+    seed = raw.get("seed")
+    if seed is not None and (not isinstance(seed, int)
+                             or isinstance(seed, bool)):
+        raise SchemaError(f"'seed' must be an integer or null, "
+                          f"got {seed!r}")
+    duration = raw.get("duration_s")
+    if duration is not None and (not isinstance(duration, (int, float))
+                                 or isinstance(duration, bool)):
+        raise SchemaError(f"'duration_s' must be a number or null, "
+                          f"got {duration!r}")
+    if not isinstance(raw.get("gate", True), bool):
+        raise SchemaError(f"'gate' must be a boolean, "
+                          f"got {raw.get('gate')!r}")
+    git_sha = raw.get("git_sha", "unknown")
+    if not isinstance(git_sha, str):
+        raise SchemaError(f"'git_sha' must be a string, got {git_sha!r}")
+
+
+_GIT_SHA_CACHE: Optional[str] = None
+
+
+def current_git_sha() -> str:
+    """The repo's short HEAD sha (cached; ``REPRO_BENCH_SHA`` overrides).
+
+    Falls back to ``"unknown"`` outside a work tree — results must be
+    recordable from an unpacked tarball too.
+    """
+    global _GIT_SHA_CACHE
+    override = os.environ.get("REPRO_BENCH_SHA")
+    if override:
+        return override
+    if _GIT_SHA_CACHE is None:
+        try:
+            _GIT_SHA_CACHE = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True, text=True, timeout=5,
+                check=True).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA_CACHE = "unknown"
+    return _GIT_SHA_CACHE

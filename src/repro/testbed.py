@@ -28,6 +28,7 @@ from .core.refresh import BackgroundRefresher
 from .core.suite import FileSuiteClient, install_suite
 from .core.votes import SuiteConfiguration
 from .obs.collector import TraceCollector
+from .perf.profiler import PhaseProfiler
 from .rpc.endpoint import RpcEndpoint
 from .sim.distributions import Distribution
 from .sim.metrics import MetricsRegistry
@@ -80,7 +81,8 @@ class Testbed:
                  refresh_enabled: bool = True,
                  loss_probability: float = 0.0,
                  trace: bool = False,
-                 obs: bool = False) -> None:
+                 obs: bool = False,
+                 profile: bool = False) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed=seed)
         self.network = Network(self.sim, self.streams,
@@ -96,6 +98,14 @@ class Testbed:
         #: so client and server spans land stitched in one buffer.
         self.collector = TraceCollector(clock=lambda: self.sim.now,
                                         origin="sim", enabled=obs)
+        #: Phase profiling (``profile=True``).  One profiler spans the
+        #: whole testbed (it is one process): quorum assembly, RPC
+        #: roundtrip/serve, 2PC phases — all in virtual milliseconds.
+        #: ``None`` when off, so instrumented code pays one ``is not
+        #: None`` test and profiling cannot perturb unprofiled runs.
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler(clock=lambda: self.sim.now) if profile
+            else None)
         self.call_timeout = call_timeout
         self.servers: Dict[str, ServerNode] = {}
         self.clients: Dict[str, ClientNode] = {}
@@ -122,7 +132,8 @@ class Testbed:
                                page_size=page_size,
                                page_io_time=page_io_time)
         endpoint = RpcEndpoint(self.sim, host, collector=self.collector,
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               profiler=self.profiler)
         participant = TransactionParticipant(
             server, lock_timeout=lock_timeout,
             idle_abort_after=idle_abort_after, metrics=self.metrics)
@@ -136,10 +147,12 @@ class Testbed:
                    refresh_enabled: bool = True) -> ClientNode:
         host = self.network.add_host(name)
         endpoint = RpcEndpoint(self.sim, host, collector=self.collector,
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               profiler=self.profiler)
         manager = TransactionManager(self.sim, endpoint,
                                      call_timeout=self.call_timeout,
-                                     collector=self.collector)
+                                     collector=self.collector,
+                                     profiler=self.profiler)
         refresher = BackgroundRefresher(manager, delay=refresh_delay,
                                         metrics=self.metrics,
                                         enabled=refresh_enabled)
@@ -161,6 +174,7 @@ class Testbed:
         kwargs.setdefault("streams", self.streams)
         kwargs.setdefault("tracer", self.tracer)
         kwargs.setdefault("collector", self.collector)
+        kwargs.setdefault("profiler", self.profiler)
         return FileSuiteClient(node.manager, config, **kwargs)
 
     def install(self, config: SuiteConfiguration, initial_data: bytes = b"",

@@ -148,12 +148,17 @@ class TransactionManager:
                  transport_attempts: int = 3,
                  collector: Optional["TraceCollector"] = None,
                  retry_policy: Optional["RetryPolicy"] = None,
-                 streams: Optional["RandomStreams"] = None) -> None:
+                 streams: Optional["RandomStreams"] = None,
+                 profiler: Optional[Any] = None) -> None:
         self.sim = sim
         self.endpoint = endpoint
         #: Optional observability: with a collector, each staged commit
         #: records one span per 2PC phase under the transaction's span.
         self.collector = collector
+        #: Optional :class:`~repro.perf.PhaseProfiler`; when wired, a
+        #: staged commit records "2pc.prepare" and "2pc.commit" phase
+        #: durations.
+        self.profiler = profiler
         self.call_timeout = call_timeout
         #: Retransmissions per RPC (same call id; servers are
         #: at-most-once, so this is safe).  One lost datagram then costs
@@ -219,8 +224,12 @@ class TransactionManager:
             return
 
         prepare_span = self._phase_span(txn, "2pc.prepare")
+        prepare_started = self.sim.now
         votes = yield from self._gather_votes(
             txn, trace=self._phase_ctx(prepare_span, txn))
+        if self.profiler is not None:
+            self.profiler.observe("2pc.prepare",
+                                  self.sim.now - prepare_started)
         failures = [(server, outcome) for server, ok, outcome in votes
                     if not ok]
         if failures:
@@ -245,8 +254,12 @@ class TransactionManager:
                      if outcome == VOTE_PREPARED]
         commit_span = self._phase_span(txn, "2pc.commit")
         commit_trace = self._phase_ctx(commit_span, txn)
+        commit_started = self.sim.now
         stragglers = yield from self._send_decision(
             txn.txn_id, to_commit, trace=commit_trace)
+        if self.profiler is not None:
+            self.profiler.observe("2pc.commit",
+                                  self.sim.now - commit_started)
         for server in stragglers:
             self._spawn_retry(txn.txn_id, server, "txn.commit",
                               trace=commit_trace)

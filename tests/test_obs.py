@@ -20,11 +20,11 @@ from repro.cli import main as cli_main
 from repro.core import make_configuration
 from repro.core.examples import example_configuration
 from repro.live import LoopbackCluster
-from repro.obs import (NOOP_SPAN, RingBufferSink, TraceCollector,
-                       TraceContext, breakdown, dumps_jsonl, fetch,
-                       group_traces, load_jsonl, parse_exposition,
-                       render_registry, render_trace, split_labels,
-                       summarize)
+from repro.obs import (NOOP_SPAN, JsonlSink, RingBufferSink,
+                       TraceCollector, TraceContext, breakdown,
+                       dumps_jsonl, fetch, group_traces, load_jsonl,
+                       parse_exposition, render_registry, render_trace,
+                       split_labels, summarize)
 from repro.sim.metrics import Histogram, MetricsRegistry
 from repro.sim.simulator import Simulator
 from repro.sim.trace import Tracer
@@ -102,6 +102,43 @@ class TestCollector:
         assert [span.name for span in collector.spans()] == ["op3", "op4"]
         sink.emit(collector.spans()[0])
         assert sink.dropped == 0
+
+    def test_jsonl_sink_owned_file_flushes_on_close(self, tmp_path):
+        # Regression: the sink opens (and therefore owns) the file when
+        # given a path; closing must flush buffered spans to disk and
+        # actually close the handle, and must be safe to call twice.
+        path = tmp_path / "spans.jsonl"
+        collector = TraceCollector(clock=lambda: 0.0, origin="p")
+        sink = JsonlSink(str(path))
+        collector.sinks.append(sink)
+        collector.start_trace("op").end()
+        sink.close()
+        assert sink.closed
+        sink.close()  # idempotent
+        sink.flush()  # no-op after close, never raises
+        loaded = load_jsonl(str(path))
+        assert [span.name for span in loaded] == ["op"]
+        with pytest.raises(ValueError):
+            sink.emit(collector.spans()[0])
+
+    def test_jsonl_sink_context_manager(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        collector = TraceCollector(clock=lambda: 0.0, origin="p")
+        with JsonlSink(str(path)) as sink:
+            collector.sinks.append(sink)
+            collector.start_trace("a").end()
+            collector.start_trace("b").end()
+        assert sink.closed
+        assert [span.name for span in load_jsonl(str(path))] == ["a", "b"]
+
+    def test_jsonl_sink_leaves_caller_handle_open(self):
+        handle = io.StringIO()
+        collector = TraceCollector(clock=lambda: 0.0)
+        with JsonlSink(handle) as sink:
+            collector.sinks.append(sink)
+            collector.start_trace("op").end()
+        assert not handle.closed  # caller owns its handle's lifetime
+        assert len(load_jsonl(io.StringIO(handle.getvalue()))) == 1
 
     def test_jsonl_roundtrip(self):
         collector = TraceCollector(clock=lambda: 1.5, origin="x")
@@ -449,3 +486,73 @@ class TestTimelineAndCli:
         assert cli_main(["metrics", "--port", "1",
                          "--timeout", "0.5"]) == 1
         assert "cannot scrape" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Timeline edge cases
+# ---------------------------------------------------------------------------
+
+class TestTimelineEdges:
+    def _collector(self, origin=""):
+        clock = iter(range(1000))
+        return TraceCollector(clock=lambda: float(next(clock)),
+                              origin=origin)
+
+    def test_render_empty_span_set(self):
+        assert render_trace([]) == "(no spans)"
+        assert summarize([]) == []
+        assert breakdown([]) == {}
+
+    def test_orphan_spans_are_marked_not_dropped(self):
+        # A child whose parent's process was not merged into the export:
+        # it must still render, flagged, under the orphan marker.
+        collector = self._collector(origin="server")
+        remote = TraceContext(trace_id="client-t1", span_id="client-s1")
+        orphan = collector.start_span("rpc.serve", parent=remote,
+                                      kind="server")
+        orphan.end()
+        text = render_trace(collector.spans())
+        assert "(parent span not in this export:)" in text
+        assert "rpc.serve" in text
+        # The summary still reports the trace, with unknown root facts.
+        (summary,) = summarize(collector.spans())
+        assert summary.trace_id == "client-t1"
+        assert summary.root_name == "?"
+        assert summary.span_count == 1
+
+    def test_multi_origin_merge_via_load_jsonl(self, tmp_path):
+        # Client and server each export their own JSONL file; merging
+        # the two reassembles one stitched trace with resolvable links.
+        client = self._collector(origin="client")
+        root = client.start_trace("suite.write", kind="client")
+        rpc = client.start_span("rpc.stage", parent=root, kind="client")
+
+        server = self._collector(origin="server")
+        serve = server.start_span("rpc.serve", parent=rpc.context,
+                                  kind="server")
+        serve.end()
+        rpc.end()
+        root.end()
+
+        client_path = tmp_path / "client.jsonl"
+        server_path = tmp_path / "server.jsonl"
+        client.export_jsonl(str(client_path))
+        server.export_jsonl(str(server_path))
+
+        merged = load_jsonl(str(client_path)) + load_jsonl(
+            str(server_path))
+        traces = group_traces(merged)
+        assert set(traces) == {root.trace_id}
+        members = traces[root.trace_id]
+        assert len(members) == 3
+        ids = {span.span_id for span in members}
+        assert all(span.parent_id in ids for span in members
+                   if span.parent_id is not None)
+        text = render_trace(members)
+        # Fully stitched: no orphan marker, server span nested under the
+        # client RPC at depth 2.
+        assert "(parent span not in this export:)" not in text
+        assert "@server" in text and "@client" in text
+        (summary,) = summarize(members)
+        assert summary.root_name == "suite.write"
+        assert summary.span_count == 3
