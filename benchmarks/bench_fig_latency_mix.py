@@ -36,8 +36,11 @@ def analytic_rows():
 
 
 def simulated_mean(example: int, fraction: float) -> float:
+    # Pinned to the literal two-trip read, like T1: the point here is
+    # to track the paper's analytic arithmetic, which assumes it.  The
+    # single-trip fast path is measured in bench_fig_read_fastpath.py.
     bed, config = example_testbed(example)
-    suite = bed.install(config, example_data())
+    suite = bed.install(config, example_data(), read_fastpath=False)
     driver = ClosedLoopDriver(
         bed.sim, suite, OperationMix(read_fraction=fraction),
         payload=PayloadShape(size=len(example_data()), fill=b"w"),

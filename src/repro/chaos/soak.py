@@ -66,6 +66,13 @@ class SoakConfig:
     mean_interval: float = 1_000.0
     max_down: Optional[int] = None       # default (reps - 1) // 2
 
+    # Read fast path: on by default (the production default); a soak
+    # may turn it off to exercise the legacy two-trip path, or set
+    # ``read_max_bytes`` below the payload size so every piggyback is
+    # truncated and the fallback runs under chaos.
+    read_fastpath: bool = True
+    read_max_bytes: Optional[int] = None   # None → the suite default
+
     # Client aggressiveness.  Short timeouts keep a loopback soak brisk;
     # generous attempt counts let operations ride out crash windows.
     call_timeout: float = 300.0
@@ -222,10 +229,14 @@ def _one_write(suite, clock, index: int, history: List[OpRecord],
 
 
 def _suite_kwargs(config: SoakConfig) -> Dict[str, Any]:
-    return {"inquiry_timeout": config.inquiry_timeout,
-            "data_timeout": config.data_timeout,
-            "max_attempts": config.max_attempts,
-            "retry_backoff": config.retry_backoff}
+    kwargs = {"inquiry_timeout": config.inquiry_timeout,
+              "data_timeout": config.data_timeout,
+              "max_attempts": config.max_attempts,
+              "retry_backoff": config.retry_backoff,
+              "read_fastpath": config.read_fastpath}
+    if config.read_max_bytes is not None:
+        kwargs["read_max_bytes"] = config.read_max_bytes
+    return kwargs
 
 
 # ---------------------------------------------------------------------------

@@ -176,8 +176,13 @@ def message_cost(config: SuiteConfiguration) -> Dict[str, int]:
     """Messages per operation in the happy path (request + reply each).
 
     * **read** — a version inquiry to every representative (weak ones
-      included: they are read candidates), one data transfer, and a
-      lock-release prepare to every polled server.
+      included: they are read candidates) and a lock-release prepare to
+      every polled server; the data rides the cheapest
+      representative's inquiry reply (the single-round-trip fast
+      path), so no separate transfer appears in the count.
+    * **read_fallback** — the legacy two-trip read (fast path off,
+      piggyback target stale or reply truncated): the same messages
+      plus one dedicated data request + reply.
     * **write** — an exclusive inquiry to every voting representative,
       data staged at the cheapest write quorum, then two-phase commit:
       phase 1 to every participant, phase 2 to the quorum that staged.
@@ -189,9 +194,10 @@ def message_cost(config: SuiteConfiguration) -> Dict[str, int]:
     voting = len(config.voting)
     total = len(config.representatives)
     quorum = len(cheapest_quorum(config.voting, config.write_quorum))
-    read = 2 * total + 2 + 2 * total
+    read = 2 * total + 2 * total
+    read_fallback = read + 2
     write = 2 * voting + 2 * quorum + 2 * voting + 2 * quorum
-    return {"read": read, "write": write}
+    return {"read": read, "read_fallback": read_fallback, "write": write}
 
 
 def availability_sweep(config: SuiteConfiguration,

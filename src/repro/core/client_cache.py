@@ -3,9 +3,11 @@
 The paper notes that a weak representative can live anywhere the data
 is useful — including in a workstation's own memory as a *temporary*
 copy.  :class:`CachingSuiteClient` implements exactly that: it keeps
-the last data it observed and, on a read, performs only the (cheap)
-version-number inquiry; when the cached version is still current the
-data transfer is skipped entirely.
+the last data it observed and, on a read, offers its version to the
+inquiry (the fast path's ``skip_version``).  When the cached version is
+still current, the data transfer is skipped entirely — and when it is
+stale, the current bytes ride back on the same inquiry reply, so a
+cache *miss* costs one round trip, not an inquiry plus a data fetch.
 
 Consistency is identical to a normal read: the inquiry takes shared
 locks on a read quorum, so the moment it completes the cached value is
@@ -42,27 +44,30 @@ class CachingSuiteClient(FileSuiteClient):
 
     # ------------------------------------------------------------------
 
-    def read(self) -> Generator[Any, Any, ReadResult]:
-        """Read, serving the data locally when the cache is current."""
-        if not self.cache_enabled or self._cached is None:
-            result = yield from super().read()
-            self._store(result.version, result.data)
-            return result
+    def _read_cache(self) -> Optional[Tuple[int, bytes]]:
+        # Consulted by FileSuiteClient._read_once: the read serves
+        # from here (served_by "client-cache") whenever the inquiry
+        # proves this version current, and passes the version as
+        # ``skip_version`` so a current copy is never re-shipped.
+        return self._cached if self.cache_enabled else None
 
-        cached_version, cached_data = self._cached
-        started = self.sim.now
-        current = yield from self.current_version()
-        if current == cached_version:
-            self.metrics.counter("cache.hits").increment()
-            self.metrics.counter("suite.reads").increment()
-            self.metrics.histogram("suite.read_latency").observe(
-                self.sim.now - started)
-            return ReadResult(data=cached_data, version=cached_version,
-                              served_by="client-cache", quorum=[],
-                              stale=[])
-        self.metrics.counter("cache.misses").increment()
+    def read(self) -> Generator[Any, Any, ReadResult]:
+        """Read, serving the data locally when the cache is current.
+
+        Unlike the pre-fast-path implementation, a cache hit is not a
+        separate code path: the base read performs the inquiry, decides
+        currency, and fills in the quorum membership, observed versions
+        and attempt count either way — so a hit's :class:`ReadResult`
+        carries the same invariant-checking evidence as any other read.
+        """
+        had_cache = self.cache_enabled and self._cached is not None
         result = yield from super().read()
-        self._store(result.version, result.data)
+        if result.served_by == "client-cache":
+            self.metrics.counter("cache.hits").increment()
+        else:
+            if had_cache:
+                self.metrics.counter("cache.misses").increment()
+            self._store(result.version, result.data)
         return result
 
     def write(self, data: bytes) -> Generator[Any, Any, WriteResult]:

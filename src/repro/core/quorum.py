@@ -99,7 +99,12 @@ def quorum_latency(reps: Sequence[Representative], threshold: int,
     """Latency of the cheapest quorum (max over its members)."""
     quorum = cheapest_quorum(reps, threshold, cost=latency)
     if latency is not None:
-        return max(latency[rep.rep_id] for rep in quorum)
+        # Same default as cheapest_quorum's cost_of: a representative
+        # absent from the map costs infinity.  Indexing directly here
+        # used to raise KeyError on partial maps, because the selection
+        # above happily picks an unmapped representative when the
+        # mapped ones cannot reach the threshold.
+        return max(latency.get(rep.rep_id, float("inf")) for rep in quorum)
     return max(rep.latency_hint for rep in quorum)
 
 

@@ -12,6 +12,15 @@ quorum.  Read the data from the cheapest representative that is current
 — which may be a zero-vote **weak representative** (a cache), since
 currency, not votes, qualifies a representative to serve data.
 
+The inquiry and the data fetch are collapsed into **one round trip**
+by default: the cheapest polled representative is asked to piggyback
+the file contents onto its stat reply (``read_data=True``), and when
+that reply turns out to be current the follow-up ``txn.read`` is
+skipped.  The fallback to the literal two-trip sequence — piggyback
+target stale, down, or over the ``read_max_bytes`` ceiling, or a
+``for_update`` read that stages a write next — keeps behaviour
+otherwise identical (``read_fastpath=False`` disables the path).
+
 **Write** — poll voting representatives (exclusive locks) until ``w``
 votes have answered, compute ``new version = current + 1``, stage the
 new data at a cheapest write quorum, and commit via two-phase commit so
@@ -34,7 +43,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Dict, Generator, List, Optional,
-                    Sequence)
+                    Sequence, Tuple)
 
 from ..chaos.retry import RetryPolicy
 from ..errors import (DeadlockError, HostUnreachableError, LockTimeoutError,
@@ -76,6 +85,11 @@ class ReadResult:
     #: Version each responding representative reported in the inquiry —
     #: the raw material for external invariant checking.
     observed: Dict[str, int] = field(default_factory=dict)
+    #: Configuration-adoption retries this operation absorbed (a
+    #: representative's stamp revealed a newer configuration mid-flight).
+    #: Counted separately from ``attempts`` because adopting a config is
+    #: progress, not failure — but traces need the true attempt count.
+    config_refreshes: int = 0
 
 
 @dataclass
@@ -87,6 +101,7 @@ class WriteResult:
     stale: List[str]                    # reps left behind (refresh targets)
     attempts: int = 1
     observed: Dict[str, int] = field(default_factory=dict)
+    config_refreshes: int = 0
 
 
 class FileSuiteClient:
@@ -105,6 +120,8 @@ class FileSuiteClient:
                  data_timeout: float = 5_000.0,
                  max_attempts: int = 4,
                  retry_backoff: float = 50.0,
+                 read_fastpath: bool = True,
+                 read_max_bytes: int = 64 * 1024,
                  refresher: Optional["BackgroundRefresher"] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  streams: Optional[RandomStreams] = None,
@@ -125,6 +142,18 @@ class FileSuiteClient:
         self.data_timeout = data_timeout
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
+        #: Single-round-trip read fast path: ask the cheapest inquiry
+        #: target to piggyback the file contents onto its ``txn.stat``
+        #: reply, skipping the follow-up ``txn.read`` when that reply
+        #: turns out to be current.  The shared lock the inquiry takes
+        #: already covers the read, so consistency is untouched —
+        #: ``read_fastpath=False`` restores the paper's literal
+        #: two-trip sequence (used by the paper-table benchmarks).
+        self.read_fastpath = read_fastpath
+        #: Per-read ceiling on piggybacked data; files larger than this
+        #: arrive via the legacy ``txn.read`` path instead (the server
+        #: marks the reply ``truncated`` without spending page I/O).
+        self.read_max_bytes = read_max_bytes
         self.refresher = refresher
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or Tracer(manager.sim, enabled=False)
@@ -171,6 +200,8 @@ class FileSuiteClient:
         span.set_attr("version", result.version)
         span.set_attr("served_by", result.served_by)
         span.set_attr("attempts", result.attempts)
+        if result.config_refreshes:
+            span.set_attr("config_refreshes", result.config_refreshes)
         span.end()
         self.metrics.counter("suite.reads").increment()
         self.metrics.histogram("suite.read_latency").observe(
@@ -190,6 +221,8 @@ class FileSuiteClient:
             raise
         span.set_attr("version", result.version)
         span.set_attr("attempts", result.attempts)
+        if result.config_refreshes:
+            span.set_attr("config_refreshes", result.config_refreshes)
         span.end()
         self.metrics.counter("suite.writes").increment()
         self.metrics.histogram("suite.write_latency").observe(
@@ -256,38 +289,74 @@ class FileSuiteClient:
     def _read_once(self, txn: Transaction, for_update: bool = False,
                    ) -> Generator[Any, Any, ReadResult]:
         config = self.config
+        started = self.sim.now
         if for_update:
             threshold = max(config.read_quorum, config.write_quorum)
             mode = EXCLUSIVE
         else:
             threshold = config.read_quorum
             mode = SHARED
+        cached = self._read_cache()
+        # ``for_update`` reads stage a write next, so the exclusive
+        # inquiry + separate read is kept as-is; everything else rides
+        # the fast path.
+        fastpath = self.read_fastpath and not for_update
         gathered = yield from self._inquire(
-            txn, threshold, mode=mode, include_weak=not for_update)
+            txn, threshold, mode=mode, include_weak=not for_update,
+            read_data=fastpath,
+            skip_version=cached[0] if cached is not None else None)
         current = self._current_version_from(gathered)
 
-        candidates = sorted(
-            (rep for rep, stat in gathered.successes.items()
-             if stat["version"] == current),
-            key=lambda rep: (rep.latency_hint, rep.rep_id))
         stale = [rep for rep, stat in gathered.successes.items()
                  if stat["version"] < current]
 
         data: Optional[bytes] = None
         served_by = ""
-        for rep in candidates:
-            try:
-                data, version = yield txn.call(
-                    rep.server, "txn.read", name=config.file_name,
-                    timeout=self.data_timeout)
-            except RETRYABLE:
-                continue
-            served_by = rep.rep_id
-            if rep.weak:
-                self.metrics.counter("suite.weak_reads").increment()
-            break
+        if cached is not None and cached[0] == current:
+            # The inquiry proved the client-resident copy current (the
+            # shared read-quorum locks make this the same argument that
+            # lets any weak representative serve a read) — no data
+            # needs to move at all.
+            data = cached[1]
+            served_by = "client-cache"
+            self._observe_read_path("cached", started)
+        if data is None and fastpath:
+            bearing = sorted(
+                (rep for rep, stat in gathered.successes.items()
+                 if stat.get("data") is not None
+                 and stat["version"] == current),
+                key=lambda rep: (rep.latency_hint, rep.rep_id))
+            if bearing:
+                rep = bearing[0]
+                data = gathered.successes[rep]["data"]
+                served_by = rep.rep_id
+                if rep.weak:
+                    self.metrics.counter("suite.weak_reads").increment()
+                self._observe_read_path("fastpath", started)
+            elif any(stat.get("truncated")
+                     for stat in gathered.successes.values()):
+                self.metrics.counter("suite.read_truncated").increment()
         if data is None:
-            raise QuorumUnavailableError("read-data", 1, 0)
+            # Legacy two-trip path: the piggyback target was stale,
+            # truncated, down — or the fast path is off entirely.
+            candidates = sorted(
+                (rep for rep, stat in gathered.successes.items()
+                 if stat["version"] == current),
+                key=lambda rep: (rep.latency_hint, rep.rep_id))
+            for rep in candidates:
+                try:
+                    data, version = yield txn.call(
+                        rep.server, "txn.read", name=config.file_name,
+                        timeout=self.data_timeout)
+                except RETRYABLE:
+                    continue
+                served_by = rep.rep_id
+                if rep.weak:
+                    self.metrics.counter("suite.weak_reads").increment()
+                break
+            if data is None:
+                raise QuorumUnavailableError("read-data", 1, 0)
+            self._observe_read_path("fallback", started)
 
         self._schedule_refresh(stale, current)
         quorum_ids = [rep.rep_id for rep in gathered.successes
@@ -345,13 +414,42 @@ class FileSuiteClient:
                                      for rep, stat
                                      in gathered.successes.items()})
 
+    def _read_cache(self) -> Optional[Tuple[int, bytes]]:
+        """Hook for client-resident caches: ``(version, data)`` or None.
+
+        When a subclass (:class:`~repro.core.client_cache.
+        CachingSuiteClient`) returns a cached copy, the read's inquiry
+        passes its version as ``skip_version`` — the piggyback target
+        then omits the data when the cache is already current, so a
+        cache *hit* moves only inquiry-sized messages and a cache
+        *miss* still completes in the same single round trip.
+        """
+        return None
+
+    def _observe_read_path(self, path: str, started: float) -> None:
+        """Count which read path served, and time it when profiling."""
+        self.metrics.counter(f"suite.read_{path}").increment()
+        if self.profiler is not None:
+            self.profiler.observe(f"read.{path}", self.sim.now - started)
+
     def _inquire(self, txn: Transaction, threshold: int, mode: str,
-                 include_weak: bool) -> Generator[Any, Any, GatherResult]:
+                 include_weak: bool, read_data: bool = False,
+                 skip_version: Optional[int] = None,
+                 ) -> Generator[Any, Any, GatherResult]:
         """Version-number inquiry until ``threshold`` votes respond.
 
         Weak representatives are polled too on reads (their answers are
         free candidates for serving the data) but never counted toward
         the quorum.
+
+        With ``read_data=True`` exactly one representative — the
+        cheapest admitted one by latency hint, i.e. the one the legacy
+        path would fetch the data from anyway — is asked to piggyback
+        the file contents onto its stat reply (bounded by
+        :attr:`read_max_bytes`; a copy at ``skip_version`` sends no
+        data).  Only one target keeps the paper's "data moves once"
+        economy: broadcasting the request would multiply the bulk
+        transfer by the representative count.
         """
         config = self.config
         started = self.sim.now
@@ -379,11 +477,27 @@ class FileSuiteClient:
                 vetoed.append(rep)
                 continue
             admitted.append(rep)
+        # The piggyback target: the cheapest admitted representative by
+        # latency hint — exactly the one the legacy path would issue
+        # its follow-up ``txn.read`` to when every copy is current.
+        data_rep: Optional[Representative] = None
+        if read_data and admitted:
+            data_rep = min(admitted,
+                           key=lambda rep: (rep.latency_hint, rep.rep_id))
         calls = {}
 
         def enough(successes, failures):
             votes = sum(rep.votes for rep in successes)
             if votes < threshold:
+                return False
+            settled = set(successes) | set(failures)
+            if data_rep is not None and data_rep not in settled:
+                # The piggybacked reply *is* the read's payload (it is
+                # bigger than the other stats, so on a bandwidth-bound
+                # link it lands last): returning the moment the votes
+                # arrive would discard that transfer and pay a second
+                # data trip.  A dead target settles at its inquiry
+                # timeout and the read falls back.
                 return False
             if not include_weak:
                 return True
@@ -391,7 +505,6 @@ class FileSuiteClient:
             # voting candidate is worth waiting for — serving the data
             # from it is the whole point of caching.  Weak reps slower
             # than the best candidate never delay the read.
-            settled = set(successes) | set(failures)
             best_voting = min((rep.latency_hint for rep in successes
                                if rep.votes > 0), default=float("inf"))
             for rep in calls:
@@ -422,9 +535,15 @@ class FileSuiteClient:
                 rep_mode = SHARED if rep.weak else mode
                 timeout = (self.weak_inquiry_timeout if rep.weak
                            else self.inquiry_timeout)
+                extra: Dict[str, Any] = {}
+                if rep is data_rep:
+                    extra = {"read_data": True,
+                             "max_bytes": self.read_max_bytes,
+                             "skip_version": skip_version}
                 calls[rep] = txn.call(rep.server, "txn.stat",
                                       name=config.file_name,
-                                      mode=rep_mode, timeout=timeout)
+                                      mode=rep_mode, timeout=timeout,
+                                      **extra)
             gathered = yield from gather_until(self.sim, calls, enough)
             self.metrics.histogram("suite.quorum_wait").observe(
                 self.sim.now - started)
@@ -538,11 +657,15 @@ class FileSuiteClient:
     def _with_retries(self, operation, *args,
                       span=NOOP_SPAN) -> Generator[Any, Any, Any]:
         last_error: Optional[BaseException] = None
-        attempts = 0
-        config_refreshes = 0
+        attempts = 0            # retryable failures (bounds the loop)
+        config_refreshes = 0    # configuration adoptions (bounded at 3)
+        total_attempts = 0      # every transaction begun — the number
+        #                         traces and results report, so a
+        #                         config-adoption retry is not invisible
         while attempts < self.max_attempts:
             txn = self.manager.begin()
             txn.span = span
+            total_attempts += 1
             try:
                 result = yield from operation(txn, *args)
                 yield from txn.commit()
@@ -577,7 +700,8 @@ class FileSuiteClient:
                 yield from txn.abort()
                 raise
             if isinstance(result, (ReadResult, WriteResult)):
-                result.attempts = attempts + 1
+                result.attempts = total_attempts
+                result.config_refreshes = config_refreshes
             return result
         self.metrics.counter("suite.failures").increment()
         raise last_error if last_error is not None else \

@@ -31,10 +31,18 @@ from ..storage.server import StorageServer
 from ..storage.stable import CarefulStore, StableStore
 from ..txn.participant import TransactionParticipant
 from .runtime import LiveHost, LiveKernel
-from .transport import TransportNode
+from .transport import MAX_FRAME_BYTES, TransportNode
 
 #: On-disk slot layout: 4-byte big-endian payload length + page bytes.
 _SLOT_HEADER = 4
+
+#: Ceiling on data piggybacked onto ``txn.stat`` replies (the read
+#: fast path).  The JSON frame codec base64-expands bytes by 4/3 and
+#: adds envelope overhead, so cap the raw payload well under the
+#: transport's frame limit: 3/8 of it leaves the encoded reply at most
+#: half a frame.  Clients may ask for less via ``max_bytes``; they can
+#: never get more.
+STAT_DATA_CEILING = 3 * MAX_FRAME_BYTES // 8
 
 
 class FilePageStore(PageStore):
@@ -183,7 +191,8 @@ class LiveStorageServer:
         self.host.dispatch = self.endpoint.dispatch_message
         self.participant = TransactionParticipant(
             self.server, lock_timeout=lock_timeout,
-            idle_abort_after=idle_abort_after, metrics=self.metrics)
+            idle_abort_after=idle_abort_after, metrics=self.metrics,
+            max_stat_bytes=STAT_DATA_CEILING)
         self.participant.register_handlers(self.endpoint)
         self.obs_httpd = ObsHttpServer({
             "/metrics": self._render_metrics,

@@ -37,6 +37,16 @@ class Reply:
     ``ok`` distinguishes a successful result from a remote exception.
     For failures, ``error_type`` carries the exception class name so the
     client can re-raise a typed error, and ``error_detail`` the message.
+
+    ``value`` is method-defined and may be *bulk*: a ``txn.stat``
+    request carrying ``read_data=True`` answers with a dict that also
+    holds the file's ``data`` bytes (the single-round-trip read fast
+    path), so a reply is no longer guaranteed to be inquiry-sized.
+    Both transports already account for that — the simulated network
+    charges per-byte transmission time via ``estimate_size`` and the
+    live codec frames byte payloads wherever they appear — but anything
+    reasoning about message sizes (accounting tests, frame limits)
+    must treat stat replies as potentially data-bearing.
     """
 
     call_id: int

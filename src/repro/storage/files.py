@@ -237,6 +237,27 @@ class FileSystem:
             raise NoSuchFileError(name)
         return self._read_file_op(name)
 
+    def read_file_limited(self, name: str, max_bytes: float) -> FsOp:
+        """Like :meth:`read_file`, but bounded by ``max_bytes``.
+
+        Returns ``None`` instead of ``(data, version)`` when the file
+        is larger than ``max_bytes``.  The decision comes from the
+        in-memory directory (``length``), so an over-limit file costs
+        no page I/O at all — this is what lets a version inquiry offer
+        to piggyback the data without risking an unbounded transfer.
+        """
+        self._require_mounted()
+        stat = self._entries.get(name)
+        if stat is None:
+            raise NoSuchFileError(name)
+        if stat.length > max_bytes:
+            return self._skip_read_op()
+        return self._read_file_op(name)
+
+    def _skip_read_op(self) -> FsOp:
+        return None
+        yield  # pragma: no cover - makes this a generator
+
     def _read_file_op(self, name: str) -> FsOp:
         stat = self._entries[name]
         parts: List[bytes] = []

@@ -132,6 +132,20 @@ class StorageServer:
         result = yield from self.execute(self.fs.read_file(name))
         return result
 
+    def read_file_limited(self, name: str, max_bytes: float,
+                          ) -> Generator[Any, Any,
+                                         Optional[Tuple[bytes, int]]]:
+        """Timed bounded read; ``None`` when the file exceeds the limit.
+
+        The size check is answered from the in-memory directory, so a
+        refusal costs no disk time — only an accepted read pays the
+        per-page charges.
+        """
+        self._require_up()
+        result = yield from self.execute(
+            self.fs.read_file_limited(name, max_bytes))
+        return result
+
     def write_file(self, name: str, data: bytes, version: int,
                    properties: Optional[Dict[str, Any]] = None,
                    create: bool = False) -> Generator[Any, Any, None]:

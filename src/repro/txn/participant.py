@@ -59,12 +59,20 @@ class TransactionParticipant:
     def __init__(self, server: StorageServer,
                  lock_timeout: Optional[float] = None,
                  idle_abort_after: Optional[float] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_stat_bytes: Optional[int] = None) -> None:
         self.server = server
         self.sim = server.sim
         #: Optional observability: per-file version-lag gauges, exposed
         #: by the live daemon's /metrics endpoint.
         self.metrics = metrics
+        #: Server-side ceiling on data piggybacked onto ``txn.stat``
+        #: replies (``read_data=True``): whatever limit the client
+        #: requests is additionally clamped to this, so a transport
+        #: with a hard frame size (the live runtime's length-prefixed
+        #: JSON frames) can never be asked to encode an oversized
+        #: reply.  ``None`` means no server-side ceiling.
+        self.max_stat_bytes = max_stat_bytes
         self.locks = LockManager(server.sim, name=server.name,
                                  default_timeout=lock_timeout)
         self._active: Dict[TransactionId, _Scratch] = {}
@@ -126,8 +134,11 @@ class TransactionParticipant:
         return self.server.stat(name).version
 
     def stat(self, txn: str, name: str, mode: str = SHARED,
-             detail: bool = False) -> Generator[Any, Any, Dict[str, Any]]:
-        """Version inquiry under a lock.
+             detail: bool = False, read_data: bool = False,
+             max_bytes: Optional[int] = None,
+             skip_version: Optional[int] = None,
+             ) -> Generator[Any, Any, Dict[str, Any]]:
+        """Version inquiry under a lock, optionally carrying the data.
 
         This is the suite's *version number inquiry*: by default it
         moves only the version number and the small ``stamp`` property
@@ -138,24 +149,64 @@ class TransactionParticipant:
         inquire with ``mode="X"`` so the exclusive lock is taken up
         front, avoiding shared→exclusive upgrade deadlocks between two
         concurrent writers at the same representative.
+
+        ``read_data=True`` asks this representative to piggyback the
+        file contents onto the reply (the single-round-trip read fast
+        path): the lock the inquiry takes already covers the read, so
+        the reply gains a ``data`` key and the client can skip the
+        follow-up ``txn.read`` entirely.  Two guards keep the reply
+        bounded:
+
+        * ``max_bytes`` (clamped to :attr:`max_stat_bytes`) — a file
+          larger than the limit is *not* read (no page I/O is spent on
+          it); the reply carries ``truncated: True`` instead and the
+          client falls back to the two-trip path;
+        * ``skip_version`` — when the copy's version equals it, the
+          client already holds these bytes (a client cache), so the
+          data is omitted and the reply stays inquiry-sized.
         """
         txn_id = TransactionId.parse(txn)
         scratch = self._scratch(txn_id)
         staged = scratch.intentions.get(name)
+        data: Optional[bytes] = None
+        truncated = False
         if staged is not None:
             if staged.delete:
                 raise NoSuchFileError(name)
             properties = staged.properties or {}
             version = staged.version
+            if read_data and version != skip_version:
+                if len(staged.data) <= self._stat_data_limit(max_bytes):
+                    data = staged.data
+                else:
+                    truncated = True
         else:
             yield self.locks.acquire(txn_id, name, mode)
             info = self.server.stat(name)
             properties = info.properties
             version = info.version
+            if read_data and version != skip_version:
+                fetched = yield from self.server.read_file_limited(
+                    name, self._stat_data_limit(max_bytes))
+                if fetched is not None:
+                    data, version = fetched
+                else:
+                    truncated = True
         result = {"version": version, "stamp": properties.get("stamp", 0)}
+        if data is not None:
+            result["data"] = data
+        if truncated:
+            result["truncated"] = True
         if detail:
             result["properties"] = properties
         return result
+
+    def _stat_data_limit(self, max_bytes: Optional[int]) -> float:
+        """Effective piggyback ceiling: client request ∧ server cap."""
+        limit = float("inf") if max_bytes is None else float(max_bytes)
+        if self.max_stat_bytes is not None:
+            limit = min(limit, float(self.max_stat_bytes))
+        return limit
 
     def stage_write(self, txn: str, name: str, data: bytes, version: int,
                     properties: Optional[Dict[str, Any]] = None,

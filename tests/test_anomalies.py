@@ -32,9 +32,9 @@ def force_quorums(config: SuiteConfiguration, read_quorum: int,
 class SingleRepInquiryClient(FileSuiteClient):
     """BROKEN ON PURPOSE: accepts the first inquiry response as truth."""
 
-    def _inquire(self, txn, threshold, mode, include_weak):
+    def _inquire(self, txn, threshold, mode, include_weak, **kwargs):
         return super()._inquire(txn, threshold=1, mode=mode,
-                                include_weak=include_weak)
+                                include_weak=include_weak, **kwargs)
 
 
 class TestSingleRepInquiry:

@@ -83,6 +83,53 @@ class TestCacheBehaviour:
         with pytest.raises(QuorumUnavailableError):
             bed.run(cached.read())
 
+    def test_cache_hit_result_carries_quorum_evidence(self, bed, cached):
+        """Regression: a cache hit used to report an empty quorum, an
+        empty observed map and a default attempt count, as if no
+        inquiry had happened.  The currency check *is* a full version
+        inquiry, and the result must say so."""
+        bed.run(cached.read())
+        result = bed.run(cached.read())
+        assert result.served_by == "client-cache"
+        assert result.attempts == 1
+        assert len(result.quorum) >= cached.config.read_quorum
+        assert result.observed
+        assert all(version == result.version
+                   for version in result.observed.values())
+        assert set(result.quorum) <= set(result.observed)
+
+    def test_cache_miss_resolves_in_one_trip(self):
+        """A miss costs one data-bearing round: the inquiry that
+        detected the stale copy also piggybacked the fresh bytes, so no
+        separate ``txn.read`` follows."""
+        from repro.rpc.messages import Request
+
+        bed = Testbed(servers=["s1", "s2", "s3"], seed=7,
+                      refresh_enabled=False)
+        config = triple_config()
+        bed.install(config, b"old")
+        client = CachingSuiteClient(bed.clients["client"].manager,
+                                    config, metrics=bed.metrics)
+        bed.run(client.read())                    # populate the cache
+        bed.run(bed.suite(config).write(b"fresh"))  # invalidate remotely
+        methods = []
+        original_send = bed.network.send
+
+        def counting_send(source, destination, payload):
+            if isinstance(payload, Request):
+                methods.append(payload.method)
+            original_send(source, destination, payload)
+
+        bed.network.send = counting_send
+        result = bed.run(client.read())
+        assert result.data == b"fresh"
+        assert result.served_by != "client-cache"
+        assert methods.count("txn.read") == 0
+        assert bed.metrics.counter("cache.misses").value == 1
+        # And the fresh copy warmed the cache again.
+        again = bed.run(client.read())
+        assert again.served_by == "client-cache"
+
     def test_cache_hit_is_cheaper_than_full_read(self, bed):
         """On a bandwidth-limited link the version inquiry is far
         cheaper than a data transfer."""

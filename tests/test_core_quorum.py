@@ -67,6 +67,23 @@ class TestCheapestQuorum:
         assert quorum_latency(group, 2) == 100.0
         assert quorum_latency(group, 3) == 750.0
 
+    def test_quorum_latency_with_explicit_map(self):
+        group = reps((1, 75.0), (1, 100.0), (1, 750.0))
+        latency = {"r0": 5.0, "r1": 7.0, "r2": 9.0}
+        assert quorum_latency(group, 2, latency=latency) == 7.0
+
+    def test_quorum_latency_partial_map_does_not_raise(self):
+        """Regression: a latency map missing some representatives used
+        to raise KeyError, because cheapest_quorum happily selects an
+        unmapped (infinite-cost) member when the mapped ones cannot
+        reach the threshold on their own."""
+        group = reps((1, 75.0), (1, 100.0), (1, 750.0))
+        # Only r0 is mapped, but a 2-vote quorum needs a second member.
+        assert quorum_latency(group, 2, latency={"r0": 5.0}) == \
+            float("inf")
+        # When the mapped members suffice, the answer stays finite.
+        assert quorum_latency(group, 1, latency={"r0": 5.0}) == 5.0
+
 
 class TestMinimalQuorums:
     def test_equal_votes(self):

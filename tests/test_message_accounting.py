@@ -35,9 +35,19 @@ class TestReadCosts:
         bed = quiet_bed
         suite = bed.install(triple_config(), b"x" * 1000)
         delta, _ = message_delta(bed, suite.read())
+        # 3 stat requests + 3 replies (the data rides the cheapest
+        # rep's reply: the fast path), 3 release-prepares + 3 acks = 12.
+        assert delta == message_cost(suite.config)["read"] == 12
+
+    def test_legacy_read_message_budget(self, quiet_bed):
+        """With the fast path off, the dedicated data trip reappears."""
+        bed = quiet_bed
+        suite = bed.install(triple_config(), b"x" * 1000,
+                            read_fastpath=False)
+        delta, _ = message_delta(bed, suite.read())
         # 3 stat requests + 3 replies, 1 read + 1 reply,
         # 3 release-prepares + 3 acks = 14.
-        assert delta == message_cost(suite.config)["read"] == 14
+        assert delta == message_cost(suite.config)["read_fallback"] == 14
 
     def test_only_one_data_transfer_per_read(self, quiet_bed):
         """However large the file, exactly one message carries it."""

@@ -17,7 +17,7 @@ import json
 import pytest
 
 from repro.cli import main as cli_main
-from repro.core import make_configuration
+from repro.core import change_configuration, make_configuration
 from repro.core.examples import example_configuration
 from repro.live import LoopbackCluster
 from repro.obs import (NOOP_SPAN, JsonlSink, RingBufferSink,
@@ -308,6 +308,34 @@ class TestTestbedTracing:
         assert bed.metrics.histogram("suite.quorum_wait").count >= 2
         sizes = bed.metrics.histogram("suite.quorum_size").samples
         assert sizes and all(size >= 2 for size in sizes)
+
+    def test_config_adoption_counted_in_attempts(self):
+        """Regression: a ``StaleConfigurationError`` restart used to
+        leave ``result.attempts`` at 1 and the trace silent — the
+        result claimed a one-shot read that actually ran two
+        transactions.  Both the result and the root span must count
+        the adoption round."""
+        bed = Testbed(servers=["s1", "s2", "s3"], obs=True)
+        suite = bed.install(make_config(), b"data")
+        bed.run(change_configuration(suite, make_config(r=1, w=3)))
+        bed.settle()
+        stale = bed.suite(make_config())
+        bed.collector.ring.clear()
+
+        result = bed.run(stale.read())
+        assert result.data == b"data"
+        assert stale.config.config_version == 2
+        assert result.attempts == 2
+        assert result.config_refreshes == 1
+
+        roots = [span for span in bed.collector.spans()
+                 if span.parent_id is None and span.name == "suite.read"]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.attrs["attempts"] == 2
+        assert root.attrs["config_refreshes"] == 1
+        assert any(event.name == "config.adopted"
+                   for event in root.events)
 
     def test_rpc_timeout_counters(self):
         bed = Testbed(servers=["s1", "s2", "s3"], call_timeout=100.0)
