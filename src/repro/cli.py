@@ -10,6 +10,7 @@ Subcommands::
     python -m repro demo                       # quickstart scenario
     python -m repro serve --name server-1      # live storage daemon
     python -m repro live-demo                  # quorum ops on real TCP
+    python -m repro cluster                    # sharded namespace demo
     python -m repro chaos --seed 1             # fault-injected soak
     python -m repro trace spans.jsonl          # per-operation timelines
     python -m repro metrics --port 9464        # scrape a daemon
@@ -549,6 +550,107 @@ def cmd_perf_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_report(cluster, stats, workload, plan, pre_table,
+                    post_table) -> None:
+    """Shared rendering for the sim and live cluster demos."""
+    spec = cluster.spec
+    print(f"\nplacement ({spec.suites} suites x {spec.replication} "
+          f"replicas over {spec.servers} servers):")
+    _print_rows(["server", "suites hosted"], pre_table)
+    print(f"\nworkload: {stats.operations} operations "
+          f"({stats.reads} reads, {stats.writes} writes, "
+          f"{stats.blocked} blocked)")
+    _print_rows(
+        ["metric", "ms"],
+        [("read p50", stats.read_p50), ("read p99", stats.read_p99),
+         ("write p50", stats.write_p50),
+         ("write p99", stats.write_p99)])
+    print(f"\nper-server quorum load "
+          f"(imbalance {stats.load_imbalance():.2f}):")
+    _print_rows(["server", "quorum touches"],
+                sorted(stats.per_server.items()))
+    hottest = ", ".join(f"{name} ({count} ops, rank "
+                        f"{workload.rank_of(name)})"
+                        for name, count in stats.hottest_suites(top=3))
+    print(f"hottest suites: {hottest}")
+    if plan is not None:
+        print(f"\njoin + rebalance: {plan.summary()}")
+        for name in sorted(plan.moves)[:3]:
+            was, now = plan.moves[name]
+            print(f"  {name}: {','.join(was)} -> {','.join(now)}")
+        if plan.moved_suites > 3:
+            print(f"  ... and {plan.moved_suites - 3} more")
+        print("placement after join:")
+        _print_rows(["server", "suites hosted"], post_table)
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Sharded multi-suite namespace demo: fleet, shards, Zipf load."""
+    from .cluster import ClusterSpec, LiveCluster, SimCluster
+    from .sim.rng import RandomStreams
+    from .workload import MultiTenantWorkload, OperationMix
+
+    spec = ClusterSpec(servers=args.servers, suites=args.suites,
+                       directory_shards=args.shards, seed=args.seed)
+
+    def make_workload(kernel, handles):
+        return MultiTenantWorkload(
+            kernel, handles,
+            mix=OperationMix(read_fraction=args.read_fraction),
+            interarrival=args.interarrival, clients=args.clients,
+            streams=RandomStreams(seed=args.seed))
+
+    if args.runtime == "sim":
+        cluster = SimCluster(spec).start()
+        print(f"simulated cluster: {spec.servers} servers, "
+              f"{spec.suites} suites, {spec.directory_shards} "
+              f"directory shards (seed {spec.seed})")
+        sizes = cluster.bed.run(cluster.namespace.shard_sizes())
+        print("directory shard sizes: " + ", ".join(
+            f"shard {index}: {count}" for index, count
+            in sorted(sizes.items())))
+        workload = make_workload(cluster.bed.sim, cluster.handles)
+        stats = cluster.bed.run(workload.run(args.arrivals))
+        pre = cluster.placement_table()
+        plan = post = None
+        if args.join:
+            plan = cluster.join_server(f"n{spec.servers + 1}")
+            post = cluster.placement_table()
+        _cluster_report(cluster, stats, workload, plan, pre, post)
+        return 0
+
+    async def _live() -> None:
+        async with LiveCluster(spec, obs=False) as cluster:
+            print(f"live cluster: {len(cluster.loopback.servers)} "
+                  f"storage daemons on loopback TCP (seed {spec.seed})")
+            for name, server in sorted(cluster.loopback.servers.items()):
+                host, port = server.address
+                print(f"  booted {name} on {host}:{port}")
+            sizes = await cluster.loopback.run(
+                cluster.namespace.shard_sizes())
+            print(f"{spec.suites} suites bound behind "
+                  f"{spec.directory_shards} directory shards: " +
+                  ", ".join(f"shard {index}: {count}"
+                            for index, count in sorted(sizes.items())))
+            workload = make_workload(cluster.loopback.client.kernel,
+                                     cluster.handles)
+            stats = await cluster.loopback.run(
+                workload.run(args.arrivals))
+            pre = cluster.placement_table()
+            plan = post = None
+            if args.join:
+                joined = f"n{spec.servers + 1}"
+                plan = await cluster.join_server(joined)
+                host, port = cluster.loopback.servers[joined].address
+                print(f"\nbooted {joined} on {host}:{port} and "
+                      f"rebalanced")
+                post = cluster.placement_table()
+            _cluster_report(cluster, stats, workload, plan, pre, post)
+
+    asyncio.run(_live())
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -628,6 +730,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="quorum reads/writes over real loopback TCP sockets")
     live_demo.add_argument("--seed", type=int, default=0)
     live_demo.set_defaults(handler=cmd_live_demo)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="sharded namespace over a server fleet, sim or live TCP")
+    cluster.add_argument("--runtime", choices=("live", "sim"),
+                         default="live")
+    cluster.add_argument("--servers", type=int, default=3)
+    cluster.add_argument("--suites", type=int, default=16)
+    cluster.add_argument("--shards", type=int, default=2)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--clients", type=int, default=40)
+    cluster.add_argument("--arrivals", type=int, default=2,
+                         help="open-loop arrivals per client")
+    cluster.add_argument("--read-fraction", type=float, default=0.9)
+    cluster.add_argument("--interarrival", type=float, default=10.0,
+                         help="mean ms between a client's arrivals")
+    cluster.add_argument("--join", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="grow the fleet by one server mid-demo "
+                              "and rebalance onto it")
+    cluster.set_defaults(handler=cmd_cluster)
 
     chaos = subparsers.add_parser(
         "chaos",

@@ -1,0 +1,28 @@
+"""Sharded multi-suite namespace over a scale-out server fleet.
+
+Three layers above the single-suite machinery:
+
+* :mod:`~repro.cluster.placement` — a deterministic consistent-hash
+  ring mapping suite names to server sets, with minimal-move rebalance
+  plans on membership change;
+* :mod:`~repro.cluster.namespace` — the directory tier sharded across
+  ``K`` weighted-voting suites with stateless client-side routing;
+* :mod:`~repro.cluster.harness` — one-call construction of the whole
+  deployment (fleet + shards + suites), simulated or live, plus the
+  server-join rebalance procedure.
+"""
+
+from .harness import (ClusterSpec, ClusterState, LiveCluster, SimCluster,
+                      bootstrap_cluster, join_server)
+from .namespace import (ShardedNamespace, is_shard_name,
+                        shard_configurations, shard_of, shard_suite_name)
+from .placement import (DEFAULT_VNODES, PlacementRing, RebalancePlan,
+                        plan_rebalance)
+
+__all__ = [
+    "ClusterSpec", "ClusterState", "DEFAULT_VNODES", "LiveCluster",
+    "PlacementRing", "RebalancePlan", "ShardedNamespace", "SimCluster",
+    "bootstrap_cluster", "is_shard_name", "join_server",
+    "plan_rebalance", "shard_configurations", "shard_of",
+    "shard_suite_name",
+]

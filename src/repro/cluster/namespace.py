@@ -1,0 +1,142 @@
+"""A sharded suite namespace: the directory tier, scaled out.
+
+One :class:`~repro.directory.SuiteDirectory` is a single replicated
+blob — fine for a workgroup, a bottleneck for millions of names (every
+bind serializes on one write quorum, every page carries every entry).
+This module splits the name → configuration map across ``K`` directory
+*shards*, each itself an ordinary weighted-voting file suite, so the
+paper's bootstrap loop ("the naming data is itself a replicated file")
+closes at scale: shard suites are placed on the same fleet by the same
+:class:`~repro.cluster.placement.PlacementRing`, replicate with the
+same quorum machinery, and repair staleness through the same stamp
+check on first contact.
+
+Routing is client-side and stateless: ``shard_of(name)`` is a keyed
+hash, so any client that knows ``K`` and the seed finds the right
+shard without asking anyone.  Directory traffic is read-dominant
+(binds happen at create/rebalance time, lookups on every cold open),
+so shards default to ``r = 1`` over a write-all quorum — the paper's
+knob turned all the way toward read availability; pass explicit
+quorums for a balanced assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from ..core.suite import FileSuiteClient
+from ..core.votes import SuiteConfiguration
+from ..directory.service import DirectoryError, SuiteDirectory
+from .placement import PlacementRing
+
+#: Directory shard suites live in the namespace's reserved prefix so a
+#: data suite can never collide with (or shadow) the metadata tier.
+SHARD_PREFIX = "__dir"
+
+
+def shard_suite_name(index: int) -> str:
+    """The reserved suite name of directory shard ``index``."""
+    return f"{SHARD_PREFIX}-{index}__"
+
+
+def is_shard_name(suite_name: str) -> bool:
+    return suite_name.startswith(SHARD_PREFIX)
+
+
+def shard_of(suite_name: str, num_shards: int, seed: int = 0) -> int:
+    """Which shard holds ``suite_name``'s binding (stable, keyed)."""
+    if num_shards < 1:
+        raise ValueError("need at least one directory shard")
+    digest = hashlib.sha256(f"{seed}:dirshard:{suite_name}".encode())
+    return int.from_bytes(digest.digest()[:8], "big") % num_shards
+
+
+def shard_configurations(ring: PlacementRing, num_shards: int,
+                         read_quorum: Optional[int] = None,
+                         write_quorum: Optional[int] = None,
+                         ) -> List[SuiteConfiguration]:
+    """Ring-placed configurations for all ``num_shards`` shard suites.
+
+    Defaults to ``r = 1`` / write-all over the placed servers: naming
+    traffic is overwhelmingly reads, and a read-any quorum keeps every
+    lookup one cheap inquiry even with most of a shard's servers down.
+    """
+    replication = ring.replication
+    return [
+        ring.configuration_for(
+            shard_suite_name(index),
+            read_quorum=read_quorum if read_quorum is not None else 1,
+            write_quorum=write_quorum if write_quorum is not None
+            else replication)
+        for index in range(num_shards)
+    ]
+
+
+class ShardedNamespace:
+    """Client-side router over ``K`` directory shards.
+
+    Holds one :class:`SuiteDirectory` handle per shard and routes each
+    name to its shard by keyed hash.  The surface mirrors
+    :class:`SuiteDirectory` — ``bind`` / ``unbind`` / ``lookup`` /
+    ``open_suite`` touch exactly one shard; ``list_suites`` fans out
+    across all of them and merges.
+    """
+
+    def __init__(self, shards: Sequence[SuiteDirectory],
+                 seed: int = 0) -> None:
+        if not shards:
+            raise ValueError("a namespace needs at least one shard")
+        self.shards = list(shards)
+        self.seed = seed
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, suite_name: str) -> int:
+        return shard_of(suite_name, self.num_shards, seed=self.seed)
+
+    def shard(self, suite_name: str) -> SuiteDirectory:
+        """The directory shard responsible for ``suite_name``."""
+        self._check_name(suite_name)
+        return self.shards[self.shard_index(suite_name)]
+
+    @staticmethod
+    def _check_name(suite_name: str) -> None:
+        if is_shard_name(suite_name):
+            raise DirectoryError(
+                f"{suite_name!r} is a reserved directory-shard name")
+
+    # -- the SuiteDirectory surface, routed --------------------------------
+
+    def bind(self, config: SuiteConfiguration, replace: bool = True,
+             ) -> Generator[Any, Any, None]:
+        yield from self.shard(config.suite_name).bind(config,
+                                                      replace=replace)
+
+    def unbind(self, suite_name: str) -> Generator[Any, Any, None]:
+        yield from self.shard(suite_name).unbind(suite_name)
+
+    def lookup(self, suite_name: str,
+               ) -> Generator[Any, Any, SuiteConfiguration]:
+        return (yield from self.shard(suite_name).lookup(suite_name))
+
+    def open_suite(self, suite_name: str, **suite_kwargs: Any,
+                   ) -> Generator[Any, Any, FileSuiteClient]:
+        return (yield from self.shard(suite_name).open_suite(
+            suite_name, **suite_kwargs))
+
+    def list_suites(self) -> Generator[Any, Any, List[str]]:
+        """All bound names across every shard, merged and sorted."""
+        names: List[str] = []
+        for shard in self.shards:
+            names.extend((yield from shard.list_suites()))
+        return sorted(names)
+
+    def shard_sizes(self) -> Generator[Any, Any, Dict[int, int]]:
+        """Entries per shard — the namespace's balance, observable."""
+        sizes: Dict[int, int] = {}
+        for index, shard in enumerate(self.shards):
+            sizes[index] = len((yield from shard.list_suites()))
+        return sizes

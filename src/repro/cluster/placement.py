@@ -1,0 +1,221 @@
+"""Consistent-hash placement of file suites across a server fleet.
+
+One suite = a handful of representatives; a production namespace holds
+millions of suites over many servers.  The :class:`PlacementRing` maps
+suite names onto servers the classic consistent-hashing way: every
+server projects ``vnodes`` points onto a 64-bit ring (each point a
+keyed hash of ``seed:server:index``), and a suite's representatives are
+the first ``replication`` *distinct* servers clockwise from the hash of
+its name.
+
+Two properties matter for this repository:
+
+* **Deterministic and seed-stable** — ring points are pure functions of
+  ``(seed, server name)``, never of insertion order or any process
+  state, so the same fleet and seed produce byte-identical layouts on
+  every run and every machine.  The F10 bench pins a checksum of the
+  whole placement map, gated by ``repro perf compare``.
+* **Minimal disruption on membership change** — when a server joins
+  (or leaves), only suites whose clockwise walk now meets (or loses)
+  that server move; :func:`plan_rebalance` enumerates exactly those
+  moves so the harness can reconfigure each affected suite via the
+  paper's own machinery (a reconfiguration is *just a write* under the
+  old quorums, see :mod:`repro.core.reconfig`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.votes import Representative, SuiteConfiguration
+
+#: Ring points per server.  More points → smoother balance and smaller
+#: per-join movement, at O(servers * vnodes) ring size.
+DEFAULT_VNODES = 64
+
+
+def _hash64(text: str) -> int:
+    """A stable 64-bit point on the ring for ``text``."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class RebalancePlan:
+    """Which suites move when the fleet changes shape.
+
+    ``moves`` maps each affected suite name to its ``(before, after)``
+    server tuples; suites whose placement is unchanged never appear.
+    """
+
+    moves: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = \
+        field(default_factory=dict)
+    unchanged: int = 0
+
+    @property
+    def moved_suites(self) -> int:
+        return len(self.moves)
+
+    @property
+    def moved_fraction(self) -> float:
+        total = self.moved_suites + self.unchanged
+        return self.moved_suites / total if total else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.moved_suites} suite(s) move, "
+                f"{self.unchanged} stay "
+                f"({self.moved_fraction:.1%} of the namespace)")
+
+
+class PlacementRing:
+    """Consistent-hash mapping of suite names to server sets."""
+
+    def __init__(self, servers: Sequence[str], replication: int = 3,
+                 vnodes: int = DEFAULT_VNODES, seed: int = 0) -> None:
+        if replication < 1:
+            raise ValueError("replication degree must be at least 1")
+        if vnodes < 1:
+            raise ValueError("need at least one vnode per server")
+        self.replication = replication
+        self.vnodes = vnodes
+        self.seed = seed
+        self._servers: List[str] = []
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for server in servers:
+            self.add_server(server)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def servers(self) -> List[str]:
+        """Current fleet, sorted by name."""
+        return sorted(self._servers)
+
+    def add_server(self, server: str) -> None:
+        if server in self._servers:
+            raise ValueError(f"server {server!r} already on the ring")
+        self._servers.append(server)
+        self._rebuild()
+
+    def remove_server(self, server: str) -> None:
+        if server not in self._servers:
+            raise ValueError(f"server {server!r} not on the ring")
+        if len(self._servers) - 1 < self.replication:
+            raise ValueError(
+                f"removing {server!r} leaves {len(self._servers) - 1} "
+                f"server(s), fewer than replication degree "
+                f"{self.replication}")
+        self._servers.remove(server)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Sorted by (point, server): the tiebreak makes the layout a
+        # pure function of the member *set*, never of insertion order.
+        entries = sorted(
+            (_hash64(f"{self.seed}:{server}:{index}"), server)
+            for server in self._servers
+            for index in range(self.vnodes))
+        self._points = [point for point, _server in entries]
+        self._owners = [server for _point, server in entries]
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, suite_name: str) -> List[str]:
+        """The ``replication`` distinct servers owning ``suite_name``."""
+        if len(self._servers) < self.replication:
+            raise ValueError(
+                f"{len(self._servers)} server(s) on the ring, need at "
+                f"least {self.replication}")
+        start = bisect_right(self._points,
+                             _hash64(f"{self.seed}:{suite_name}"))
+        chosen: List[str] = []
+        seen = set()
+        for offset in range(len(self._owners)):
+            owner = self._owners[(start + offset) % len(self._owners)]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            chosen.append(owner)
+            if len(chosen) == self.replication:
+                return chosen
+        raise AssertionError("unreachable: fewer owners than servers")
+
+    def placement_map(self, suite_names: Sequence[str],
+                      ) -> Dict[str, Tuple[str, ...]]:
+        """Every suite's server tuple, in one deterministic map."""
+        return {name: tuple(self.place(name)) for name in suite_names}
+
+    def configuration_for(self, suite_name: str,
+                          votes_per_server: int = 1,
+                          read_quorum: Optional[int] = None,
+                          write_quorum: Optional[int] = None,
+                          latency_hints: Optional[Dict[str, float]] = None,
+                          ) -> SuiteConfiguration:
+        """A ready-to-install suite configuration for ``suite_name``.
+
+        Defaults to majority read and write quorums over the placed
+        servers — the assignment with the largest crash tolerance.
+        The first placed server is the suite's *primary* only in the
+        sense that it heads the clockwise walk; votes are equal.
+        """
+        placed = self.place(suite_name)
+        hints = latency_hints or {}
+        total = votes_per_server * len(placed)
+        majority = total // 2 + 1
+        reps = tuple(
+            Representative(rep_id=f"rep-{server}", server=server,
+                           votes=votes_per_server,
+                           latency_hint=hints.get(server, 0.0))
+            for server in placed)
+        return SuiteConfiguration(
+            suite_name=suite_name, representatives=reps,
+            read_quorum=read_quorum if read_quorum is not None
+            else majority,
+            write_quorum=write_quorum if write_quorum is not None
+            else majority)
+
+    def checksum(self, suite_names: Sequence[str]) -> int:
+        """A stable digest of the whole layout, for determinism gates.
+
+        Any change to how names map to servers — a hash tweak, a ring
+        ordering bug, a different tiebreak — moves this value; the F10
+        bench records it with an exact-match gate.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(suite_names):
+            digest.update(name.encode())
+            for server in self.place(name):
+                digest.update(b"\x00" + server.encode())
+            digest.update(b"\x01")
+        return int.from_bytes(digest.digest()[:8], "big")
+
+    def load_distribution(self, suite_names: Sequence[str],
+                          ) -> Dict[str, int]:
+        """Suites-per-server counts under the current layout."""
+        load = {server: 0 for server in self._servers}
+        for name in suite_names:
+            for server in self.place(name):
+                load[server] += 1
+        return load
+
+
+def plan_rebalance(before: Dict[str, Tuple[str, ...]],
+                   after: Dict[str, Tuple[str, ...]]) -> RebalancePlan:
+    """Diff two placement maps into the minimal set of suite moves.
+
+    Both maps must cover the same suite names (a rebalance changes
+    where suites live, never which suites exist).
+    """
+    if set(before) != set(after):
+        raise ValueError("placement maps cover different suites")
+    plan = RebalancePlan()
+    for name in sorted(before):
+        if before[name] == after[name]:
+            plan.unchanged += 1
+        else:
+            plan.moves[name] = (before[name], after[name])
+    return plan

@@ -1,0 +1,214 @@
+"""Invariant-checked cluster soak: chaos faults plus a mid-run join.
+
+The single-suite soak (:mod:`repro.chaos.soak`) proves one suite
+degrades gracefully under message-level faults.  The cluster soak
+scales the claim: a sequential client sprays reads and writes over a
+whole sharded namespace while the chaos policy drops, delays and
+duplicates messages on every link — and halfway through, a new storage
+server *joins the fleet* and the harness rebalances every affected
+suite onto it via the paper's reconfiguration machinery, chaos still
+running.  Each suite's history is checked independently against the
+standard invariants (unique versions, monotonic commits, fresh reads,
+representative monotonicity); the verdict covers both serving under
+faults and the join itself.
+
+One bookkeeping wrinkle: a reconfiguration *is a committed write* — it
+re-stages the current payload at ``version = current + 1`` with the new
+configuration in the property map — but it does not go through
+``suite.write``, so the driver records a synthetic committed-write
+:class:`~repro.chaos.invariants.OpRecord` for every moved suite.
+Failed operations are provably uncommitted, so "current" at reconfig
+time is exactly the checker's latest committed version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+# The recording discipline must match the single-suite soak exactly —
+# same OpRecord shape, same error taxonomy — so the two soaks share
+# the op helpers rather than growing subtly different copies.
+from ..chaos.invariants import InvariantReport, OpRecord, check_history
+from ..chaos.soak import _one_read, _one_write
+from ..sim.rng import RandomStreams
+from .harness import ClusterSpec, SimCluster, join_server
+from .placement import RebalancePlan
+
+
+@dataclass
+class ClusterSoakConfig:
+    """Everything a cluster soak needs, fully determined by ``seed``."""
+
+    servers: int = 5
+    suites: int = 6
+    directory_shards: int = 2
+    replication: int = 3
+    ops: int = 160
+    seed: int = 11
+    read_fraction: float = 0.7
+    final_reads: int = 2
+    #: Fraction of the op budget issued before the new server joins.
+    join_at: float = 0.5
+
+    # Per-message chaos on every link (client ↔ every server).
+    loss: float = 0.02
+    delay_probability: float = 0.2
+    delay_min: float = 1.0
+    delay_max: float = 10.0
+    duplicate_probability: float = 0.01
+
+    # Client aggressiveness / server lock discipline, as in SoakConfig.
+    call_timeout: float = 300.0
+    inquiry_timeout: float = 250.0
+    data_timeout: float = 500.0
+    max_attempts: int = 8
+    retry_backoff: float = 40.0
+    lock_timeout: float = 400.0
+    idle_abort_after: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.ops < 2:
+            raise ValueError("need at least two operations")
+        if not 0.0 < self.join_at < 1.0:
+            raise ValueError("join_at must fall inside the run")
+
+    def spec(self) -> ClusterSpec:
+        return ClusterSpec(servers=self.servers, suites=self.suites,
+                           directory_shards=self.directory_shards,
+                           replication=self.replication, seed=self.seed)
+
+    def suite_kwargs(self) -> Dict[str, Any]:
+        return {"inquiry_timeout": self.inquiry_timeout,
+                "data_timeout": self.data_timeout,
+                "max_attempts": self.max_attempts,
+                "retry_backoff": self.retry_backoff}
+
+    def chaos_policy(self, streams: RandomStreams):
+        from ..chaos.policy import ChaosPolicy
+        return ChaosPolicy(streams=streams,
+                           drop_probability=self.loss,
+                           delay_probability=self.delay_probability,
+                           delay_min=self.delay_min,
+                           delay_max=self.delay_max,
+                           duplicate_probability=self.duplicate_probability)
+
+
+@dataclass
+class ClusterSoakReport:
+    """Per-suite verdicts plus the join's rebalance plan."""
+
+    config: ClusterSoakConfig
+    reports: Dict[str, InvariantReport]
+    histories: Dict[str, List[OpRecord]]
+    plan: Optional[RebalancePlan]
+    chaos_stats: Dict[str, int] = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports.values())
+
+    def summary(self) -> str:
+        ops = sum(report.ops for report in self.reports.values())
+        bad = sorted(name for name, report in self.reports.items()
+                     if not report.ok)
+        verdict = "OK" if not bad else f"VIOLATIONS in {', '.join(bad)}"
+        join = (self.plan.summary() if self.plan is not None
+                else "no join")
+        return (f"[cluster-sim] seed={self.config.seed} {verdict}: "
+                f"{ops} ops over {len(self.reports)} suites | "
+                f"join: {join} | {self.elapsed_ms:.0f}ms virtual")
+
+
+def _drive_cluster(cluster: SimCluster, config: ClusterSoakConfig,
+                   policy: Any, streams: RandomStreams,
+                   ) -> Generator[Any, Any, Tuple[Dict[str, List[OpRecord]],
+                                                  RebalancePlan]]:
+    """The whole soak as one generator on the cluster's client."""
+    spec = cluster.spec
+    names = spec.suite_names
+    clock = lambda: cluster.bed.sim.now  # noqa: E731
+    rng = streams.stream("cluster-soak:ops")
+    histories: Dict[str, List[OpRecord]] = {name: [] for name in names}
+    # Latest committed (version, tag) per suite — the reconfiguration
+    # records below need it, and failed writes never commit.
+    latest: Dict[str, Tuple[int, str]] = {
+        name: (1, spec.initial_data(name).decode()) for name in names}
+    writes: Dict[str, int] = {name: 0 for name in names}
+    join_index = max(1, int(config.ops * config.join_at))
+    plan: Optional[RebalancePlan] = None
+
+    for index in range(config.ops):
+        if index == join_index:
+            plan = yield from _join_mid_run(cluster, histories, latest,
+                                            clock, index)
+        name = rng.choice(names)
+        history = histories[name]
+        if rng.random() < config.read_fraction:
+            yield from _one_read(cluster.handles[name], clock, index,
+                                 history)
+        else:
+            writes[name] += 1
+            tag = f"{name}:soak-{writes[name]}"
+            yield from _one_write(cluster.handles[name], clock, index,
+                                  history, tag=tag)
+            if history[-1].ok:
+                latest[name] = (history[-1].version, tag)
+
+    # Chaos off; every suite must converge on its latest commit.
+    policy.enabled = False
+    for name in names:
+        for offset in range(config.final_reads):
+            yield from _one_read(cluster.handles[name], clock,
+                                 config.ops + offset, histories[name])
+    assert plan is not None
+    return histories, plan
+
+
+def _join_mid_run(cluster: SimCluster, histories, latest, clock,
+                  index: int) -> Generator[Any, Any, RebalancePlan]:
+    """Grow the fleet by one server, chaos still enabled."""
+    spec = cluster.spec
+    server = f"{spec.server_prefix}{spec.servers + 1}"
+    cluster.bed.add_server(server)
+    cluster.ring.add_server(server)
+    plan = yield from join_server(cluster.state, server)
+    now = clock()
+    for name in sorted(plan.moves):
+        version, tag = latest[name]
+        latest[name] = (version + 1, tag)
+        histories[name].append(OpRecord(
+            index=index, kind="write", ok=True, started=now,
+            finished=now, version=version + 1, tag=tag))
+    return plan
+
+
+def run_cluster_sim_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
+    """The cluster soak on a simulated testbed, in virtual time."""
+    streams = RandomStreams(seed=config.seed)
+    policy = config.chaos_policy(streams)
+    policy.enabled = False               # clean bootstrap first
+    cluster = SimCluster(config.spec(),
+                         suite_kwargs=config.suite_kwargs(),
+                         call_timeout=config.call_timeout,
+                         lock_timeout=config.lock_timeout,
+                         idle_abort_after=config.idle_abort_after)
+    cluster.bed.network.chaos = policy
+    cluster.start()
+    started = cluster.bed.sim.now
+
+    policy.enabled = True
+    histories, plan = cluster.bed.run(
+        _drive_cluster(cluster, config, policy, streams))
+
+    reports = {
+        name: check_history(histories[name],
+                            initial_tag=config.spec().initial_data(
+                                name).decode())
+        for name in sorted(histories)
+    }
+    return ClusterSoakReport(
+        config=config, reports=reports, histories=histories, plan=plan,
+        chaos_stats=policy.stats(),
+        elapsed_ms=cluster.bed.sim.now - started)

@@ -19,7 +19,7 @@ reconfiguration keeps the directory fresh for brand-new clients.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Generator, List
+from typing import Any, Dict, Generator, List, Optional
 
 from ..core.suite import FileSuiteClient
 from ..core.votes import SuiteConfiguration
@@ -36,10 +36,32 @@ def encode_directory(entries: Dict[str, Dict[str, Any]]) -> bytes:
                       separators=(",", ":")).encode()
 
 
-def decode_directory(blob: bytes) -> Dict[str, Dict[str, Any]]:
+def decode_directory(blob: bytes,
+                     suite_name: Optional[str] = None,
+                     ) -> Dict[str, Dict[str, Any]]:
+    """Decode a directory page; corrupt pages fail at directory level.
+
+    A truncated or garbled page surfaces as a :class:`DirectoryError`
+    naming the directory suite and the byte offset of the damage, not
+    as a raw ``json.JSONDecodeError`` — callers of the directory see
+    directory failures, whatever layer produced them.
+    """
     if not blob:
         return {}
-    return json.loads(blob.decode())
+    where = (f"directory suite {suite_name!r}" if suite_name
+             else "directory page")
+    try:
+        text = blob.decode()
+    except UnicodeDecodeError as exc:
+        raise DirectoryError(
+            f"corrupt {where}: invalid UTF-8 at offset "
+            f"{exc.start}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DirectoryError(
+            f"corrupt {where}: {exc.msg} at offset {exc.pos} "
+            f"(page is {len(blob)} bytes)") from exc
 
 
 def empty_directory_data() -> bytes:
@@ -54,6 +76,11 @@ class SuiteDirectory:
         self.suite = suite
 
     @property
+    def name(self) -> str:
+        """The directory's own suite name (for error context)."""
+        return self.suite.config.suite_name
+
+    @property
     def manager(self) -> TransactionManager:
         return self.suite.manager
 
@@ -66,7 +93,7 @@ class SuiteDirectory:
         """Register (or update) the configuration for its suite name."""
         def mutate(txn):
             current = yield from self.suite.read_in(txn, for_update=True)
-            entries = decode_directory(current.data)
+            entries = decode_directory(current.data, self.name)
             if not replace and config.suite_name in entries:
                 raise DirectoryError(
                     f"suite {config.suite_name!r} is already bound")
@@ -88,7 +115,7 @@ class SuiteDirectory:
         """Remove a binding; unknown names raise."""
         def mutate(txn):
             current = yield from self.suite.read_in(txn, for_update=True)
-            entries = decode_directory(current.data)
+            entries = decode_directory(current.data, self.name)
             if suite_name not in entries:
                 raise DirectoryError(f"no suite bound as {suite_name!r}")
             del entries[suite_name]
@@ -106,7 +133,7 @@ class SuiteDirectory:
                ) -> Generator[Any, Any, SuiteConfiguration]:
         """The bound configuration for ``suite_name``."""
         result = yield from self.suite.read()
-        entries = decode_directory(result.data)
+        entries = decode_directory(result.data, self.name)
         raw = entries.get(suite_name)
         if raw is None:
             raise DirectoryError(f"no suite bound as {suite_name!r}")
@@ -114,7 +141,7 @@ class SuiteDirectory:
 
     def list_suites(self) -> Generator[Any, Any, List[str]]:
         result = yield from self.suite.read()
-        return sorted(decode_directory(result.data))
+        return sorted(decode_directory(result.data, self.name))
 
     def open_suite(self, suite_name: str, **suite_kwargs: Any,
                    ) -> Generator[Any, Any, FileSuiteClient]:

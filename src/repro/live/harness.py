@@ -111,6 +111,33 @@ class LoopbackCluster:
     async def __aexit__(self, *exc_info: Any) -> None:
         await self.close()
 
+    async def add_server(self, name: str) -> Tuple[str, int]:
+        """Boot one more storage daemon into the running cluster.
+
+        The cluster-scale join operation: the new server starts with
+        the same page/lock/chaos/profiler wiring as its boot-time
+        peers, and the client transport learns its address immediately.
+        Returns the new daemon's listening address.
+        """
+        if name in self.servers:
+            raise ValueError(f"server {name!r} already in the cluster")
+        data_dir = (f"{self._data_root}/{name}"
+                    if self._data_root is not None else None)
+        server = LiveStorageServer(
+            name, data_dir=data_dir, num_pages=self._num_pages,
+            page_size=self._page_size, obs=self._obs,
+            lock_timeout=self._lock_timeout,
+            idle_abort_after=self._idle_abort_after,
+            profiler=self.profiler)
+        server.transport.chaos = self.chaos
+        await server.start(obs_port=0 if self._obs else None)
+        self.servers[name] = server
+        self._server_names.append(name)
+        host, port = server.address  # type: ignore[misc]
+        if self.client is not None:
+            self.client.register_server(name, host, port)
+        return host, port
+
     # -- failure injection -------------------------------------------------
 
     async def stop_server(self, name: str) -> None:

@@ -5,7 +5,8 @@
 
 * ``ok`` — within tolerance of the baseline,
 * ``regression`` — moved past tolerance in the *bad* direction for the
-  metric (slower for latency-like units, lower for throughput-like),
+  metric (slower for latency-like units, lower for throughput-like;
+  for determinism digests — direction ``exact`` — any move at all),
 * ``improvement`` — moved past tolerance in the good direction,
 * ``info`` — the metric's direction is unknown, or either side is
   marked ``gate=False`` (advisory, e.g. live wall-clock numbers),
@@ -25,6 +26,12 @@ from .result import BenchResult
 #: Default relative tolerance before a gated metric fails the build.
 DEFAULT_TOLERANCE = 0.25
 
+#: Substrings that mark a metric/unit as "must match the baseline
+#: exactly" — determinism digests, where *any* movement is a bug.
+#: Checked first: a "placement_checksum" must not fall through to a
+#: sloppier direction via some other hint.
+_EXACT_HINTS = ("checksum", "digest", "determinism", "placement",
+                "moved_suites")
 #: Substrings that mark a metric/unit as "lower is better".
 _LOWER_HINTS = ("latency", "_ms", "wait", "block", "stale", "retr",
                 "overhead", "abort", "drop", "duration", "lag",
@@ -35,8 +42,10 @@ _HIGHER_HINTS = ("throughput", "ops", "per_sec", "/s", "rate",
 
 
 def infer_direction(metric: str, unit: str) -> Optional[str]:
-    """``"lower"``, ``"higher"`` or ``None`` (unknown → advisory)."""
+    """``"exact"``, ``"lower"``, ``"higher"`` or ``None`` (advisory)."""
     haystack = f"{metric} {unit}".lower()
+    if any(hint in haystack for hint in _EXACT_HINTS):
+        return "exact"
     if any(hint in haystack for hint in _LOWER_HINTS):
         return "lower"
     if any(hint in haystack for hint in _HIGHER_HINTS):
@@ -48,7 +57,7 @@ def infer_direction(metric: str, unit: str) -> Optional[str]:
 class MetricRule:
     """Per-metric override of direction and tolerance."""
 
-    direction: Optional[str]          # "lower" | "higher" | None
+    direction: Optional[str]          # "lower" | "higher" | "exact" | None
     rel_tolerance: float = DEFAULT_TOLERANCE
     abs_tolerance: float = 0.0        # slack for near-zero baselines
 
@@ -120,6 +129,7 @@ def _render_delta(delta: Delta) -> str:
     assert delta.old is not None and delta.new is not None
     change = "n/a" if delta.change is None else f"{delta.change:+.1%}"
     arrow = {"lower": "↓ better", "higher": "↑ better",
+             "exact": "= required",
              None: "direction unknown"}[delta.direction]
     return (f"  {delta.status:<10} {delta.label()}: "
             f"{delta.old.value:g} → {delta.new.value:g} "
@@ -138,6 +148,13 @@ def _classify(old: BenchResult, new: BenchResult, rule: MetricRule) -> Delta:
         delta.status = "info"
         return delta
     moved = new.value - old.value
+    if rule.direction == "exact":
+        # Determinism gates: relative tolerance is meaningless on a
+        # digest, so only ``abs_tolerance`` (default 0) grants slack,
+        # and any move beyond it is a regression whatever its sign.
+        if abs(moved) > rule.abs_tolerance:
+            delta.status = "regression"
+        return delta
     budget = max(rule.rel_tolerance * abs(old.value), rule.abs_tolerance)
     if abs(moved) <= budget:
         return delta

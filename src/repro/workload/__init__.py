@@ -2,8 +2,11 @@
 
 from .drivers import ClosedLoopDriver, OpenLoopDriver, WorkloadStats
 from .mixes import READ, WRITE, OperationMix, PayloadShape
+from .multitenant import (ClusterWorkloadStats, MultiTenantWorkload,
+                          ZipfPopularity)
 
 __all__ = [
-    "ClosedLoopDriver", "OpenLoopDriver", "OperationMix", "PayloadShape",
-    "READ", "WRITE", "WorkloadStats",
+    "ClosedLoopDriver", "ClusterWorkloadStats", "MultiTenantWorkload",
+    "OpenLoopDriver", "OperationMix", "PayloadShape", "READ", "WRITE",
+    "WorkloadStats", "ZipfPopularity",
 ]

@@ -23,6 +23,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.simulator import Simulator
 
 
+def _stream_name(name: str, client_id: Optional[int]) -> str:
+    """The rng stream a driver draws from.
+
+    With a ``client_id``, the stream is a pure function of the run
+    seed and the client id — never of the driver's display name or of
+    how many other clients exist — so a multi-tenant population's
+    per-client randomness is byte-reproducible and adding client N+1
+    cannot perturb clients 0..N (common random numbers).  Without one,
+    the legacy name-keyed stream is kept for single-driver callers.
+    """
+    if client_id is not None:
+        return f"workload:client:{client_id}"
+    return f"workload:{name}"
+
+
 @dataclass
 class WorkloadStats:
     """Aggregated outcome of one driver run."""
@@ -91,14 +106,15 @@ class ClosedLoopDriver:
                  payload: Optional[PayloadShape] = None,
                  think_time: "Distribution | float" = 0.0,
                  streams: Optional[RandomStreams] = None,
-                 name: str = "driver") -> None:
+                 name: str = "driver",
+                 client_id: Optional[int] = None) -> None:
         self.sim = sim
         self.target = target
         self.mix = mix
         self.payload = payload or PayloadShape()
         self.think_time = as_distribution(think_time)
         streams = streams or RandomStreams(seed=0)
-        self._rng = streams.stream(f"workload:{name}")
+        self._rng = streams.stream(_stream_name(name, client_id))
         self.name = name
         self.stats = WorkloadStats()
 
@@ -157,14 +173,15 @@ class OpenLoopDriver:
                  interarrival: "Distribution | float",
                  payload: Optional[PayloadShape] = None,
                  streams: Optional[RandomStreams] = None,
-                 name: str = "open-driver") -> None:
+                 name: str = "open-driver",
+                 client_id: Optional[int] = None) -> None:
         self.sim = sim
         self.target = target
         self.mix = mix
         self.interarrival = as_distribution(interarrival)
         self.payload = payload or PayloadShape()
         streams = streams or RandomStreams(seed=0)
-        self._rng = streams.stream(f"workload:{name}")
+        self._rng = streams.stream(_stream_name(name, client_id))
         self.name = name
         self.stats = WorkloadStats()
         self._outstanding: List[Any] = []

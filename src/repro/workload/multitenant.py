@@ -1,0 +1,246 @@
+"""Multi-tenant open-loop load over a sharded namespace.
+
+The single-suite drivers model one user on one file; production load
+is thousands of concurrent clients spraying operations over thousands
+of suites, with heavy skew — a few hot names take most of the traffic.
+This module supplies the three missing pieces:
+
+* :class:`ZipfPopularity` — rank-frequency suite popularity
+  (``weight(rank) ∝ rank^-s``), the standard skew model for naming
+  and file workloads;
+* :class:`ClusterWorkloadStats` — population-wide latency tails
+  (p50/p99, the SLO numbers) plus per-suite and per-server load
+  accounting, derived from each operation's quorum membership;
+* :class:`MultiTenantWorkload` — an open-loop client population where
+  every client's randomness derives from the run seed and its client
+  id alone, so a thousand-client run is byte-reproducible and adding
+  client N+1 never perturbs clients 0..N.
+
+Runs on either kernel: the population is plain protocol generators,
+so a :class:`~repro.cluster.harness.SimCluster` drives it in virtual
+time and a :class:`~repro.cluster.harness.LiveCluster` over real
+sockets, unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Dict, Generator, List, Mapping,
+                    Optional, Sequence)
+
+from ..errors import ReproError
+from ..sim.distributions import Distribution, as_distribution
+from ..sim.rng import RandomStreams
+from .drivers import WorkloadStats
+from .mixes import READ, OperationMix, PayloadShape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+
+class ZipfPopularity:
+    """Zipf-skewed choice over ``n`` ranks: ``P(rank) ∝ rank^-s``.
+
+    ``s = 0`` degenerates to uniform; ``s ≈ 1`` is the classic web/file
+    popularity curve.  Sampling is one uniform draw plus a binary
+    search over the cumulative weights.
+    """
+
+    def __init__(self, n: int, s: float = 1.1) -> None:
+        if n < 1:
+            raise ValueError("need at least one rank")
+        if s < 0:
+            raise ValueError("skew exponent must be non-negative")
+        self.n = n
+        self.s = s
+        self._cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, n + 1):
+            total += rank ** -s
+            self._cumulative.append(total)
+        self.total = total
+
+    def choose(self, rng: random.Random) -> int:
+        """A rank in ``[0, n)``; rank 0 is the most popular."""
+        point = rng.random() * self.total
+        return min(bisect_left(self._cumulative, point), self.n - 1)
+
+    def weight(self, rank: int) -> float:
+        """The probability mass of ``rank`` (0-based)."""
+        return ((rank + 1) ** -self.s) / self.total
+
+
+@dataclass
+class ClusterWorkloadStats(WorkloadStats):
+    """Population-wide statistics with placement-aware load accounts."""
+
+    #: Operations that targeted each suite (reads + writes, attempted).
+    per_suite: Dict[str, int] = field(default_factory=dict)
+    #: Quorum touches per server — each representative polled into a
+    #: successful operation's quorum counts one unit of load on the
+    #: server that hosts it.  This is the load metric of Whittaker et
+    #: al.: capacity is bounded by the busiest server, not the mean.
+    per_server: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def read_p50(self) -> float:
+        return self.read_latency.percentile(50)
+
+    @property
+    def read_p99(self) -> float:
+        return self.read_latency.percentile(99)
+
+    @property
+    def write_p50(self) -> float:
+        return self.write_latency.percentile(50)
+
+    @property
+    def write_p99(self) -> float:
+        return self.write_latency.percentile(99)
+
+    def load_imbalance(self) -> float:
+        """Busiest server's load over the mean (1.0 = perfect balance)."""
+        loads = list(self.per_server.values())
+        if not loads or sum(loads) == 0:
+            return 1.0
+        return max(loads) / (sum(loads) / len(loads))
+
+    def hottest_suites(self, top: int = 5) -> List[tuple]:
+        return sorted(self.per_suite.items(),
+                      key=lambda item: (-item[1], item[0]))[:top]
+
+    def summary(self) -> Dict[str, float]:
+        base = super().summary()
+        base.update({
+            "read_latency_p50": self.read_p50,
+            "read_latency_p99": self.read_p99,
+            "write_latency_p50": self.write_p50,
+            "write_latency_p99": self.write_p99,
+            "load_imbalance": self.load_imbalance(),
+        })
+        return base
+
+
+class MultiTenantWorkload:
+    """An open-loop population of clients over many suites.
+
+    ``targets`` maps suite name → an opened handle (the warm handles a
+    :class:`~repro.cluster.harness.SimCluster` keeps).  Suite
+    popularity ranks are a deterministic seed-keyed shuffle of the
+    sorted names, so "which suite is hot" is stable per seed but not
+    an artifact of lexical order.
+
+    Each client is an independent open-loop arrival process: it picks
+    a suite by Zipf rank, an operation by the mix, fires it without
+    waiting for the previous one, and sleeps one interarrival draw —
+    all from its own ``workload:client:<id>`` stream.  Arrival times
+    therefore never depend on service times (the open-loop property
+    that makes p99 honest under overload).
+    """
+
+    def __init__(self, sim: "Simulator", targets: Mapping[str, Any],
+                 mix: OperationMix,
+                 interarrival: "Distribution | float",
+                 clients: int,
+                 zipf_s: float = 1.1,
+                 payload: Optional[PayloadShape] = None,
+                 streams: Optional[RandomStreams] = None,
+                 name: str = "tenants") -> None:
+        if clients < 1:
+            raise ValueError("need at least one client")
+        if not targets:
+            raise ValueError("need at least one target suite")
+        self.sim = sim
+        self.targets = dict(targets)
+        self.mix = mix
+        self.interarrival = as_distribution(interarrival)
+        self.clients = clients
+        self.payload = payload or PayloadShape(size=256)
+        self._streams = streams or RandomStreams(seed=0)
+        self.name = name
+        # Deterministic popularity ranking: sorted names shuffled by a
+        # seed-keyed stream that no client draws from.
+        self._ranked = sorted(self.targets)
+        self._streams.stream("workload:popularity").shuffle(self._ranked)
+        self.zipf = ZipfPopularity(len(self._ranked), s=zipf_s)
+        self.stats = ClusterWorkloadStats()
+
+    def rank_of(self, suite_name: str) -> int:
+        """The popularity rank the shuffle assigned to ``suite_name``."""
+        return self._ranked.index(suite_name)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, arrivals_per_client: int,
+            ) -> Generator[Any, Any, ClusterWorkloadStats]:
+        """Run the whole population; returns the merged statistics."""
+        processes = [
+            self.sim.spawn(self._client(client_id, arrivals_per_client),
+                           name=f"{self.name}:{client_id}")
+            for client_id in range(self.clients)
+        ]
+        yield self.sim.all_of(processes)
+        return self.stats
+
+    def _client(self, client_id: int, arrivals: int,
+                ) -> Generator[Any, Any, None]:
+        rng = self._streams.stream(f"workload:client:{client_id}")
+        outstanding: List[Any] = []
+        # Desynchronize client start times, or every client's first
+        # arrival lands at t=0 in one thundering herd.
+        lead_in = rng.random() * self.interarrival.mean
+        if lead_in > 0:
+            yield self.sim.timeout(lead_in)
+        for sequence in range(arrivals):
+            suite_name = self._ranked[self.zipf.choose(rng)]
+            kind = self.mix.choose(rng)
+            data = (None if kind == READ
+                    else self.payload.build(rng, sequence))
+            outstanding.append(self.sim.spawn(
+                self._operation(suite_name, kind, data),
+                name=f"{self.name}:{client_id}:{sequence}"))
+            wait = self.interarrival.sample(rng)
+            if wait > 0:
+                yield self.sim.timeout(wait)
+        if outstanding:
+            yield self.sim.all_of(outstanding)
+
+    def _operation(self, suite_name: str, kind: str,
+                   data: Optional[bytes]) -> Generator[Any, Any, None]:
+        target = self.targets[suite_name]
+        stats = self.stats
+        stats.per_suite[suite_name] = \
+            stats.per_suite.get(suite_name, 0) + 1
+        started = self.sim.now
+        try:
+            if kind == READ:
+                result = yield from target.read()
+                stats.reads += 1
+                stats.read_latency.observe(self.sim.now - started)
+            else:
+                result = yield from target.write(data)
+                stats.writes += 1
+                stats.write_latency.observe(self.sim.now - started)
+            stats.operations += 1
+        except ReproError:
+            if kind == READ:
+                stats.read_blocked += 1
+            else:
+                stats.write_blocked += 1
+            return
+        self._account_load(target, result)
+
+    def _account_load(self, target: Any, result: Any) -> None:
+        """Charge each quorum member's server one unit of load."""
+        config = getattr(target, "config", None)
+        if config is None:
+            return
+        for rep_id in getattr(result, "quorum", ()):
+            try:
+                server = config.representative(rep_id).server
+            except KeyError:
+                continue  # rep left the suite (rebalance mid-run)
+            self.stats.per_server[server] = \
+                self.stats.per_server.get(server, 0) + 1

@@ -88,3 +88,34 @@ class TestScaling:
         out = capsys.readouterr().out
         assert "11" in out
         assert "write msgs" in out
+
+
+class TestCluster:
+    def test_sim_demo_with_join(self, capsys):
+        assert main(["cluster", "--runtime", "sim", "--servers", "4",
+                     "--suites", "12", "--clients", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated cluster: 4 servers, 12 suites" in out
+        assert "directory shard sizes" in out
+        assert "read p99" in out
+        assert "per-server quorum load" in out
+        assert "join + rebalance" in out
+        assert "placement after join" in out
+
+    def test_sim_demo_without_join(self, capsys):
+        assert main(["cluster", "--runtime", "sim", "--no-join",
+                     "--clients", "10", "--suites", "4",
+                     "--shards", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "join + rebalance" not in out
+
+    def test_live_demo_boots_daemons(self, capsys):
+        assert main(["cluster", "--servers", "3", "--suites", "16",
+                     "--shards", "2", "--clients", "10",
+                     "--arrivals", "1", "--interarrival", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "live cluster: 3 storage daemons" in out
+        assert "booted n1 on 127.0.0.1:" in out
+        assert "16 suites bound behind 2 directory shards" in out
+        assert "booted n4 on 127.0.0.1:" in out
+        assert "join + rebalance" in out

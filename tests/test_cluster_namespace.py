@@ -1,0 +1,140 @@
+"""Sharded namespace routing over K directory shard suites."""
+
+import pytest
+
+from repro.cluster import (PlacementRing, ShardedNamespace, is_shard_name,
+                           shard_configurations, shard_of, shard_suite_name)
+from repro.core import install_suite
+from repro.directory import (DirectoryError, SuiteDirectory,
+                             empty_directory_data)
+from repro.testbed import Testbed
+
+NAMES = [f"svc-{i:02d}" for i in range(24)]
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        for name in NAMES:
+            index = shard_of(name, 4)
+            assert 0 <= index < 4
+            assert shard_of(name, 4) == index
+
+    def test_seed_keys_the_hash(self):
+        spread = {shard_of(name, 4, seed=0) != shard_of(name, 4, seed=9)
+                  for name in NAMES}
+        assert True in spread
+
+    def test_all_shards_used(self):
+        assert {shard_of(name, 2) for name in NAMES} == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+
+
+class TestShardNames:
+    def test_reserved_prefix(self):
+        assert shard_suite_name(0) == "__dir-0__"
+        assert is_shard_name(shard_suite_name(3))
+        assert not is_shard_name("app-003")
+
+    def test_shard_configurations_default_read_any_write_all(self):
+        ring = PlacementRing(["n1", "n2", "n3", "n4"], replication=3)
+        configs = shard_configurations(ring, 2)
+        assert [c.suite_name for c in configs] == ["__dir-0__",
+                                                  "__dir-1__"]
+        for config in configs:
+            assert config.read_quorum == 1
+            assert config.write_quorum == 3
+
+    def test_shard_configurations_explicit_quorums(self):
+        ring = PlacementRing(["n1", "n2", "n3"], replication=3)
+        config, = shard_configurations(ring, 1, read_quorum=2,
+                                       write_quorum=2)
+        assert (config.read_quorum, config.write_quorum) == (2, 2)
+
+
+@pytest.fixture
+def cluster_bed():
+    return Testbed(servers=["n1", "n2", "n3", "n4"], seed=5)
+
+
+@pytest.fixture
+def namespace(cluster_bed):
+    ring = PlacementRing(["n1", "n2", "n3", "n4"], replication=3, seed=5)
+    shards = []
+    for config in shard_configurations(ring, 2):
+        suite = cluster_bed.install(config, empty_directory_data())
+        shards.append(SuiteDirectory(suite))
+    return ShardedNamespace(shards, seed=5)
+
+
+class TestRouting:
+    def test_needs_a_shard(self):
+        with pytest.raises(ValueError):
+            ShardedNamespace([])
+
+    def test_bind_lands_on_exactly_one_shard(self, cluster_bed, namespace):
+        ring = PlacementRing(["n1", "n2", "n3", "n4"], seed=5)
+        config = ring.configuration_for("svc-00")
+        expected = namespace.shard_index("svc-00")
+
+        def flow():
+            yield from namespace.bind(config)
+            sizes = yield from namespace.shard_sizes()
+            return sizes
+
+        sizes = cluster_bed.run(flow())
+        assert sizes[expected] == 1
+        assert sum(sizes.values()) == 1
+
+    def test_lookup_routes_to_binding_shard(self, cluster_bed, namespace):
+        ring = PlacementRing(["n1", "n2", "n3", "n4"], seed=5)
+
+        def flow():
+            for name in ("svc-00", "svc-01", "svc-02"):
+                yield from namespace.bind(ring.configuration_for(name))
+            return (yield from namespace.lookup("svc-01"))
+
+        assert cluster_bed.run(flow()).suite_name == "svc-01"
+
+    def test_list_suites_merges_all_shards(self, cluster_bed, namespace):
+        ring = PlacementRing(["n1", "n2", "n3", "n4"], seed=5)
+        names = ["svc-03", "svc-00", "svc-07", "svc-05"]
+        # The sample must actually straddle both shards.
+        assert len({namespace.shard_index(n) for n in names}) == 2
+
+        def flow():
+            for name in names:
+                yield from namespace.bind(ring.configuration_for(name))
+            return (yield from namespace.list_suites())
+
+        assert cluster_bed.run(flow()) == sorted(names)
+
+    def test_unbind_routes(self, cluster_bed, namespace):
+        ring = PlacementRing(["n1", "n2", "n3", "n4"], seed=5)
+
+        def flow():
+            yield from namespace.bind(ring.configuration_for("svc-00"))
+            yield from namespace.unbind("svc-00")
+            return (yield from namespace.list_suites())
+
+        assert cluster_bed.run(flow()) == []
+
+    def test_open_suite_returns_working_handle(self, cluster_bed,
+                                               namespace):
+        ring = PlacementRing(["n1", "n2", "n3", "n4"], seed=5)
+        config = ring.configuration_for("svc-09")
+        cluster_bed.install(config, b"routed")
+
+        def flow():
+            yield from namespace.bind(config)
+            handle = yield from namespace.open_suite("svc-09")
+            result = yield from handle.read()
+            return result.data
+
+        assert cluster_bed.run(flow()) == b"routed"
+
+    def test_reserved_names_rejected(self, namespace):
+        with pytest.raises(DirectoryError):
+            namespace.shard("__dir-0__")

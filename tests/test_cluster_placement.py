@@ -1,0 +1,140 @@
+"""The consistent-hash placement ring and rebalance planner."""
+
+import pytest
+
+from repro.cluster import PlacementRing, plan_rebalance
+from repro.core.votes import SuiteConfiguration
+
+SERVERS = ["n1", "n2", "n3", "n4", "n5"]
+NAMES = [f"app-{i:03d}" for i in range(64)]
+
+
+class TestDeterminism:
+    def test_layout_is_pure_function_of_member_set(self):
+        forward = PlacementRing(SERVERS, replication=3, seed=9)
+        backward = PlacementRing(list(reversed(SERVERS)),
+                                 replication=3, seed=9)
+        assert forward.placement_map(NAMES) == backward.placement_map(NAMES)
+
+    def test_same_seed_same_layout_across_instances(self):
+        one = PlacementRing(SERVERS, seed=4).placement_map(NAMES)
+        two = PlacementRing(SERVERS, seed=4).placement_map(NAMES)
+        assert one == two
+
+    def test_different_seed_different_layout(self):
+        one = PlacementRing(SERVERS, seed=0).placement_map(NAMES)
+        two = PlacementRing(SERVERS, seed=1).placement_map(NAMES)
+        assert one != two
+
+    def test_checksum_stable_and_membership_sensitive(self):
+        ring = PlacementRing(SERVERS, seed=0)
+        digest = ring.checksum(NAMES)
+        assert digest == PlacementRing(SERVERS, seed=0).checksum(NAMES)
+        ring.add_server("n6")
+        assert ring.checksum(NAMES) != digest
+
+    def test_checksum_independent_of_name_order(self):
+        ring = PlacementRing(SERVERS, seed=0)
+        assert ring.checksum(NAMES) == ring.checksum(list(reversed(NAMES)))
+
+
+class TestPlacement:
+    def test_place_returns_distinct_servers(self):
+        ring = PlacementRing(SERVERS, replication=3)
+        for name in NAMES:
+            placed = ring.place(name)
+            assert len(placed) == 3
+            assert len(set(placed)) == 3
+            assert set(placed) <= set(SERVERS)
+
+    def test_every_server_carries_load(self):
+        load = PlacementRing(SERVERS).load_distribution(NAMES)
+        assert set(load) == set(SERVERS)
+        assert all(count > 0 for count in load.values())
+        assert sum(load.values()) == len(NAMES) * 3
+
+    def test_replication_one(self):
+        ring = PlacementRing(["a", "b"], replication=1)
+        assert len(ring.place("x")) == 1
+
+    def test_too_few_servers_rejected(self):
+        ring = PlacementRing(["a", "b"], replication=3)
+        with pytest.raises(ValueError):
+            ring.place("x")
+
+    def test_membership_guards(self):
+        ring = PlacementRing(["a", "b", "c"], replication=3)
+        with pytest.raises(ValueError):
+            ring.add_server("a")
+        with pytest.raises(ValueError):
+            ring.remove_server("ghost")
+        with pytest.raises(ValueError):
+            ring.remove_server("c")  # would fall below replication
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementRing(SERVERS, replication=0)
+        with pytest.raises(ValueError):
+            PlacementRing(SERVERS, vnodes=0)
+
+
+class TestConfigurationFor:
+    def test_majority_quorums_by_default(self):
+        config = PlacementRing(SERVERS).configuration_for("app-000")
+        assert isinstance(config, SuiteConfiguration)
+        assert config.suite_name == "app-000"
+        assert len(config.representatives) == 3
+        assert config.read_quorum == 2
+        assert config.write_quorum == 2
+
+    def test_reps_follow_placement(self):
+        ring = PlacementRing(SERVERS)
+        config = ring.configuration_for("app-017")
+        assert [rep.server for rep in config.representatives] == \
+            ring.place("app-017")
+        assert all(rep.rep_id == f"rep-{rep.server}"
+                   for rep in config.representatives)
+
+    def test_explicit_quorums_and_hints(self):
+        config = PlacementRing(SERVERS).configuration_for(
+            "app-001", read_quorum=1, write_quorum=3,
+            latency_hints={"n1": 5.0})
+        assert config.read_quorum == 1
+        assert config.write_quorum == 3
+
+
+class TestRebalance:
+    def test_join_moves_only_affected_suites(self):
+        ring = PlacementRing(SERVERS, replication=3, seed=2)
+        before = ring.placement_map(NAMES)
+        ring.add_server("n6")
+        plan = plan_rebalance(before, ring.placement_map(NAMES))
+        assert 0 < plan.moved_suites < len(NAMES)
+        # Every move gains the new server; nothing else changes.
+        for name, (was, now) in plan.moves.items():
+            assert "n6" in now and "n6" not in was
+        assert plan.unchanged == len(NAMES) - plan.moved_suites
+        # Consistent hashing: roughly replication/N of the namespace
+        # moves, far from a full reshuffle.
+        assert plan.moved_fraction < 0.75
+
+    def test_leave_reverses_join(self):
+        ring = PlacementRing(SERVERS + ["n6"], replication=3, seed=2)
+        before = ring.placement_map(NAMES)
+        ring.remove_server("n6")
+        plan = plan_rebalance(before, ring.placement_map(NAMES))
+        for name, (was, now) in plan.moves.items():
+            assert "n6" in was and "n6" not in now
+
+    def test_mismatched_maps_rejected(self):
+        ring = PlacementRing(SERVERS)
+        with pytest.raises(ValueError):
+            plan_rebalance(ring.placement_map(["a"]),
+                           ring.placement_map(["a", "b"]))
+
+    def test_summary_mentions_counts(self):
+        ring = PlacementRing(SERVERS, seed=2)
+        before = ring.placement_map(NAMES)
+        ring.add_server("n6")
+        plan = plan_rebalance(before, ring.placement_map(NAMES))
+        assert f"{plan.moved_suites} suite(s) move" in plan.summary()

@@ -166,3 +166,119 @@ class TestConcurrentBinds:
             return (yield from directory.list_suites())
 
         assert bed.run(race()) == ["from-main", "from-other"]
+
+
+class TestCorruptPages:
+    """Damaged directory pages fail at directory level (satellite)."""
+
+    def test_truncated_json_names_suite_and_offset(self):
+        page = encode_directory({"db": triple_config().to_json()})[:-9]
+        with pytest.raises(DirectoryError) as excinfo:
+            decode_directory(page, "__directory__")
+        message = str(excinfo.value)
+        assert "'__directory__'" in message
+        assert "offset" in message
+        assert f"page is {len(page)} bytes" in message
+
+    def test_garbage_json_reports_offset(self):
+        with pytest.raises(DirectoryError) as excinfo:
+            decode_directory(b'{"a": nope}', "dirsuite")
+        assert "offset 6" in str(excinfo.value)
+
+    def test_invalid_utf8_reports_offset(self):
+        with pytest.raises(DirectoryError) as excinfo:
+            decode_directory(b'{"a"\xff: 1}', "dirsuite")
+        assert "invalid UTF-8 at offset 4" in str(excinfo.value)
+
+    def test_without_suite_name_still_directory_error(self):
+        with pytest.raises(DirectoryError) as excinfo:
+            decode_directory(b"{{{{")
+        assert "directory page" in str(excinfo.value)
+
+    def test_error_chains_to_json_decoder(self):
+        try:
+            decode_directory(b"[1,", "d")
+        except DirectoryError as exc:
+            import json as json_module
+            assert isinstance(exc.__cause__, json_module.JSONDecodeError)
+        else:
+            raise AssertionError("corrupt page decoded")
+
+    def test_lookup_surfaces_directory_error_on_corrupt_page(self, bed,
+                                                             directory):
+        def flow():
+            yield from directory.suite.write(b'{"broken":')
+            try:
+                yield from directory.lookup("anything")
+            except DirectoryError as exc:
+                return str(exc)
+
+        message = bed.run(flow())
+        assert "'__directory__'" in message
+        assert "offset" in message
+
+
+class TestStalenessRepair:
+    """End-to-end staleness repair across a reconfiguration (satellite)."""
+
+    def test_stale_entry_repairs_via_stamp_check_on_first_contact(
+            self, bed, directory):
+        config = triple_config(name="app")
+        app_suite = bed.install(config, b"payload")
+
+        def flow():
+            yield from directory.bind(config)
+            new_config = triple_config(name="app", r=1, w=3)
+            yield from change_configuration(app_suite, new_config)
+            # The directory still holds the v1 entry; a client
+            # bootstrapping from it must repair on first contact.
+            handle = yield from directory.open_suite("app")
+            bootstrapped = handle.config.config_version
+            result = yield from handle.read()
+            return bootstrapped, result.config_refreshes, \
+                handle.config.config_version, result.data
+
+        bootstrapped, refreshes, adopted, data = bed.run(flow())
+        assert bootstrapped == 1
+        assert refreshes > 0          # the stamp check actually fired
+        assert adopted == 2
+        assert data == b"payload"
+
+    def test_rebind_serves_new_clients_without_repair(self, bed,
+                                                      directory):
+        config = triple_config(name="app")
+        app_suite = bed.install(config, b"payload")
+
+        def flow():
+            yield from directory.bind(config)
+            installed = yield from change_configuration(
+                app_suite, triple_config(name="app", r=1, w=3))
+            # Re-bind after the reconfiguration: brand-new clients
+            # bootstrap straight to v2, no stamp repair needed.
+            yield from directory.bind(installed)
+            handle = yield from directory.open_suite("app")
+            bootstrapped = handle.config.config_version
+            result = yield from handle.read()
+            return bootstrapped, result.config_refreshes
+
+        bootstrapped, refreshes = bed.run(flow())
+        assert bootstrapped == 2
+        assert refreshes == 0
+
+    def test_write_through_stale_entry_lands_on_new_configuration(
+            self, bed, directory):
+        config = triple_config(name="app")
+        app_suite = bed.install(config, b"payload")
+
+        def flow():
+            yield from directory.bind(config)
+            yield from change_configuration(
+                app_suite, triple_config(name="app", r=1, w=3))
+            handle = yield from directory.open_suite("app")
+            yield from handle.write(b"after-repair")
+            check = yield from app_suite.read()
+            return handle.config.config_version, check.data
+
+        version, data = bed.run(flow())
+        assert version == 2
+        assert data == b"after-repair"

@@ -1,0 +1,98 @@
+"""Multi-tenant Zipf-skewed open-loop load over a sharded cluster."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, SimCluster
+from repro.sim import RandomStreams
+from repro.workload import (MultiTenantWorkload, OperationMix,
+                            ZipfPopularity)
+
+
+class TestZipfPopularity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(0)
+        with pytest.raises(ValueError):
+            ZipfPopularity(5, s=-1.0)
+
+    def test_weights_sum_to_one_and_decrease(self):
+        zipf = ZipfPopularity(20, s=1.1)
+        weights = [zipf.weight(rank) for rank in range(20)]
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zero_skew_is_uniform(self):
+        zipf = ZipfPopularity(10, s=0.0)
+        assert all(abs(zipf.weight(rank) - 0.1) < 1e-9
+                   for rank in range(10))
+
+    def test_choose_skews_toward_low_ranks(self):
+        zipf = ZipfPopularity(50, s=1.2)
+        rng = RandomStreams(3).stream("zipf")
+        draws = [zipf.choose(rng) for _ in range(3000)]
+        assert all(0 <= rank < 50 for rank in draws)
+        head = sum(rank < 5 for rank in draws) / len(draws)
+        expected = sum(zipf.weight(rank) for rank in range(5))
+        assert abs(head - expected) < 0.05
+
+
+@pytest.fixture
+def cluster():
+    spec = ClusterSpec(servers=4, suites=8, directory_shards=2, seed=6)
+    return SimCluster(spec).start()
+
+
+def _run(cluster, clients=20, arrivals=3, read_fraction=0.9, seed=42):
+    workload = MultiTenantWorkload(
+        cluster.bed.sim, cluster.handles,
+        mix=OperationMix(read_fraction=read_fraction),
+        interarrival=25.0, clients=clients,
+        streams=RandomStreams(seed=seed))
+    return workload, cluster.bed.run(workload.run(arrivals))
+
+
+class TestMultiTenantWorkload:
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            MultiTenantWorkload(cluster.bed.sim, cluster.handles,
+                                OperationMix.read_only(), 10.0, clients=0)
+        with pytest.raises(ValueError):
+            MultiTenantWorkload(cluster.bed.sim, {},
+                                OperationMix.read_only(), 10.0, clients=1)
+
+    def test_population_accounting(self, cluster):
+        workload, stats = _run(cluster)
+        attempts = 20 * 3
+        assert sum(stats.per_suite.values()) == attempts
+        assert stats.operations + stats.blocked == attempts
+        assert stats.reads + stats.writes == stats.operations
+        assert stats.read_latency.count == stats.reads
+        assert stats.write_latency.count == stats.writes
+
+    def test_per_server_load_from_quorums(self, cluster):
+        workload, stats = _run(cluster)
+        assert set(stats.per_server) <= set(cluster.spec.server_names)
+        # Every successful op charges at least a read quorum of load.
+        assert sum(stats.per_server.values()) >= stats.operations
+
+    def test_latency_percentiles_ordered(self, cluster):
+        workload, stats = _run(cluster, read_fraction=0.5)
+        assert 0 < stats.read_p50 <= stats.read_p99
+        assert 0 < stats.write_p50 <= stats.write_p99
+        summary = stats.summary()
+        assert summary["read_latency_p99"] == stats.read_p99
+        assert summary["load_imbalance"] == stats.load_imbalance()
+
+    def test_popularity_ranking_seeded_not_lexical(self, cluster):
+        workload, stats = _run(cluster, clients=40, arrivals=4)
+        ranked = [workload.rank_of(name)
+                  for name in cluster.spec.suite_names]
+        assert sorted(ranked) == list(range(8))
+        assert ranked != list(range(8))  # the shuffle did something
+        # The Zipf head should be the most-hit suite.
+        hottest = stats.hottest_suites(top=1)[0][0]
+        assert workload.rank_of(hottest) <= 2
+
+    def test_load_imbalance_defaults_to_one(self):
+        from repro.workload import ClusterWorkloadStats
+        assert ClusterWorkloadStats().load_imbalance() == 1.0

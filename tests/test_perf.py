@@ -166,6 +166,54 @@ class TestCompare:
                                "probability") == "higher"
         assert infer_direction("mystery", "widgets") is None
 
+    def test_exact_direction_inference_wins_over_other_hints(self):
+        assert infer_direction("placement_checksum", "digest") == "exact"
+        assert infer_direction("rebalance_moved_suites",
+                               "count") == "exact"
+        # "placement" beats the "_ms"/"message" lower-hints.
+        assert infer_direction("placement_messages", "count") == "exact"
+
+    def test_exact_metric_fails_on_any_move(self):
+        old = [make_result(metric="placement_checksum", unit="digest",
+                           value=12345.0)]
+        same = [make_result(metric="placement_checksum", unit="digest",
+                            value=12345.0)]
+        drift = [make_result(metric="placement_checksum", unit="digest",
+                             value=12346.0)]
+        assert not compare_results(old, same).failed
+        report = compare_results(old, drift)
+        assert report.failed
+        (delta,) = report.regressions
+        assert delta.direction == "exact"
+        assert "= required" in report.render()
+
+    def test_exact_metric_fails_in_both_directions(self):
+        old = [make_result(metric="layout_digest", unit="digest",
+                           value=100.0)]
+        assert compare_results(old, [make_result(
+            metric="layout_digest", unit="digest", value=99.0)]).failed
+        assert compare_results(old, [make_result(
+            metric="layout_digest", unit="digest", value=101.0)]).failed
+
+    def test_exact_abs_tolerance_grants_slack(self):
+        old = [make_result(metric="rebalance_moved_suites", unit="count",
+                           value=10.0)]
+        new = [make_result(metric="rebalance_moved_suites", unit="count",
+                           value=11.0)]
+        assert compare_results(old, new).failed
+        rules = {"rebalance_moved_suites": MetricRule(
+            direction="exact", abs_tolerance=2.0)}
+        assert not compare_results(old, new, rules=rules).failed
+
+    def test_exact_respects_gate_false(self):
+        old = [make_result(metric="placement_checksum", unit="digest",
+                           runtime="live", gate=False, value=1.0)]
+        new = [make_result(metric="placement_checksum", unit="digest",
+                           runtime="live", gate=False, value=2.0)]
+        report = compare_results(old, new)
+        assert report.counts() == {"info": 1}
+        assert not report.failed
+
     def test_identical_files_are_clean(self):
         results = [make_result(), make_result(metric="reads", value=9.0,
                                               unit="count")]

@@ -4,8 +4,10 @@ import pytest
 
 from tests.helpers import triple_config
 from repro.sim import RandomStreams
+from repro.testbed import Testbed
 from repro.workload import (ClosedLoopDriver, OpenLoopDriver, OperationMix,
                             PayloadShape, READ, WRITE)
+from repro.workload.drivers import _stream_name
 
 
 class TestOperationMix:
@@ -122,3 +124,82 @@ class TestOpenLoopDriver:
                                 interarrival=50.0, streams=bed.streams)
         stats = bed.run(driver.run(10))
         assert stats.read_blocked == 10
+
+
+class TestPerClientDeterminism:
+    """Per-client randomness is a pure function of seed and client id."""
+
+    def test_client_id_keys_the_stream(self):
+        draws = []
+        for _attempt in range(2):
+            streams = RandomStreams(seed=77)
+            rng = streams.stream(_stream_name("whatever", client_id=4))
+            draws.append([rng.random() for _ in range(5)])
+        assert draws[0] == draws[1]
+
+    def test_stream_independent_of_driver_name(self):
+        one = RandomStreams(seed=9).stream(_stream_name("alpha", 2))
+        two = RandomStreams(seed=9).stream(_stream_name("beta", 2))
+        assert [one.random() for _ in range(5)] == \
+            [two.random() for _ in range(5)]
+
+    def test_legacy_name_keyed_stream_without_client_id(self):
+        assert _stream_name("open-driver", None) == "workload:open-driver"
+        assert _stream_name("ignored", 12) == "workload:client:12"
+
+    def test_driver_stats_reproducible_for_same_client_id(self, bed):
+        def one_run():
+            local = Testbed(servers=["s1", "s2", "s3"], seed=7)
+            suite = local.install(triple_config(), b"seed")
+            driver = OpenLoopDriver(local.sim, suite, OperationMix(0.5),
+                                    interarrival=20.0,
+                                    streams=local.streams,
+                                    name="run-specific-name",
+                                    client_id=3)
+            stats = local.run(driver.run(12))
+            return stats.summary()
+
+        assert one_run() == one_run()
+
+    def test_adding_client_does_not_perturb_existing_clients(self, bed):
+        """Common random numbers: client N+1 never changes what
+        clients 0..N draw."""
+        def draws_for(population):
+            streams = RandomStreams(seed=5)
+            return {
+                client_id: [
+                    streams.stream(_stream_name("d", client_id)).random()
+                    for _ in range(3)]
+                for client_id in range(population)
+            }
+
+        small = draws_for(3)
+        large = draws_for(4)
+        assert all(large[cid] == small[cid] for cid in small)
+
+
+class TestMultiTenantDeterminism:
+    """Whole-population runs are byte-reproducible per seed."""
+
+    def _run_population(self, clients):
+        from repro.cluster import ClusterSpec, SimCluster
+        from repro.workload import MultiTenantWorkload
+
+        spec = ClusterSpec(servers=4, suites=6, directory_shards=2,
+                           seed=13)
+        cluster = SimCluster(spec).start()
+        workload = MultiTenantWorkload(
+            cluster.bed.sim, cluster.handles,
+            mix=OperationMix(read_fraction=0.9), interarrival=30.0,
+            clients=clients, streams=RandomStreams(seed=21))
+        stats = cluster.bed.run(workload.run(3))
+        return stats
+
+    def test_identical_runs_identical_everything(self):
+        one = self._run_population(12)
+        two = self._run_population(12)
+        assert one.summary() == two.summary()
+        assert one.per_suite == two.per_suite
+        assert one.per_server == two.per_server
+        assert one.read_latency.samples == two.read_latency.samples
+        assert one.write_latency.samples == two.write_latency.samples
