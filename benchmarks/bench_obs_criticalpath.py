@@ -1,0 +1,115 @@
+"""Experiment O2 — critical-path attribution: cost and cross-check.
+
+Runs a seeded read/write mix on the simulated stack with tracing on
+and one server deterministically slowed (the chaos policy's
+``slow_host``, which consumes no randomness), then reconstructs every
+quorum's critical path from the span tree and answers two questions:
+
+* **Does attribution name the right representative?**  With ``r = w =
+  N`` every representative sits on every critical path, so the slowed
+  server must dominate the blocking share — and the offline (trace)
+  answer must agree with the online ``quorum.blocking.*`` counters the
+  gather publishes as it runs.
+* **What does the analysis cost?**  The whole point of offline
+  attribution is that it is free at serving time; this benchmark
+  self-measures ``analyze_quorum_paths`` wall time against the wall
+  time of the workload that produced the spans and asserts the
+  overhead stays under 5%.
+
+Attribution milligrams are virtual-time deterministic, so they gate
+like any latency; the overhead row is wall clock and advisory.
+"""
+
+import time
+
+from _support import print_table, record
+from repro.chaos.policy import ChaosPolicy
+from repro.core import make_configuration
+from repro.obs.critical_path import analyze_quorum_paths, \
+    attribution_from_samples
+from repro.obs.prom import parse_exposition, render_registry
+from repro.sim import RandomStreams
+from repro.testbed import Testbed
+
+OPERATIONS = 150
+SEED = 3
+SLOW_SERVER = "s3"
+SLOW_DELAY_MS = 25.0
+OVERHEAD_BUDGET = 0.05
+
+
+def run_traced_workload():
+    """Drive the mix with tracing on; return (testbed, wall seconds)."""
+    bed = Testbed(servers=["s1", "s2", "s3"], seed=SEED, obs=True)
+    policy = ChaosPolicy(streams=RandomStreams(seed=SEED))
+    policy.slow_host(SLOW_SERVER, SLOW_DELAY_MS)
+    bed.network.chaos = policy
+    # r = w = N: every representative gates every quorum, so the slowed
+    # server is on each operation's critical path by construction.
+    config = make_configuration(
+        "o2", [("s1", 1), ("s2", 1), ("s3", 1)], 3, 3,
+        latency_hints={"s1": 10.0, "s2": 20.0, "s3": 30.0})
+    suite = bed.install(config, b"o2 payload")
+    started = time.monotonic()
+    for index in range(OPERATIONS):
+        if index % 10 < 7:                 # 70% reads
+            bed.run(suite.read())
+        else:
+            bed.run(suite.write(b"o2 payload %d" % index))
+    workload_s = time.monotonic() - started
+    bed.settle()
+    return bed, workload_s
+
+
+def test_bench_critical_path_attribution(benchmark):
+    bed, workload_s = benchmark.pedantic(run_traced_workload,
+                                         rounds=1, iterations=1)
+    spans = bed.collector.spans()
+
+    started = time.monotonic()
+    report = analyze_quorum_paths(spans)
+    analysis_s = time.monotonic() - started
+    overhead = analysis_s / workload_s if workload_s > 0 else 0.0
+
+    share = report.blocking_share()
+    rows = [(rep, blocked, share.get(rep, 0.0) * 100.0, closes)
+            for rep, blocked, closes in report.top_blockers(5)]
+    print_table(
+        f"O2 — quorum blocking attribution ({OPERATIONS} ops, "
+        f"{SLOW_SERVER} slowed +{SLOW_DELAY_MS:g} ms/message)",
+        ["representative", "blocked ms", "share %", "closes"], rows)
+    print(f"analysis: {len(report.paths)} paths from {len(spans)} spans "
+          f"in {analysis_s * 1000.0:.1f} ms wall "
+          f"({overhead:.2%} of the {workload_s:.2f}s workload)")
+
+    # The slowed server dominates the attributed wait, offline...
+    top_rep, top_blocked, _closes = report.top_blockers(1)[0]
+    assert top_rep == f"rep-{SLOW_SERVER}"
+    assert share[top_rep] > 0.5
+    # ...and the online counters, merged through the same exposition
+    # pipeline the fleet aggregator uses, agree on the ranking.
+    online = attribution_from_samples(
+        parse_exposition(render_registry(bed.metrics)))
+    online_top, _blocked, _online_closes = online.top_blockers(1)[0]
+    assert online_top == top_rep
+    online_share = online.blocking_share()[online_top]
+    assert abs(online_share - share[top_rep]) < 0.05
+
+    # Self-measured analysis overhead stays inside the 5% budget.
+    assert overhead < OVERHEAD_BUDGET, (
+        f"critical-path analysis cost {overhead:.2%} of the workload "
+        f"(budget {OVERHEAD_BUDGET:.0%})")
+
+    # Virtual-time attribution is deterministic: gate it.
+    record("obs", "obs_criticalpath", "attributed_wait_ms",
+           report.total_blocked_ms, "ms", config="read-write-mix",
+           seed=SEED)
+    for rep, blocked, share_pct, closes in rows:
+        record("obs", "obs_criticalpath", "rep_blocked_ms", blocked,
+               "ms", config=rep, seed=SEED)
+    record("obs", "obs_criticalpath", "top_blocker_share_pct",
+           share[top_rep] * 100.0, "%", config=top_rep, seed=SEED)
+    # Wall-clock overhead is environment-dependent: record, don't gate.
+    record("obs", "obs_criticalpath", "analysis_overhead_pct",
+           overhead * 100.0, "%", config="self-measured",
+           runtime="live", duration_s=analysis_s, gate=False)

@@ -36,6 +36,11 @@ HALF_OPEN = "half-open"
 #: Gauge encoding of the states (0 = traffic flows freely).
 _STATE_VALUE = {CLOSED: 0.0, HALF_OPEN: 0.5, OPEN: 1.0}
 
+#: Reverse of the gauge encoding: ``health.breaker_state`` value ->
+#: state name.  Public so the fleet aggregator can decode scraped
+#: gauges back into breaker states.
+STATE_OF_VALUE = {value: state for state, value in _STATE_VALUE.items()}
+
 
 class CircuitBreaker:
     """One server's breaker.  ``clock`` supplies "now" in ms."""

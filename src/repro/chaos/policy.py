@@ -80,9 +80,11 @@ class ChaosPolicy:
         #: final convergence reads run on a clean network).
         self.enabled = True
         self._partition_of: Dict[str, int] = {}
+        self._slow_hosts: Dict[str, float] = {}
         self.dropped = 0
         self.delayed = 0
         self.duplicated = 0
+        self.slowed = 0
         self.partition_drops = 0
 
     # -- partitions --------------------------------------------------------
@@ -110,6 +112,29 @@ class ChaosPolicy:
         return (self._partition_of.get(a, 0)
                 != self._partition_of.get(b, 0))
 
+    # -- targeted slowness -------------------------------------------------
+
+    def slow_host(self, host: str, delay_ms: float) -> None:
+        """Add a deterministic ``delay_ms`` to every message to or from
+        ``host`` (both directions: its requests arrive late and so do
+        its replies).
+
+        Unlike the probabilistic faults this consumes no randomness, so
+        it composes with a seeded policy without perturbing the streams
+        — the tool for "representative X is slow" experiments such as
+        the ``repro doctor`` known-answer scenario.
+        """
+        if delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
+        self._slow_hosts[host] = delay_ms
+
+    def clear_slow_hosts(self) -> None:
+        self._slow_hosts = {}
+
+    @property
+    def slow_hosts(self) -> Dict[str, float]:
+        return dict(self._slow_hosts)
+
     # -- per-message verdicts ----------------------------------------------
 
     def _rng(self, source: str, destination: str) -> random.Random:
@@ -125,6 +150,12 @@ class ChaosPolicy:
             return _DROP
         if source == destination:
             return PASS  # loopback never faults (matches the sim network)
+        slow = 0.0
+        if self._slow_hosts:
+            slow = (self._slow_hosts.get(source, 0.0)
+                    + self._slow_hosts.get(destination, 0.0))
+            if slow > 0.0:
+                self.slowed += 1
         rng = self._rng(source, destination)
         if (self.drop_probability > 0.0
                 and rng.random() < self.drop_probability):
@@ -135,6 +166,7 @@ class ChaosPolicy:
                 and rng.random() < self.delay_probability):
             delay = rng.uniform(self.delay_min, self.delay_max)
             self.delayed += 1
+        delay += slow
         duplicate = False
         duplicate_delay = 0.0
         if (self.duplicate_probability > 0.0
@@ -151,7 +183,7 @@ class ChaosPolicy:
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for reports."""
         return {"dropped": self.dropped, "delayed": self.delayed,
-                "duplicated": self.duplicated,
+                "duplicated": self.duplicated, "slowed": self.slowed,
                 "partition_drops": self.partition_drops}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,6 +14,9 @@ Subcommands::
     python -m repro chaos --seed 1             # fault-injected soak
     python -m repro trace spans.jsonl          # per-operation timelines
     python -m repro metrics --port 9464        # scrape a daemon
+    python -m repro metrics n1:9464 n2:9465    # merged fleet view
+    python -m repro top --cluster obs.json     # live fleet dashboard
+    python -m repro doctor --delay-server n2   # one-shot health report
     python -m repro perf compare old.json new.json   # regression gate
     python -m repro perf profile --runtime live      # hot-path phases
 
@@ -27,7 +30,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core import (EXPECTED, ServerProfile, SuiteAnalysis,
                    best_configuration, example_analysis,
@@ -427,24 +430,56 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_metrics(args: argparse.Namespace) -> int:
-    """Scrape a live daemon's /metrics endpoint and pretty-print it."""
+def _obs_targets(args: argparse.Namespace) -> Dict[str, Tuple[str, int]]:
+    """Resolve scrape targets from --cluster, HOST:PORT args, --port.
+
+    Returns ``name -> (host, port)``; raises ``ValueError`` on
+    unreadable manifests or malformed targets.
+    """
+    from .obs.aggregate import load_obs_manifest
+
+    addresses: Dict[str, Tuple[str, int]] = {}
+    manifest = getattr(args, "cluster", None)
+    if manifest:
+        try:
+            addresses.update(load_obs_manifest(manifest))
+        except (OSError, ValueError, KeyError, IndexError,
+                TypeError) as exc:
+            raise ValueError(
+                f"cannot read manifest {manifest}: {exc}") from exc
+    default_host = getattr(args, "host", "127.0.0.1")
+    for target in getattr(args, "targets", None) or []:
+        host, _, port_text = target.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"{target!r}: expected HOST:PORT") from None
+        addresses[target] = (host or default_host, port)
+    port = getattr(args, "port", None)
+    if port is not None:
+        addresses[f"{default_host}:{port}"] = (default_host, port)
+    return addresses
+
+
+def _metrics_single(args: argparse.Namespace, host: str,
+                    port: int) -> int:
+    """The classic single-daemon scrape (kept verbatim for scripts)."""
     from .obs import fetch, parse_exposition
 
     async def _scrape() -> "tuple[int, str]":
-        return await fetch(args.host, args.port, args.path,
-                           timeout=args.timeout)
+        return await fetch(host, port, args.path, timeout=args.timeout)
 
     try:
         status, body = asyncio.run(_scrape())
     except (OSError, asyncio.TimeoutError) as exc:
         print(f"repro metrics: cannot scrape "
-              f"http://{args.host}:{args.port}{args.path}: {exc}",
+              f"http://{host}:{port}{args.path}: {exc}",
               file=sys.stderr)
         return 1
     if status != 200:
         print(f"repro metrics: HTTP {status} from "
-              f"http://{args.host}:{args.port}{args.path}",
+              f"http://{host}:{port}{args.path}",
               file=sys.stderr)
         return 1
     if args.raw:
@@ -463,6 +498,341 @@ def cmd_metrics(args: argparse.Namespace) -> int:
           value)
          for name, labels, value in samples])
     return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape daemon /metrics endpoints; merge when given a fleet."""
+    try:
+        addresses = _obs_targets(args)
+    except ValueError as exc:
+        print(f"repro metrics: {exc}", file=sys.stderr)
+        return 2
+    if not addresses:
+        print("repro metrics: no targets (use --port, HOST:PORT "
+              "arguments, or --cluster MANIFEST)", file=sys.stderr)
+        return 2
+    if len(addresses) == 1:
+        ((host, port),) = addresses.values()
+        return _metrics_single(args, host, port)
+    if args.raw:
+        print("repro metrics: --raw needs a single target",
+              file=sys.stderr)
+        return 2
+
+    from .obs.aggregate import render_fleet_view, scrape_fleet_sync
+
+    view = scrape_fleet_sync(addresses, path=args.path,
+                             timeout=args.timeout)
+    for name, error in sorted(view.errors.items()):
+        print(f"repro metrics: cannot scrape {name}: {error}",
+              file=sys.stderr)
+    if not view.sources:
+        return 1
+    rows = []
+    for (name, labels), value in sorted(view.merged_counters().items()):
+        if args.filter and args.filter not in name:
+            continue
+        rows.append((name,
+                     ",".join(f"{key}={val}" for key, val in labels)
+                     or "-",
+                     value))
+    _print_rows(["metric", "labels", "merged value"], rows)
+    print()
+    print(render_fleet_view(view))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live-refreshing terminal dashboard over the merged fleet view."""
+    import time
+
+    from .obs.aggregate import render_fleet_view, scrape_fleet_sync
+
+    try:
+        addresses = _obs_targets(args)
+    except ValueError as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 2
+    if not addresses:
+        print("repro top: no targets (pass HOST:PORT arguments or "
+              "--cluster MANIFEST)", file=sys.stderr)
+        return 2
+    refresh = 0
+    try:
+        while True:
+            view = scrape_fleet_sync(addresses, path=args.path,
+                                     timeout=args.timeout)
+            body = render_fleet_view(view, top=args.top)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            refresh += 1
+            print(f"repro top — refresh {refresh}, "
+                  f"{len(view.sources)}/{len(addresses)} sources up")
+            print(body, flush=True)
+            if args.iterations and refresh >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _doctor_offline(args: argparse.Namespace) -> int:
+    """Diagnose exported artifacts: JSONL traces + chaos histories."""
+    import json
+
+    from .obs import load_jsonl
+    from .obs.critical_path import analyze_quorum_paths
+
+    spans = []
+    for path in args.trace or []:
+        try:
+            spans.extend(load_jsonl(path))
+        except OSError as exc:
+            print(f"repro doctor: cannot read {path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+    report = analyze_quorum_paths(spans)
+    print(f"repro doctor — offline: {len(spans)} spans from "
+          f"{len(args.trace or [])} trace file(s)")
+    print(report.render(args.top))
+
+    # Breaker evidence from chaos histories: a representative that died
+    # mid-run shows up as a tripped breaker even if it healed later.
+    tripped: Dict[str, Tuple[str, int]] = {}
+    verdicts = []
+    for path in args.history or []:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"repro doctor: cannot read {path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        verdicts.append((path, str(payload.get("verdict", "?"))))
+        for server, info in sorted(
+                (payload.get("breakers") or {}).items()):
+            if isinstance(info, dict):
+                state = str(info.get("state", "?"))
+                opens = int(info.get("opens", 0) or 0)
+            else:
+                state, opens = str(info), 0
+            seen_state, seen_opens = tripped.get(server, ("closed", 0))
+            tripped[server] = (
+                state if state != "closed" else seen_state,
+                max(opens, seen_opens))
+    if verdicts:
+        print()
+        for path, verdict in verdicts:
+            print(f"history {path}: verdict {verdict}")
+    flagged = sorted(server for server, (state, opens) in tripped.items()
+                     if state != "closed" or opens > 0)
+    if flagged:
+        print("representatives with tripped breakers: " + ", ".join(
+            f"{server} ({tripped[server][0]}, {tripped[server][1]} "
+            f"opens)" for server in flagged))
+
+    if args.expect_dead:
+        detected = args.expect_dead in flagged
+        print(f"known-answer: dead representative {args.expect_dead} "
+              f"{'DETECTED' if detected else 'MISSED'}")
+        if not detected:
+            return 2
+    if args.expect_slow:
+        top = report.top_blockers(1)
+        rep = f"rep-{args.expect_slow}"
+        detected = bool(top) and top[0][0] in (rep, args.expect_slow)
+        print(f"known-answer: slow representative {args.expect_slow} "
+              f"{'DETECTED' if detected else 'MISSED'} as top blocker")
+        if not detected:
+            return 2
+    return 0
+
+
+def _doctor_scenario(args: argparse.Namespace) -> int:
+    """Seeded sim-cluster checkup with optional injected faults.
+
+    Replication degree 2 (r = w = 2) means every representative is on
+    every quorum it serves — a slowed server deterministically gates
+    each of its suites' gathers, so the critical path must name it.
+    """
+    from .chaos.health import HealthTracker
+    from .chaos.policy import ChaosPolicy
+    from .cluster import ClusterSpec, SimCluster
+    from .errors import ReproError
+    from .obs.critical_path import analyze_quorum_paths
+    from .obs.slo import (OK, SLOEvaluator, read_latency_slo,
+                          staleness_slo, success_rate_slo)
+    from .sim.rng import RandomStreams
+
+    spec = ClusterSpec(servers=args.servers, suites=args.suites,
+                       directory_shards=1, replication=2,
+                       seed=args.seed)
+    for flag, server in (("--delay-server", args.delay_server),
+                         ("--kill-server", args.kill_server)):
+        if server is not None and server not in spec.server_names:
+            print(f"repro doctor: {flag} {server!r} is not in the "
+                  f"fleet {spec.server_names}", file=sys.stderr)
+            return 2
+
+    suite_kwargs = {"inquiry_timeout": 250.0, "data_timeout": 500.0,
+                    "max_attempts": 2, "retry_backoff": 40.0}
+    cluster = SimCluster(spec, suite_kwargs=suite_kwargs,
+                         call_timeout=300.0, obs=True)
+    bed = cluster.bed
+    streams = RandomStreams(seed=args.seed)
+    policy = ChaosPolicy(streams=streams)   # all probabilities zero
+    policy.enabled = False                  # clean bootstrap first
+    bed.network.chaos = policy
+    if args.delay_server:
+        policy.slow_host(args.delay_server, args.delay_ms)
+    health = HealthTracker(clock=lambda: bed.sim.now,
+                           metrics=bed.metrics)
+    bed.clients["client"].endpoint.health = health
+    suite_kwargs["health"] = health
+
+    cluster.start()
+    # Attribution covers the checkup workload, not the bootstrap.
+    bed.collector.ring.clear()
+    if args.kill_server:
+        bed.crash(args.kill_server)
+    policy.enabled = True
+
+    slo = SLOEvaluator([read_latency_slo(threshold_ms=args.slo_read_ms),
+                        success_rate_slo(), staleness_slo()])
+    clock = lambda: bed.sim.now  # noqa: E731
+    rng = streams.stream("doctor:ops")
+
+    def drive():
+        names = spec.suite_names
+        failures = 0
+        for index in range(args.ops):
+            name = rng.choice(names)
+            handle = cluster.handles[name]
+            is_read = rng.random() < args.read_fraction
+            started = clock()
+            try:
+                if is_read:
+                    yield from handle.read()
+                else:
+                    yield from handle.write(
+                        f"{name}:doctor-{index}".encode())
+                ok = True
+            except ReproError:
+                ok = False
+                failures += 1
+            finished = clock()
+            if is_read:
+                slo.observe("read_latency", finished, finished - started)
+            slo.observe("success", finished, 1.0 if ok else 0.0)
+        return failures
+
+    failures = bed.run(drive())
+    now = clock()
+
+    from .obs.aggregate import render_fleet_view
+    view = cluster.fleet_view()
+    for (_suite, _rep), lag in sorted(view.version_lag_skyline().items()):
+        slo.observe("staleness", now, lag)
+    trace_report = analyze_quorum_paths(bed.collector.spans())
+    online_report = view.quorum_blocking()
+
+    injected = []
+    if args.delay_server:
+        injected.append(f"slowed {args.delay_server} "
+                        f"(+{args.delay_ms:g} ms/message)")
+    if args.kill_server:
+        injected.append(f"crashed {args.kill_server}")
+    print(f"repro doctor — sim scenario: {spec.servers} servers × "
+          f"{spec.suites} suites, replication 2, seed {args.seed}")
+    if injected:
+        print(f"  injected: {'; '.join(injected)}")
+    print(f"  drove {args.ops} ops, {failures} failed, "
+          f"{now:.0f} ms virtual")
+    print()
+    print(render_fleet_view(view, top=args.top))
+    print()
+    print("critical path (trace plane):")
+    print(trace_report.render(args.top))
+    print()
+    print("critical path (metrics plane):")
+    print(online_report.render(args.top))
+    print()
+    print(slo.render(now))
+
+    # -- findings ------------------------------------------------------
+    findings: List[str] = []
+    trace_top = trace_report.top_blockers(1)
+    online_top = online_report.top_blockers(1)
+    if trace_top and online_top and trace_top[0][0] != online_top[0][0]:
+        findings.append(f"trace and metrics planes disagree on the top "
+                        f"blocker ({trace_top[0][0]} vs "
+                        f"{online_top[0][0]})")
+    primary = (trace_report if trace_report.total_blocked_ms
+               else online_report)
+    shares = primary.blocking_share()
+    if len(shares) > 1:
+        fair = 1.0 / len(shares)
+        for rep, _blocked, _closes in primary.top_blockers(1):
+            share = shares.get(rep, 0.0)
+            if share > 2.0 * fair:
+                findings.append(
+                    f"quorum wait concentrates on {rep}: "
+                    f"{share:.0%} of attributed blocking "
+                    f"(fair share {fair:.0%})")
+    snapshot = health.snapshot()
+    for server, info in sorted(snapshot.items()):
+        if info["state"] != "closed" or info["opens"]:
+            findings.append(f"circuit breaker tripped for {server} "
+                            f"({info['state']}, {info['opens']} opens)")
+    for status in slo.evaluate(now):
+        if status.state != OK:
+            findings.append(
+                f"SLO {status.name} is {status.state.upper()}: "
+                f"burn {status.burn_long:.1f} long / "
+                f"{status.burn_short:.1f} short")
+    stale = sorted(((lag, suite, rep) for (suite, rep), lag
+                    in view.version_lag_skyline().items() if lag > 0.0),
+                   reverse=True)
+    for lag, suite, rep in stale[:3]:
+        findings.append(f"stale copy: {suite}/{rep} is {int(lag)} "
+                        f"version(s) behind")
+    if failures:
+        findings.append(f"{failures}/{args.ops} operations failed")
+
+    print()
+    if findings:
+        print("findings:")
+        for finding in findings:
+            print(f"  - {finding}")
+    else:
+        print("findings: none — fleet looks healthy")
+
+    # -- known-answer expectations (the CI harness leans on these) -----
+    failed_expectation = False
+    if args.expect_slow:
+        rep = f"rep-{args.expect_slow}"
+        detected = (bool(trace_top) and trace_top[0][0] == rep
+                    and bool(online_top) and online_top[0][0] == rep)
+        print(f"known-answer: slow representative {args.expect_slow} "
+              f"{'DETECTED' if detected else 'MISSED'} as top blocker "
+              f"in both planes")
+        failed_expectation |= not detected
+    if args.expect_dead:
+        flagged = {server for server, info in snapshot.items()
+                   if info["state"] != "closed" or info["opens"]}
+        detected = args.expect_dead in flagged
+        print(f"known-answer: dead representative {args.expect_dead} "
+              f"{'DETECTED' if detected else 'MISSED'}")
+        failed_expectation |= not detected
+    return 2 if failed_expectation else 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """One-shot health report: offline artifacts or a seeded scenario."""
+    if args.trace or args.history:
+        return _doctor_offline(args)
+    return _doctor_scenario(args)
 
 
 def cmd_perf_compare(args: argparse.Namespace) -> int:
@@ -791,17 +1161,83 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(handler=cmd_trace)
 
     metrics = subparsers.add_parser(
-        "metrics", help="scrape and pretty-print a daemon's /metrics")
+        "metrics",
+        help="scrape daemon /metrics endpoints (merged when several)")
+    metrics.add_argument("targets", nargs="*", metavar="HOST:PORT",
+                         help="observability endpoints to scrape; "
+                              "several targets print one merged view")
+    metrics.add_argument("--cluster", default=None, metavar="MANIFEST",
+                         help="obs manifest JSON written by the cluster "
+                              "harness; adds every member as a target")
     metrics.add_argument("--host", default="127.0.0.1")
-    metrics.add_argument("--port", type=int, required=True,
-                         help="the daemon's observability HTTP port")
+    metrics.add_argument("--port", type=int, default=None,
+                         help="single daemon's observability HTTP port")
     metrics.add_argument("--path", default="/metrics")
     metrics.add_argument("--filter", default=None, metavar="SUBSTRING",
                          help="only metrics whose name contains this")
     metrics.add_argument("--raw", action="store_true",
-                         help="print the exposition text verbatim")
+                         help="print the exposition text verbatim "
+                              "(single target only)")
     metrics.add_argument("--timeout", type=float, default=5.0)
     metrics.set_defaults(handler=cmd_metrics)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live-refreshing dashboard over the merged fleet view")
+    top.add_argument("targets", nargs="*", metavar="HOST:PORT",
+                     help="observability endpoints to watch")
+    top.add_argument("--cluster", default=None, metavar="MANIFEST",
+                     help="obs manifest JSON naming the whole fleet")
+    top.add_argument("--path", default="/metrics")
+    top.add_argument("--timeout", type=float, default=5.0)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N refreshes (0 = until Ctrl-C)")
+    top.add_argument("--top", type=int, default=8,
+                     help="rows per section, worst first")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append refreshes instead of clearing the "
+                          "screen")
+    top.set_defaults(handler=cmd_top)
+
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="one-shot health report: critical-path attribution, "
+             "breakers, staleness and SLO burn")
+    doctor.add_argument("--trace", action="append", default=None,
+                        metavar="SPANS.jsonl",
+                        help="offline mode: diagnose exported spans "
+                             "(repeatable)")
+    doctor.add_argument("--history", action="append", default=None,
+                        metavar="HISTORY.json",
+                        help="offline mode: chaos soak histories with "
+                             "breaker states (repeatable)")
+    doctor.add_argument("--seed", type=int, default=7)
+    doctor.add_argument("--ops", type=int, default=120,
+                        help="scenario operations to drive")
+    doctor.add_argument("--servers", type=int, default=4)
+    doctor.add_argument("--suites", type=int, default=6)
+    doctor.add_argument("--read-fraction", type=float, default=0.7)
+    doctor.add_argument("--delay-server", default=None, metavar="NAME",
+                        help="scenario: deterministically slow every "
+                             "message to/from this server")
+    doctor.add_argument("--delay-ms", type=float, default=40.0,
+                        help="extra one-way delay for --delay-server")
+    doctor.add_argument("--kill-server", default=None, metavar="NAME",
+                        help="scenario: crash this server before "
+                             "driving ops")
+    doctor.add_argument("--slo-read-ms", type=float, default=250.0,
+                        help="read-latency SLO threshold")
+    doctor.add_argument("--expect-slow", default=None, metavar="NAME",
+                        help="known-answer: exit 2 unless this server "
+                             "is the top quorum blocker")
+    doctor.add_argument("--expect-dead", default=None, metavar="NAME",
+                        help="known-answer: exit 2 unless this server "
+                             "is flagged by a tripped breaker")
+    doctor.add_argument("--top", type=int, default=8,
+                        help="rows per report section")
+    doctor.set_defaults(handler=cmd_doctor)
 
     perf = subparsers.add_parser(
         "perf", help="benchmark results: regression compare, profiling")

@@ -225,6 +225,16 @@ class SimCluster:
         load = self.ring.load_distribution(self.spec.suite_names)
         return sorted(load.items())
 
+    def fleet_view(self):
+        """Merged metrics view of the whole simulated fleet.
+
+        Snapshots the shared testbed registry through the same
+        exposition/parse pipeline the live scraper uses, so every
+        aggregate query answers identically on both runtimes.
+        """
+        from ..obs.aggregate import snapshot_sim_cluster
+        return snapshot_sim_cluster(self)
+
 
 # ---------------------------------------------------------------------------
 # Live deployment (real TCP daemons)
@@ -302,3 +312,24 @@ class LiveCluster:
     def placement_table(self) -> List[Tuple[str, int]]:
         load = self.ring.load_distribution(self.spec.suite_names)
         return sorted(load.items())
+
+    def obs_addresses(self) -> Dict[str, Tuple[str, int]]:
+        """Each live daemon's obs sidecar address (empty without obs)."""
+        return self.loopback.obs_addresses()
+
+    def write_obs_manifest(self, path: str) -> Dict[str, Tuple[str, int]]:
+        """Persist the fleet's obs addresses for the CLI's ``--cluster``.
+
+        Obs ports are ephemeral (bound to port 0 at daemon start), so
+        out-of-process tools — ``repro top``, ``repro metrics
+        --cluster`` — discover the fleet from this manifest file.
+        """
+        from ..obs.aggregate import write_obs_manifest
+        addresses = self.obs_addresses()
+        write_obs_manifest(addresses, path)
+        return addresses
+
+    async def fleet_view(self):
+        """Merged metrics view scraped from every live daemon."""
+        from ..obs.aggregate import scrape_fleet
+        return await scrape_fleet(self.obs_addresses())

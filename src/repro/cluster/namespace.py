@@ -118,14 +118,16 @@ class ShardedNamespace:
     def unbind(self, suite_name: str) -> Generator[Any, Any, None]:
         yield from self.shard(suite_name).unbind(suite_name)
 
-    def lookup(self, suite_name: str,
+    def lookup(self, suite_name: str, parent=None,
                ) -> Generator[Any, Any, SuiteConfiguration]:
-        return (yield from self.shard(suite_name).lookup(suite_name))
+        return (yield from self.shard(suite_name).lookup(suite_name,
+                                                         parent=parent))
 
-    def open_suite(self, suite_name: str, **suite_kwargs: Any,
+    def open_suite(self, suite_name: str, parent=None,
+                   **suite_kwargs: Any,
                    ) -> Generator[Any, Any, FileSuiteClient]:
         return (yield from self.shard(suite_name).open_suite(
-            suite_name, **suite_kwargs))
+            suite_name, parent=parent, **suite_kwargs))
 
     def list_suites(self) -> Generator[Any, Any, List[str]]:
         """All bound names across every shard, merged and sorted."""

@@ -31,6 +31,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 # the op helpers rather than growing subtly different copies.
 from ..chaos.invariants import InvariantReport, OpRecord, check_history
 from ..chaos.soak import _one_read, _one_write
+from ..obs.critical_path import CriticalPathReport, analyze_quorum_paths
 from ..sim.rng import RandomStreams
 from .harness import ClusterSpec, SimCluster, join_server
 from .placement import RebalancePlan
@@ -104,6 +105,9 @@ class ClusterSoakReport:
     plan: Optional[RebalancePlan]
     chaos_stats: Dict[str, int] = field(default_factory=dict)
     elapsed_ms: float = 0.0
+    #: Quorum blocking attribution reconstructed from the soak's trace
+    #: (who actually gated the gathers while chaos ran).
+    critical_path: Optional[CriticalPathReport] = None
 
     @property
     def ok(self) -> bool:
@@ -116,9 +120,18 @@ class ClusterSoakReport:
         verdict = "OK" if not bad else f"VIOLATIONS in {', '.join(bad)}"
         join = (self.plan.summary() if self.plan is not None
                 else "no join")
+        blocker = ""
+        if self.critical_path is not None:
+            top = self.critical_path.top_blockers(1)
+            if top:
+                rep, blocked, _closes = top[0]
+                share = self.critical_path.blocking_share().get(rep, 0.0)
+                blocker = (f" | top blocker: {rep} "
+                           f"({share:.0%} of quorum wait)")
         return (f"[cluster-sim] seed={self.config.seed} {verdict}: "
                 f"{ops} ops over {len(self.reports)} suites | "
-                f"join: {join} | {self.elapsed_ms:.0f}ms virtual")
+                f"join: {join} | {self.elapsed_ms:.0f}ms virtual"
+                f"{blocker}")
 
 
 def _drive_cluster(cluster: SimCluster, config: ClusterSoakConfig,
@@ -193,10 +206,13 @@ def run_cluster_sim_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
                          suite_kwargs=config.suite_kwargs(),
                          call_timeout=config.call_timeout,
                          lock_timeout=config.lock_timeout,
-                         idle_abort_after=config.idle_abort_after)
+                         idle_abort_after=config.idle_abort_after,
+                         obs=True)
     cluster.bed.network.chaos = policy
     cluster.start()
     started = cluster.bed.sim.now
+    # Attribution covers the soak proper, not the clean bootstrap.
+    cluster.bed.collector.ring.clear()
 
     policy.enabled = True
     histories, plan = cluster.bed.run(
@@ -211,4 +227,5 @@ def run_cluster_sim_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
     return ClusterSoakReport(
         config=config, reports=reports, histories=histories, plan=plan,
         chaos_stats=policy.stats(),
-        elapsed_ms=cluster.bed.sim.now - started)
+        elapsed_ms=cluster.bed.sim.now - started,
+        critical_path=analyze_quorum_paths(cluster.bed.collector.spans()))

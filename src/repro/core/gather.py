@@ -16,7 +16,7 @@ commit/abort time.
 from __future__ import annotations
 
 from typing import (TYPE_CHECKING, Any, Callable, Dict, Generator, Hashable,
-                    Mapping)
+                    List, Mapping, Optional, Tuple)
 
 from ..sim.events import Event
 
@@ -25,16 +25,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class GatherResult:
-    """Outcome of a gather: successes, failures, and the stop reason."""
+    """Outcome of a gather: successes, failures, and the stop reason.
 
-    __slots__ = ("successes", "failures", "satisfied")
+    ``order`` records every settled reply as ``(key, settled_at, ok)``
+    tuples in arrival order, and ``closed_by`` names the key whose
+    settlement first satisfied the predicate (``None`` when the gather
+    was pre-satisfied or ran out of replies).  Together they let the
+    observability layer attribute quorum wait time to the
+    representative that actually gated each interval of the gather.
+    """
+
+    __slots__ = ("successes", "failures", "satisfied", "order", "closed_by")
 
     def __init__(self, successes: Dict[Hashable, Any],
                  failures: Dict[Hashable, BaseException],
-                 satisfied: bool) -> None:
+                 satisfied: bool,
+                 order: Optional[List[Tuple[Hashable, float, bool]]] = None,
+                 closed_by: Optional[Hashable] = None) -> None:
         self.successes = successes
         self.failures = failures
         self.satisfied = satisfied
+        self.order = order if order is not None else []
+        self.closed_by = closed_by
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"GatherResult(ok={sorted(map(str, self.successes))}, "
@@ -76,17 +88,19 @@ def gather_until(sim: "Simulator", calls: Mapping[Hashable, Event],
     # object hash values rather than on the simulation.
     pending = [sim.spawn(wrap(key, event), name=f"gather:{key}")
                for key, event in calls.items()]
+    order: List[Tuple[Hashable, float, bool]] = []
     while pending:
         settled_event, outcome = yield sim.any_of(pending)
         pending.remove(settled_event)
         key, ok, value = outcome
+        order.append((key, sim.now, ok))
         if ok:
             successes[key] = value
         else:
             failures[key] = value
         if enough(successes, failures):
-            return GatherResult(successes, failures, True)
-    return GatherResult(successes, failures, False)
+            return GatherResult(successes, failures, True, order, key)
+    return GatherResult(successes, failures, False, order, None)
 
 
 def votes_predicate(threshold: int,

@@ -186,11 +186,25 @@ class FileSuiteClient:
     # Public operations (each manages its own transaction + retries)
     # ------------------------------------------------------------------
 
-    def read(self) -> Generator[Any, Any, ReadResult]:
-        """Read the current contents of the suite."""
+    def _operation_span(self, name: str, parent, **attrs):
+        """Root span for one public operation: a new trace, or — when
+        the caller passes its own span/context — a stitched child."""
+        if parent:
+            return self.collector.start_span(name, parent=parent,
+                                             kind="client", **attrs)
+        return self.collector.start_trace(name, **attrs)
+
+    def read(self, parent=None) -> Generator[Any, Any, ReadResult]:
+        """Read the current contents of the suite.
+
+        ``parent`` (a span or remote :class:`~repro.obs.TraceContext`)
+        roots this operation's span under an existing trace instead of
+        opening a new one — how a namespace lookup and the data read it
+        leads to stitch into one tree.
+        """
         started = self.sim.now
-        span = self.collector.start_trace(
-            "suite.read", suite=self.config.suite_name)
+        span = self._operation_span(
+            "suite.read", parent, suite=self.config.suite_name)
         try:
             result = yield from self._with_retries(self._read_once,
                                                    span=span)
@@ -208,11 +222,16 @@ class FileSuiteClient:
             self.sim.now - started)
         return result
 
-    def write(self, data: bytes) -> Generator[Any, Any, WriteResult]:
-        """Replace the contents of the suite."""
+    def write(self, data: bytes,
+              parent=None) -> Generator[Any, Any, WriteResult]:
+        """Replace the contents of the suite.
+
+        ``parent`` works as in :meth:`read`.
+        """
         started = self.sim.now
-        span = self.collector.start_trace(
-            "suite.write", suite=self.config.suite_name, size=len(data))
+        span = self._operation_span(
+            "suite.write", parent, suite=self.config.suite_name,
+            size=len(data))
         try:
             result = yield from self._with_retries(self._write_once, data,
                                                    span=span)
@@ -545,17 +564,31 @@ class FileSuiteClient:
                                       mode=rep_mode, timeout=timeout,
                                       **extra)
             gathered = yield from gather_until(self.sim, calls, enough)
+            waited_total = self.sim.now - started
             self.metrics.histogram("suite.quorum_wait").observe(
-                self.sim.now - started)
+                waited_total)
             if self.profiler is not None:
-                self.profiler.observe("quorum.assemble",
-                                      self.sim.now - started)
+                self.profiler.observe("quorum.assemble", waited_total)
             votes = sum(rep.votes for rep in gathered.successes)
             if qspan:
-                for rep, stat in sorted(gathered.successes.items(),
-                                        key=lambda item: item[0].rep_id):
-                    qspan.event("version.collect", rep=rep.rep_id,
-                                version=stat["version"], votes=rep.votes)
+                # Replies in arrival order, each stamped with when it
+                # settled and how long the gather had been waiting: the
+                # critical-path analyzer reconstructs per-representative
+                # blocking attribution offline from exactly these attrs.
+                for rep, settled_at, ok in gathered.order:
+                    if ok:
+                        stat = gathered.successes[rep]
+                        qspan.event("version.collect", rep=rep.rep_id,
+                                    version=stat["version"],
+                                    votes=rep.votes, at=settled_at,
+                                    waited=settled_at - started)
+                    else:
+                        exc = gathered.failures[rep]
+                        qspan.event("inquiry.failed", rep=rep.rep_id,
+                                    at=settled_at,
+                                    waited=settled_at - started,
+                                    error=type(exc).__name__)
+            self._attribute_blocking(gathered, started, mode)
             self._observe_lags(gathered)
             yield from self._check_configuration(txn, gathered)
             if not gathered.satisfied:
@@ -570,8 +603,11 @@ class FileSuiteClient:
             self.metrics.histogram("suite.quorum_size").observe(
                 float(sum(1 for rep in gathered.successes
                           if rep.votes > 0)))
+            closer = gathered.closed_by
             qspan.event("quorum.satisfied", votes=votes,
-                        threshold=threshold)
+                        threshold=threshold,
+                        closed_by=closer.rep_id if closer else "",
+                        waited=waited_total)
             qspan.set_attr("votes", votes)
             qspan.end()
             return gathered
@@ -582,6 +618,42 @@ class FileSuiteClient:
         finally:
             if qspan:
                 txn.span = parent
+
+    def _attribute_blocking(self, gathered: GatherResult, started: float,
+                            mode: str) -> None:
+        """Online critical-path attribution for one finished gather.
+
+        Walk the settle order: the marginal wait of each interval
+        (settle-to-settle, starting at the inquiry send) is charged to
+        the representative whose reply ended it — that reply is what
+        the gather was actually blocked on.  The reply that satisfied
+        the predicate is additionally counted as the quorum *closer*.
+        Replies landing after the close never appear in the order, so
+        they cost nothing, matching the caller's experience.
+
+        Simultaneous settles are re-ordered by ``(time, rep_id)`` —
+        the same tie-break the offline trace analysis applies — so the
+        metrics plane and the trace plane always give one answer.
+        """
+        suite = self.config.suite_name
+        op = "read" if mode == SHARED else "write"
+        self.metrics.counter(
+            f"quorum.blocking.gathers[suite={suite},mode={op}]").increment()
+        previous = started
+        ordered = sorted(gathered.order,
+                         key=lambda item: (item[1], item[0].rep_id))
+        for rep, settled_at, _ok in ordered:
+            marginal = settled_at - previous
+            previous = settled_at
+            if marginal > 0.0:
+                self.metrics.gauge(
+                    f"quorum.blocking.wait_ms[suite={suite},"
+                    f"rep={rep.rep_id}]").add(marginal)
+        closer = gathered.closed_by
+        if closer is not None:
+            self.metrics.counter(
+                f"quorum.blocking.closed[suite={suite},"
+                f"rep={closer.rep_id}]").increment()
 
     def _observe_lags(self, gathered: GatherResult) -> None:
         """Per-representative staleness gauges from the inquiry replies.

@@ -129,10 +129,15 @@ class SuiteDirectory:
     # Queries
     # ------------------------------------------------------------------
 
-    def lookup(self, suite_name: str,
+    def lookup(self, suite_name: str, parent=None,
                ) -> Generator[Any, Any, SuiteConfiguration]:
-        """The bound configuration for ``suite_name``."""
-        result = yield from self.suite.read()
+        """The bound configuration for ``suite_name``.
+
+        ``parent`` (a span or trace context) stitches the underlying
+        directory-suite read into the caller's trace instead of opening
+        a fresh one.
+        """
+        result = yield from self.suite.read(parent=parent)
         entries = decode_directory(result.data, self.name)
         raw = entries.get(suite_name)
         if raw is None:
@@ -143,14 +148,16 @@ class SuiteDirectory:
         result = yield from self.suite.read()
         return sorted(decode_directory(result.data, self.name))
 
-    def open_suite(self, suite_name: str, **suite_kwargs: Any,
+    def open_suite(self, suite_name: str, parent=None,
+                   **suite_kwargs: Any,
                    ) -> Generator[Any, Any, FileSuiteClient]:
         """Look a suite up and return a ready client handle for it.
 
         The handle shares this directory's transaction manager; pass
         ``refresher=``/``metrics=`` etc. through ``suite_kwargs``.
         """
-        config = yield from self.lookup(suite_name)
+        config = yield from self.lookup(suite_name, parent=parent)
         suite_kwargs.setdefault("refresher", self.suite.refresher)
         suite_kwargs.setdefault("metrics", self.suite.metrics)
+        suite_kwargs.setdefault("collector", self.suite.collector)
         return FileSuiteClient(self.manager, config, **suite_kwargs)

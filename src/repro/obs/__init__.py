@@ -14,43 +14,81 @@ Exposition: every collector keeps a drop-counting ring buffer and can
 export JSONL (``repro trace`` renders it); live daemons additionally
 serve ``/metrics`` (Prometheus text) and ``/healthz`` over a dedicated
 HTTP port (``repro metrics`` scrapes it).
+
+Fleet plane (PR 7): :mod:`~repro.obs.critical_path` attributes quorum
+wait to the representatives that gated it, :mod:`~repro.obs.aggregate`
+merges every daemon's exposition into one cluster view, and
+:mod:`~repro.obs.slo` evaluates declarative objectives with
+multi-window burn rates — all consumed by ``repro top`` and
+``repro doctor``.
 """
 
+from .aggregate import (FleetView, MergedHistogram, render_fleet_view,
+                        scrape_fleet, scrape_fleet_sync,
+                        snapshot_registry, snapshot_sim_cluster)
 from .collector import (JsonlSink, RingBufferSink, TraceCollector,
                         dump_jsonl, dumps_jsonl, load_jsonl)
+from .critical_path import (CriticalPathReport, QuorumPath, ReplyRecord,
+                            analyze_quorum_paths, attribution_from_samples,
+                            extract_phase_laggards, extract_quorum_paths)
 from .httpd import ObsHttpServer, fetch
-from .prom import (CONTENT_TYPE, metric_name, parse_exposition,
-                   render_registry, split_labels)
+from .prom import (BUCKETS, CONTENT_TYPE, bucket_counts, metric_name,
+                   parse_exposition, render_registry, split_labels)
+from .slo import (SLOEvaluator, SLOSpec, SLOStatus, SLOTracker,
+                  read_latency_slo, staleness_slo, success_rate_slo)
 from .spans import (CLIENT, ERROR, INTERNAL, NOOP_SPAN, OK, SERVER,
                     NoopSpan, Span, SpanEvent, TraceContext)
 from .timeline import breakdown, group_traces, render_trace, summarize
 
 __all__ = [
+    "BUCKETS",
     "CLIENT",
     "CONTENT_TYPE",
+    "CriticalPathReport",
     "ERROR",
+    "FleetView",
     "INTERNAL",
     "JsonlSink",
+    "MergedHistogram",
     "NOOP_SPAN",
     "NoopSpan",
     "OK",
     "ObsHttpServer",
+    "QuorumPath",
+    "ReplyRecord",
     "RingBufferSink",
     "SERVER",
+    "SLOEvaluator",
+    "SLOSpec",
+    "SLOStatus",
+    "SLOTracker",
     "Span",
     "SpanEvent",
     "TraceCollector",
     "TraceContext",
+    "analyze_quorum_paths",
+    "attribution_from_samples",
     "breakdown",
+    "bucket_counts",
     "dump_jsonl",
     "dumps_jsonl",
+    "extract_phase_laggards",
+    "extract_quorum_paths",
     "fetch",
     "group_traces",
     "load_jsonl",
     "metric_name",
     "parse_exposition",
+    "read_latency_slo",
+    "render_fleet_view",
     "render_registry",
     "render_trace",
+    "scrape_fleet",
+    "scrape_fleet_sync",
+    "snapshot_registry",
+    "snapshot_sim_cluster",
     "split_labels",
+    "staleness_slo",
+    "success_rate_slo",
     "summarize",
 ]

@@ -1,0 +1,296 @@
+"""Quorum critical-path reconstruction and blocking attribution.
+
+A weighted-voting operation is as fast as the *last* reply it needed:
+the gather in :func:`repro.core.gather.gather_until` returns the moment
+the vote predicate is satisfied, so every interval of its wait is gated
+by exactly one representative — the one whose reply ended it.  This
+module rebuilds that attribution offline from a stitched trace export
+(``quorum.assemble`` spans carry one arrival-stamped ``version.collect``
+/ ``inquiry.failed`` event per reply, plus ``closed_by`` on
+``quorum.satisfied``) and aggregates it into the per-representative
+load signal the ROADMAP's weight-reassignment work needs:
+
+* **blocked time** — milliseconds of gather wait charged to each rep
+  (marginal interval attribution: reply at ``t_i`` is charged
+  ``t_i - t_{i-1}``);
+* **closes** — how often each rep's reply was the one that closed a
+  quorum (the strict critical-path endpoint);
+* per-suite read/write breakdowns of operation counts and mean
+  assembly wait.
+
+The same attribution is available online as the ``quorum.blocking.*``
+metric families fed from ``core.suite``; :mod:`repro.obs.aggregate`
+merges those across a fleet, and this module's
+:func:`attribution_from_samples` decodes them back into a report so
+``repro doctor`` gives one answer from either source.
+
+2PC phases block on *all* participants, so their critical path is
+simply the slowest reply; :func:`extract_phase_laggards` counts, per
+server, how often it arrived last in a ``2pc.prepare``/``2pc.commit``
+phase (from the ``2pc.reply`` events the coordinator stamps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .spans import Span
+
+__all__ = [
+    "QuorumPath",
+    "ReplyRecord",
+    "CriticalPathReport",
+    "extract_quorum_paths",
+    "extract_phase_laggards",
+    "analyze_quorum_paths",
+    "attribution_from_samples",
+]
+
+
+class ReplyRecord:
+    """One inquiry reply inside a gather: who, when, and whether it ok'd."""
+
+    __slots__ = ("rep", "at", "waited", "ok")
+
+    def __init__(self, rep: str, at: float, waited: float, ok: bool) -> None:
+        self.rep = rep
+        self.at = at
+        self.waited = waited
+        self.ok = ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "ok" if self.ok else "failed"
+        return f"ReplyRecord({self.rep}@{self.at} {flag})"
+
+
+class QuorumPath:
+    """One reconstructed quorum assembly: its replies in arrival order."""
+
+    __slots__ = ("suite", "mode", "trace_id", "started", "waited",
+                 "replies", "closed_by", "satisfied")
+
+    def __init__(self, suite: str, mode: str, trace_id: str,
+                 started: float, waited: float,
+                 replies: List[ReplyRecord],
+                 closed_by: Optional[str], satisfied: bool) -> None:
+        self.suite = suite
+        self.mode = mode
+        self.trace_id = trace_id
+        self.started = started
+        self.waited = waited
+        self.replies = replies
+        self.closed_by = closed_by
+        self.satisfied = satisfied
+
+    def attribution(self) -> Dict[str, float]:
+        """Marginal wait charged to the rep ending each interval."""
+        charged: Dict[str, float] = {}
+        previous = self.started
+        for reply in self.replies:
+            marginal = reply.at - previous
+            previous = reply.at
+            if marginal > 0.0:
+                charged[reply.rep] = charged.get(reply.rep, 0.0) + marginal
+        return charged
+
+
+def extract_quorum_paths(spans: Iterable[Span]) -> List[QuorumPath]:
+    """Rebuild every quorum assembly recorded in ``spans``."""
+    paths: List[QuorumPath] = []
+    for span in spans:
+        if span.name != "quorum.assemble":
+            continue
+        replies: List[ReplyRecord] = []
+        closed_by: Optional[str] = None
+        satisfied = False
+        waited: Optional[float] = None
+        for event in span.events:
+            if event.name in ("version.collect", "inquiry.failed"):
+                at = float(event.attrs.get("at", event.time))
+                replies.append(ReplyRecord(
+                    rep=str(event.attrs.get("rep", "?")), at=at,
+                    waited=float(event.attrs.get("waited",
+                                                 at - span.start)),
+                    ok=event.name == "version.collect"))
+            elif event.name == "quorum.satisfied":
+                satisfied = True
+                closed_by = str(event.attrs.get("closed_by") or "") or None
+                if "waited" in event.attrs:
+                    waited = float(event.attrs["waited"])
+        replies.sort(key=lambda reply: (reply.at, reply.rep))
+        if waited is None:
+            waited = (replies[-1].at - span.start) if replies else 0.0
+        paths.append(QuorumPath(
+            suite=str(span.attrs.get("suite", "?")),
+            mode=str(span.attrs.get("mode", "?")),
+            trace_id=span.trace_id, started=span.start, waited=waited,
+            replies=replies, closed_by=closed_by, satisfied=satisfied))
+    return paths
+
+
+def extract_phase_laggards(spans: Iterable[Span]) -> Dict[str, int]:
+    """Per-server count of arriving *last* in a 2PC phase.
+
+    Prepare/commit wait for every participant, so the slowest reply is
+    the whole phase's critical path.  Phases with a single reply are
+    skipped — being last among one is not a signal.
+    """
+    laggards: Dict[str, int] = {}
+    for span in spans:
+        if span.name not in ("2pc.prepare", "2pc.commit"):
+            continue
+        replies = [event for event in span.events
+                   if event.name == "2pc.reply"]
+        if len(replies) < 2:
+            continue
+        last = max(replies,
+                   key=lambda event: (float(event.attrs.get(
+                       "at", event.time)), str(event.attrs.get("server"))))
+        server = str(last.attrs.get("server", "?"))
+        laggards[server] = laggards.get(server, 0) + 1
+    return laggards
+
+
+class CriticalPathReport:
+    """Aggregated blocking attribution across many quorum operations."""
+
+    def __init__(self, paths: Optional[List[QuorumPath]] = None,
+                 phase_laggards: Optional[Dict[str, int]] = None) -> None:
+        self.paths = paths if paths is not None else []
+        self.phase_laggards = phase_laggards or {}
+        # (suite, rep) -> accumulators
+        self.blocked_ms: Dict[Tuple[str, str], float] = {}
+        self.closes: Dict[Tuple[str, str], int] = {}
+        self.replies: Dict[Tuple[str, str], int] = {}
+        # (suite, mode) -> (operation count, total wait)
+        self.operations: Dict[Tuple[str, str], int] = {}
+        self.total_wait: Dict[Tuple[str, str], float] = {}
+        for path in self.paths:
+            self._fold(path)
+
+    def _fold(self, path: QuorumPath) -> None:
+        op_key = (path.suite, path.mode)
+        self.operations[op_key] = self.operations.get(op_key, 0) + 1
+        self.total_wait[op_key] = (self.total_wait.get(op_key, 0.0)
+                                   + path.waited)
+        for rep, charged in path.attribution().items():
+            key = (path.suite, rep)
+            self.blocked_ms[key] = self.blocked_ms.get(key, 0.0) + charged
+        for reply in path.replies:
+            key = (path.suite, reply.rep)
+            self.replies[key] = self.replies.get(key, 0) + 1
+        if path.closed_by is not None:
+            key = (path.suite, path.closed_by)
+            self.closes[key] = self.closes.get(key, 0) + 1
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def total_blocked_ms(self) -> float:
+        return sum(self.blocked_ms.values())
+
+    def rep_blocked_ms(self) -> Dict[str, float]:
+        """Blocked milliseconds per representative, summed over suites."""
+        out: Dict[str, float] = {}
+        for (_suite, rep), charged in self.blocked_ms.items():
+            out[rep] = out.get(rep, 0.0) + charged
+        return out
+
+    def rep_closes(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for (_suite, rep), count in self.closes.items():
+            out[rep] = out.get(rep, 0) + count
+        return out
+
+    def blocking_share(self) -> Dict[str, float]:
+        """Each rep's fraction of all attributed gather wait, in [0, 1]."""
+        total = self.total_blocked_ms
+        if total <= 0.0:
+            return {}
+        return {rep: charged / total
+                for rep, charged in self.rep_blocked_ms().items()}
+
+    def top_blockers(self, n: int = 5) -> List[Tuple[str, float, int]]:
+        """``(rep, blocked_ms, closes)`` sorted by blocked time, descending.
+
+        Ties break on close count then rep id, so the ranking is
+        deterministic for seeded runs.
+        """
+        closes = self.rep_closes()
+        rows = [(rep, charged, closes.get(rep, 0))
+                for rep, charged in self.rep_blocked_ms().items()]
+        rows.sort(key=lambda row: (-row[1], -row[2], row[0]))
+        return rows[:n]
+
+    def suite_breakdown(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """suite -> mode -> {operations, mean_wait_ms}."""
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for (suite, mode), count in sorted(self.operations.items()):
+            wait = self.total_wait.get((suite, mode), 0.0)
+            out.setdefault(suite, {})[mode] = {
+                "operations": float(count),
+                "mean_wait_ms": wait / count if count else 0.0,
+            }
+        return out
+
+    def render(self, top: int = 5) -> str:
+        """Human-readable summary for soak verdicts and ``repro doctor``."""
+        operations = len(self.paths) or sum(self.operations.values())
+        lines = [f"quorum critical path: {operations} operations, "
+                 f"{self.total_blocked_ms:.1f} ms attributed wait"]
+        share = self.blocking_share()
+        for rep, blocked, closes in self.top_blockers(top):
+            lines.append(
+                f"  {rep}: blocked {blocked:.1f} ms "
+                f"({share.get(rep, 0.0):6.1%} share), "
+                f"closed {closes} quorums")
+        if self.phase_laggards:
+            slowest = sorted(self.phase_laggards.items(),
+                             key=lambda item: (-item[1], item[0]))
+            laggard_text = ", ".join(f"{server}×{count}"
+                                     for server, count in slowest[:top])
+            lines.append(f"  2pc last-reply laggards: {laggard_text}")
+        return "\n".join(lines)
+
+
+def analyze_quorum_paths(spans: Iterable[Span]) -> CriticalPathReport:
+    """One-call analysis: spans in, aggregated attribution out."""
+    spans = list(spans)
+    return CriticalPathReport(paths=extract_quorum_paths(spans),
+                              phase_laggards=extract_phase_laggards(spans))
+
+
+def attribution_from_samples(
+        samples: Iterable[Tuple[str, Mapping[str, Any], float]],
+        prefix: str = "repro_") -> CriticalPathReport:
+    """Decode ``quorum.blocking.*`` metric samples into a report.
+
+    ``samples`` is the :func:`repro.obs.prom.parse_exposition` shape —
+    ``(name, labels, value)`` — typically an aggregated fleet view.
+    The report has no per-operation paths (metrics are already
+    aggregated) but answers the same ``top_blockers`` /
+    ``blocking_share`` queries, so the doctor can cross-check the trace
+    analysis against the online counters.
+    """
+    wait_family = prefix + "quorum_blocking_wait_ms"
+    closed_family = prefix + "quorum_blocking_closed_total"
+    gathers_family = prefix + "quorum_blocking_gathers_total"
+    report = CriticalPathReport()
+    gathers = 0
+    for name, labels, value in samples:
+        suite = str(labels.get("suite", "?"))
+        rep = str(labels.get("rep", "?"))
+        if name == wait_family:
+            key = (suite, rep)
+            report.blocked_ms[key] = (report.blocked_ms.get(key, 0.0)
+                                      + float(value))
+        elif name == closed_family:
+            key = (suite, rep)
+            report.closes[key] = report.closes.get(key, 0) + int(value)
+        elif name == gathers_family:
+            gathers += int(value)
+            mode = str(labels.get("mode", "?"))
+            op_key = (suite, mode)
+            report.operations[op_key] = (report.operations.get(op_key, 0)
+                                         + int(value))
+    return report

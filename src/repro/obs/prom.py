@@ -11,8 +11,11 @@ maps those names onto the Prometheus data model:
   representative;
 * counters gain the conventional ``_total`` suffix;
 * gauges also render their running maximum as ``<family>_max``;
-* histograms render as summaries (φ-quantiles plus ``_sum``/``_count``),
-  exact because the histogram keeps raw samples.
+* histograms render both φ-quantile summary lines (exact, because the
+  histogram keeps raw samples) and cumulative ``_bucket`` lines with
+  ``le`` labels over :data:`BUCKETS` plus ``+Inf`` — quantiles for
+  humans at a single daemon, buckets so :mod:`repro.obs.aggregate` can
+  merge histograms across daemons by summing counts.
 
 Output follows the Prometheus text format 0.0.4 — scrapeable by an
 actual Prometheus, parseable by :func:`parse_exposition` (used by
@@ -22,15 +25,40 @@ actual Prometheus, parseable by :func:`parse_exposition` (used by
 from __future__ import annotations
 
 import re
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..sim.metrics import MetricsRegistry
+from ..sim.metrics import Histogram, MetricsRegistry
 
 #: Content type a /metrics HTTP response should declare.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Quantiles rendered for every histogram.
 QUANTILES = (0.5, 0.95, 0.99)
+
+#: Cumulative bucket boundaries (milliseconds — every histogram in the
+#: registry observes sim/wall milliseconds or small counts, and both
+#: fit this decade ladder).  ``+Inf`` is implicit.
+BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+           1000.0, 2500.0, 5000.0)
+
+#: ``le`` label values corresponding to :data:`BUCKETS` plus ``+Inf``.
+BUCKET_LABELS = tuple(
+    [str(int(b)) if float(b).is_integer() else repr(float(b))
+     for b in BUCKETS] + ["+Inf"])
+
+
+def bucket_counts(histogram: Histogram,
+                  buckets: Tuple[float, ...] = BUCKETS) -> List[int]:
+    """Cumulative sample counts at each boundary, ending with +Inf.
+
+    Exact — computed from the raw samples via one sort (cached inside
+    the histogram), not from pre-binned counts.
+    """
+    ordered = histogram._ordered()
+    counts = [bisect_right(ordered, boundary) for boundary in buckets]
+    counts.append(len(ordered))
+    return counts
 
 _ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
 _LABELLED = re.compile(r"^(?P<family>[^\[\]]+)\[(?P<labels>[^\[\]]*)\]$")
@@ -121,10 +149,14 @@ def render_registry(registry: MetricsRegistry, prefix: str = "repro_",
             emit(name, "gauge", gauge.maximum, suffix="_max")
     for name, histogram in sorted(registry._histograms.items()):
         for quantile in QUANTILES:
-            emit(name, "summary", histogram.percentile(quantile * 100.0),
+            emit(name, "histogram", histogram.percentile(quantile * 100.0),
                  extra_labels={"quantile": _format(quantile)})
         base, labels = split_labels(name)
-        entry = family(name, "summary")
+        entry = family(name, "histogram")
+        for le, count in zip(BUCKET_LABELS, bucket_counts(histogram)):
+            entry.lines.append(
+                f"{entry.name}_bucket"
+                f"{_labels_text({**labels, 'le': le})} {count}")
         entry.lines.append(
             f"{entry.name}_sum{_labels_text(labels)} "
             f"{_format(sum(histogram.samples))}")

@@ -1,0 +1,211 @@
+"""Declarative SLOs with sliding windows and multi-window burn rates.
+
+An SLO here is the standard production contract: over a window, at
+least ``target`` of events must be *good* — a read answered under the
+latency bound, a fresh read no staler than allowed, an operation that
+succeeded.  What makes the contract actionable is the **burn rate**:
+the ratio of the observed bad fraction to the error budget
+(``1 - target``).  Burn 1.0 spends the budget exactly at window's end;
+burn 10 exhausts it ten times faster.
+
+Alerting uses the two-window rule (the one production SRE playbooks
+converged on): an alert state is entered only when *both* a long
+window (is the problem real?) and a short window (is it still
+happening?) burn above the threshold.  That suppresses both
+one-sample blips and stale alarms for incidents already over.
+
+Everything takes explicit ``now`` timestamps from the caller's clock —
+the sim's virtual milliseconds or ``time.monotonic()``-derived wall
+milliseconds — so evaluation is deterministic under the simulator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "SLOSpec",
+    "SLOStatus",
+    "SLOTracker",
+    "SLOEvaluator",
+    "read_latency_slo",
+    "staleness_slo",
+    "success_rate_slo",
+    "OK",
+    "WARN",
+    "PAGE",
+]
+
+OK = "ok"
+WARN = "warn"
+PAGE = "page"
+
+
+class SLOSpec(NamedTuple):
+    """One declarative objective over a sliding window.
+
+    ``kind`` names the event stream the spec consumes; ``threshold``
+    is the goodness bound for value events (a latency/staleness event
+    is *good* when ``value <= threshold``; pass ``None`` for pure
+    success/failure streams where the caller already classified the
+    event).
+    """
+
+    name: str
+    kind: str                     # "read_latency" | "staleness" | "success"
+    target: float                 # fraction of events that must be good
+    threshold: Optional[float] = None
+    window_ms: float = 60_000.0   # long window
+    short_window_ms: float = 5_000.0
+    page_burn: float = 10.0       # burn rate that pages
+    warn_burn: float = 2.0        # burn rate that warns
+
+    @property
+    def error_budget(self) -> float:
+        return max(1.0 - self.target, 1e-12)
+
+    def good(self, value: float) -> bool:
+        """Classify a raw observation for value-threshold specs."""
+        if self.threshold is None:
+            return bool(value)
+        return value <= self.threshold
+
+
+class SLOStatus(NamedTuple):
+    """One spec's evaluation at an instant."""
+
+    name: str
+    state: str                    # OK | WARN | PAGE
+    burn_long: float
+    burn_short: float
+    good: int
+    total: int
+
+    @property
+    def compliance(self) -> float:
+        return self.good / self.total if self.total else 1.0
+
+
+class SLOTracker:
+    """Sliding-window event recorder for one spec."""
+
+    __slots__ = ("spec", "_times", "_bad_times")
+
+    def __init__(self, spec: SLOSpec) -> None:
+        self.spec = spec
+        self._times: List[float] = []       # every event, ascending
+        self._bad_times: List[float] = []   # bad events, ascending
+
+    def record(self, now: float, good: bool) -> None:
+        """Record one classified event at time ``now``.
+
+        Events must arrive in non-decreasing time order (both the sim
+        clock and a monotonic wall clock guarantee it).
+        """
+        if self._times and now < self._times[-1]:
+            raise ValueError("SLO events must be recorded in time order")
+        self._times.append(now)
+        if not good:
+            self._bad_times.append(now)
+
+    def observe(self, now: float, value: float) -> None:
+        """Record a raw observation, classified by the spec."""
+        self.record(now, self.spec.good(value))
+
+    def window_counts(self, now: float, window_ms: float,
+                      ) -> Tuple[int, int]:
+        """``(bad, total)`` events in ``(now - window_ms, now]``."""
+        cutoff = now - window_ms
+        total = len(self._times) - bisect_left(self._times, cutoff)
+        bad = len(self._bad_times) - bisect_left(self._bad_times, cutoff)
+        return bad, total
+
+    def burn_rate(self, now: float, window_ms: float) -> float:
+        """Bad fraction over the window, relative to the error budget."""
+        bad, total = self.window_counts(now, window_ms)
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.spec.error_budget
+
+    def status(self, now: float) -> SLOStatus:
+        spec = self.spec
+        burn_long = self.burn_rate(now, spec.window_ms)
+        burn_short = self.burn_rate(now, spec.short_window_ms)
+        if burn_long >= spec.page_burn and burn_short >= spec.page_burn:
+            state = PAGE
+        elif burn_long >= spec.warn_burn and burn_short >= spec.warn_burn:
+            state = WARN
+        else:
+            state = OK
+        bad, total = self.window_counts(now, spec.window_ms)
+        return SLOStatus(name=spec.name, state=state,
+                         burn_long=burn_long, burn_short=burn_short,
+                         good=total - bad, total=total)
+
+
+class SLOEvaluator:
+    """A set of SLOs fed from shared event streams.
+
+    ``observe(kind, now, value)`` fans one raw observation out to every
+    spec consuming that kind; ``evaluate(now)`` returns each spec's
+    status, worst state first.
+    """
+
+    def __init__(self, specs: List[SLOSpec]) -> None:
+        self.trackers: Dict[str, SLOTracker] = {
+            spec.name: SLOTracker(spec) for spec in specs}
+
+    def observe(self, kind: str, now: float, value: float) -> None:
+        for tracker in self.trackers.values():
+            if tracker.spec.kind == kind:
+                tracker.observe(now, value)
+
+    def evaluate(self, now: float) -> List[SLOStatus]:
+        severity = {PAGE: 0, WARN: 1, OK: 2}
+        statuses = [tracker.status(now)
+                    for _name, tracker in sorted(self.trackers.items())]
+        statuses.sort(key=lambda status: (severity[status.state],
+                                          -status.burn_long, status.name))
+        return statuses
+
+    def worst_state(self, now: float) -> str:
+        states = {status.state for status in self.evaluate(now)}
+        if PAGE in states:
+            return PAGE
+        if WARN in states:
+            return WARN
+        return OK
+
+    def render(self, now: float) -> str:
+        lines = ["SLOs:"]
+        for status in self.evaluate(now):
+            lines.append(
+                f"  [{status.state.upper():<4}] {status.name}: "
+                f"{status.compliance:7.3%} compliant "
+                f"({status.good}/{status.total}), "
+                f"burn {status.burn_long:.2f} long / "
+                f"{status.burn_short:.2f} short")
+        return "\n".join(lines)
+
+
+def read_latency_slo(threshold_ms: float = 250.0, target: float = 0.99,
+                     **overrides) -> SLOSpec:
+    """Reads answered within ``threshold_ms`` at least ``target`` often."""
+    return SLOSpec(name=f"read-p99-under-{threshold_ms:g}ms",
+                   kind="read_latency", target=target,
+                   threshold=threshold_ms, **overrides)
+
+
+def staleness_slo(bound_versions: float = 0.0,
+                  target: float = 0.999, **overrides) -> SLOSpec:
+    """Fresh reads observe a copy at most ``bound_versions`` behind."""
+    return SLOSpec(name=f"fresh-read-lag-le-{bound_versions:g}",
+                   kind="staleness", target=target,
+                   threshold=bound_versions, **overrides)
+
+
+def success_rate_slo(target: float = 0.995, **overrides) -> SLOSpec:
+    """Operations complete successfully at least ``target`` often."""
+    return SLOSpec(name=f"op-success-{target:g}", kind="success",
+                   target=target, threshold=None, **overrides)

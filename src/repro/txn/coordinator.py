@@ -226,7 +226,8 @@ class TransactionManager:
         prepare_span = self._phase_span(txn, "2pc.prepare")
         prepare_started = self.sim.now
         votes = yield from self._gather_votes(
-            txn, trace=self._phase_ctx(prepare_span, txn))
+            txn, trace=self._phase_ctx(prepare_span, txn),
+            span=prepare_span)
         if self.profiler is not None:
             self.profiler.observe("2pc.prepare",
                                   self.sim.now - prepare_started)
@@ -256,7 +257,8 @@ class TransactionManager:
         commit_trace = self._phase_ctx(commit_span, txn)
         commit_started = self.sim.now
         stragglers = yield from self._send_decision(
-            txn.txn_id, to_commit, trace=commit_trace)
+            txn.txn_id, to_commit, trace=commit_trace,
+            span=commit_span)
         if self.profiler is not None:
             self.profiler.observe("2pc.commit",
                                   self.sim.now - commit_started)
@@ -304,30 +306,46 @@ class TransactionManager:
     # ------------------------------------------------------------------
 
     def _gather_votes(self, txn: Transaction,
-                      trace: Optional[TraceContext] = None
+                      trace: Optional[TraceContext] = None,
+                      span=None,
                       ) -> Generator[Any, Any,
                                      List[Tuple[str, bool, Any]]]:
         return (yield from self._broadcast(
             txn.txn_id, "txn.prepare", sorted(txn.participants),
-            trace=trace))
+            trace=trace, span=span))
 
     def _broadcast(self, txn_id: TransactionId, method: str,
                    servers: List[str],
-                   trace: Optional[TraceContext] = None
+                   trace: Optional[TraceContext] = None,
+                   span=None,
                    ) -> Generator[Any, Any, List[Tuple[str, bool, Any]]]:
         """Call ``method`` on every server in parallel; never raises.
 
         Returns ``(server, ok, outcome)`` triples where ``outcome`` is
-        the reply value or the exception.
+        the reply value or the exception.  With a live ``span``, each
+        reply stamps a ``2pc.reply`` event as it arrives — since the
+        phase blocks on *all* participants, the last such event marks
+        the phase's critical participant.
         """
+        started = self.sim.now
+
         def one(server: str):
             try:
                 value = yield self.endpoint.call(
                     server, method, timeout=self.call_timeout,
                     attempts=self.transport_attempts, trace=trace,
                     txn=str(txn_id))
+                if span:
+                    span.event("2pc.reply", server=server, ok=True,
+                               at=self.sim.now,
+                               waited=self.sim.now - started)
                 return (server, True, value)
             except ReproError as exc:
+                if span:
+                    span.event("2pc.reply", server=server, ok=False,
+                               at=self.sim.now,
+                               waited=self.sim.now - started,
+                               error=type(exc).__name__)
                 return (server, False, exc)
 
         processes = [self.sim.spawn(one(server),
@@ -337,11 +355,12 @@ class TransactionManager:
         return results
 
     def _send_decision(self, txn_id: TransactionId, servers: List[str],
-                       trace: Optional[TraceContext] = None
+                       trace: Optional[TraceContext] = None,
+                       span=None,
                        ) -> Generator[Any, Any, List[str]]:
         """Send commit to ``servers``; return those that did not ack."""
         results = yield from self._broadcast(txn_id, "txn.commit", servers,
-                                             trace=trace)
+                                             trace=trace, span=span)
         return [server for server, ok, _outcome in results if not ok]
 
     def _spawn_aborts(self, txn_id: TransactionId, servers: List[str],

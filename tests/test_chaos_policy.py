@@ -65,7 +65,8 @@ class TestChaosPolicy:
         verdict = policy.filter("a", "b")
         assert not verdict.drop and verdict.delay == 0.0
         assert policy.stats() == {"dropped": 0, "delayed": 0,
-                                  "duplicated": 0, "partition_drops": 0}
+                                  "duplicated": 0, "slowed": 0,
+                                  "partition_drops": 0}
 
     def test_same_seed_same_verdicts_per_link(self):
         def sample():

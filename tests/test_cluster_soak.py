@@ -57,6 +57,14 @@ class TestClusterSoak:
         assert {n: r.summary() for n, r in one.reports.items()} == \
             {n: r.summary() for n, r in two.reports.items()}
 
+    def test_soak_attributes_quorum_blocking(self):
+        report = run_cluster_sim_soak(ClusterSoakConfig(seed=11))
+        assert report.critical_path is not None
+        assert report.critical_path.paths
+        top = report.critical_path.top_blockers(1)
+        assert top and top[0][1] > 0.0
+        assert "top blocker" in report.summary()
+
     def test_checker_catches_seeded_corruption(self):
         """The invariant checker is live, not decorative: corrupt one
         recorded read and the verdict flips."""

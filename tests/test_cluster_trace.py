@@ -1,0 +1,72 @@
+"""One connected trace across the directory tier and the data tier.
+
+A cold open is two quorum operations on two different suites — the
+directory shard's read (the lookup) and the data suite's read — often
+served by different daemons.  With a parent span threaded through
+``ShardedNamespace.open_suite`` and ``FileSuiteClient.read``, both must
+land in ONE stitched trace tree, on the simulated kernel and on real
+TCP daemons alike.
+"""
+
+import asyncio
+
+from repro.cluster import ClusterSpec, LiveCluster, SimCluster
+from repro.cluster.namespace import SHARD_PREFIX
+
+
+def _assert_connected_tree(spans, root):
+    """Every span hangs off the single root; names span both tiers."""
+    tree = [span for span in spans if span.trace_id == root.trace_id]
+    ids = {span.span_id for span in tree}
+    roots = [span for span in tree if span.parent_id is None]
+    assert [span.span_id for span in roots] == [root.span_id]
+    for span in tree:
+        if span.parent_id is not None:
+            assert span.parent_id in ids, \
+                f"span {span.name} dangles from {span.parent_id}"
+
+    reads = [span for span in tree if span.name == "suite.read"]
+    suites = {str(span.attrs.get("suite", "")) for span in reads}
+    assert any(name.startswith(SHARD_PREFIX) for name in suites), \
+        f"no directory-shard read in {sorted(suites)}"
+    assert "app-002" in suites
+    gathers = [span for span in tree if span.name == "quorum.assemble"]
+    assert len(gathers) >= 2          # one per tier at minimum
+    return tree
+
+
+def test_cold_open_is_one_trace_on_sim():
+    spec = ClusterSpec(servers=3, suites=4, directory_shards=2, seed=5)
+    cluster = SimCluster(spec, obs=True).start()
+    collector = cluster.bed.collector
+    root = collector.start_trace("cluster.cold_read")
+    handle = cluster.bed.run(
+        cluster.namespace.open_suite("app-002", parent=root))
+    result = cluster.bed.run(handle.read(parent=root))
+    root.end()
+    assert result.data == b"app-002:v1"
+    _assert_connected_tree(collector.spans(), root)
+
+
+def test_cold_open_is_one_trace_on_live(tmp_path):
+    spec = ClusterSpec(servers=3, suites=4, directory_shards=2, seed=5)
+
+    async def scenario():
+        async with LiveCluster(spec,
+                               data_root=str(tmp_path)) as cluster:
+            client = cluster.loopback.client
+            root = client.collector.start_trace("cluster.cold_read")
+            handle = await cluster.loopback.run(
+                cluster.namespace.open_suite("app-002", parent=root))
+            result = await cluster.loopback.run(
+                handle.read(parent=root))
+            root.end()
+            assert result.data == b"app-002:v1"
+            # Merged client + server spans: the tree crosses processes.
+            spans = cluster.loopback.merged_spans()
+            tree = _assert_connected_tree(spans, root)
+            origins = {span.origin for span in tree}
+            assert len(origins) > 1, \
+                f"trace never crossed a process: {origins}"
+
+    asyncio.run(scenario())

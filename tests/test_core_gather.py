@@ -96,3 +96,65 @@ class TestGatherUntil:
         assert "s" not in result.successes
         sim.run()
         assert slow.triggered  # still settles afterwards, harmlessly
+
+
+class TestSettleOrder:
+    def test_order_records_every_settle_with_time(self, sim):
+        calls = {f"k{i}": sim.timeout(float(i), value=i)
+                 for i in range(3)}
+
+        def flow():
+            result = yield from gather_until(
+                sim, calls, lambda s, f: len(s) >= 3)
+            return result
+
+        result = sim.run_process(flow())
+        assert [(key, at) for key, at, _ok in result.order] == \
+            [("k0", 0.0), ("k1", 1.0), ("k2", 2.0)]
+        assert all(ok for _key, _at, ok in result.order)
+
+    def test_closed_by_is_the_reply_that_satisfied(self, sim):
+        calls = {f"k{i}": sim.timeout(float(i), value=i)
+                 for i in range(4)}
+
+        def flow():
+            result = yield from gather_until(
+                sim, calls, lambda s, f: len(s) >= 2)
+            return result
+
+        result = sim.run_process(flow())
+        assert result.closed_by == "k1"
+        # Replies after the close never enter the order.
+        assert [key for key, _at, _ok in result.order] == ["k0", "k1"]
+
+    def test_failures_appear_in_order_with_ok_false(self, sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("down"))
+        ok = sim.timeout(2.0, "fine")
+
+        def flow():
+            result = yield from gather_until(
+                sim, {"bad": bad, "good": ok},
+                lambda s, f: len(s) >= 1)
+            return result
+
+        result = sim.run_process(flow())
+        flags = dict((key, ok_flag)
+                     for key, _at, ok_flag in result.order)
+        assert flags["bad"] is False
+        assert flags["good"] is True
+        assert result.closed_by == "good"
+
+    def test_unsatisfied_gather_has_no_closer(self, sim):
+        bad = sim.event()
+        bad.fail(ValueError("a"))
+
+        def flow():
+            result = yield from gather_until(
+                sim, {"x": bad}, lambda s, f: len(s) >= 1)
+            return result
+
+        result = sim.run_process(flow())
+        assert not result.satisfied
+        assert result.closed_by is None
+        assert [key for key, _at, _ok in result.order] == ["x"]

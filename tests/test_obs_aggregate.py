@@ -1,0 +1,150 @@
+"""Fleet-wide metrics aggregation: merge rules and keyed views."""
+
+import pytest
+
+from repro.obs.aggregate import (FleetView, MergedHistogram,
+                                 load_obs_manifest, render_fleet_view,
+                                 snapshot_registry, write_obs_manifest)
+from repro.obs.prom import (BUCKET_LABELS, BUCKETS, bucket_counts,
+                            parse_exposition, render_registry)
+from repro.sim.metrics import Histogram, MetricsRegistry
+
+
+class TestBucketExposition:
+    def test_bucket_counts_are_cumulative(self):
+        histogram = Histogram("h")
+        for value in (0.5, 3.0, 3.0, 40.0, 9_999.0):
+            histogram.observe(value)
+        counts = bucket_counts(histogram)
+        assert len(counts) == len(BUCKETS) + 1      # ladder + +Inf
+        assert counts[0] == 1                       # <= 1 ms
+        assert counts[2] == 3                       # <= 5 ms
+        assert counts[-1] == 5                      # +Inf sees all
+        assert counts == sorted(counts)
+
+    def test_render_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("suite.quorum_wait[suite=a]")
+        for value in (2.0, 30.0, 700.0):
+            histogram.observe(value)
+        samples = parse_exposition(render_registry(registry))
+        buckets = {labels["le"]: value for name, labels, value in samples
+                   if name == "repro_suite_quorum_wait_bucket"}
+        assert set(buckets) == set(BUCKET_LABELS)
+        assert buckets["+Inf"] == 3.0
+        assert buckets["2"] == 1.0
+        sums = [value for name, labels, value in samples
+                if name == "repro_suite_quorum_wait_sum"]
+        assert sums == [pytest.approx(732.0)]
+
+
+class TestMergedHistogram:
+    def test_quantile_upper_bounds(self):
+        merged = MergedHistogram(
+            {"1": 0.0, "10": 6.0, "100": 9.0, "+Inf": 10.0},
+            total=500.0, count=10.0)
+        assert merged.mean == 50.0
+        assert merged.quantile(0.5) == 10.0
+        assert merged.quantile(0.95) == float("inf")
+        assert merged.quantile(0.0) == 1.0
+
+    def test_empty_histogram(self):
+        merged = MergedHistogram({}, 0.0, 0.0)
+        assert merged.mean == 0.0
+        assert merged.quantile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            merged.quantile(1.5)
+
+
+def two_source_view():
+    view = FleetView()
+    view.add_text("n1", "\n".join([
+        'repro_ops_total{suite="a"} 10',
+        'repro_suite_quorum_wait_bucket{le="10"} 4',
+        'repro_suite_quorum_wait_bucket{le="+Inf"} 6',
+        'repro_suite_quorum_wait_sum 90',
+        'repro_suite_quorum_wait_count 6',
+        'repro_suite_quorum_wait{quantile="0.5"} 9',
+        'repro_suite_version_lag{suite="a",rep="r2"} 1',
+        'repro_health_breaker_state{server="n2"} 1.0',
+    ]))
+    view.add_text("n2", "\n".join([
+        'repro_ops_total{suite="a"} 5',
+        'repro_suite_quorum_wait_bucket{le="10"} 1',
+        'repro_suite_quorum_wait_bucket{le="+Inf"} 4',
+        'repro_suite_quorum_wait_sum 210',
+        'repro_suite_quorum_wait_count 4',
+        'repro_suite_version_lag{suite="a",rep="r2"} 3',
+        'repro_health_breaker_state{server="n2"} 0.5',
+        'repro_quorum_blocking_wait_ms{suite="a",rep="r2"} 80',
+        'repro_quorum_blocking_closed_total{suite="a",rep="r2"} 2',
+    ]))
+    return view
+
+
+class TestFleetView:
+    def test_counters_sum_and_quantiles_are_skipped(self):
+        view = two_source_view()
+        merged = view.merged_counters()
+        assert merged[("repro_ops_total",
+                       (("suite", "a"),))] == 15.0
+        assert not any(name == "repro_suite_quorum_wait"
+                       for name, _labels in merged)
+        assert view.counter_total("repro_ops_total") == 15.0
+
+    def test_histograms_merge_bucketwise(self):
+        merged = two_source_view().histogram("repro_suite_quorum_wait")
+        assert merged.buckets == {"10": 5.0, "+Inf": 10.0}
+        assert merged.count == 10.0
+        assert merged.mean == 30.0
+        assert merged.quantile(0.5) == 10.0
+
+    def test_gauges_stay_per_source_and_skyline_takes_max(self):
+        view = two_source_view()
+        series = view.gauge_series("repro_suite_version_lag")
+        key = (("rep", "r2"), ("suite", "a"))
+        assert series[key] == {"n1": 1.0, "n2": 3.0}
+        assert view.version_lag_skyline()[("a", "r2")] == 3.0
+
+    def test_breaker_states_decode_per_source(self):
+        view = two_source_view()
+        assert view.breaker_states()[("n1", "n2")] == "open"
+        assert view.breaker_states()[("n2", "n2")] == "half-open"
+        assert view.open_breakers() == [("n1", "n2", "open"),
+                                        ("n2", "n2", "half-open")]
+
+    def test_quorum_blocking_report(self):
+        report = two_source_view().quorum_blocking()
+        assert report.rep_blocked_ms() == {"r2": 80.0}
+        assert report.rep_closes() == {"r2": 2}
+
+    def test_errors_recorded_not_raised(self):
+        view = two_source_view()
+        view.add_error("n3", "ConnectionRefusedError: nope")
+        rendered = render_fleet_view(view)
+        assert "!! n3" in rendered
+        assert "top quorum blockers" in rendered
+        assert "version-lag skyline" in rendered
+        assert "open circuit breakers" in rendered
+
+    def test_snapshot_registry_uses_exposition_pipeline(self):
+        registry = MetricsRegistry()
+        registry.counter("ops[suite=a]").increment(4)
+        view = snapshot_registry("sim", registry)
+        assert view.counter_total("repro_ops_total") == 4.0
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "obs.json")
+        addresses = {"n1": ("127.0.0.1", 9001),
+                     "n2": ("127.0.0.1", 9002)}
+        write_obs_manifest(addresses, path)
+        assert load_obs_manifest(path) == addresses
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises((ValueError, KeyError, TypeError,
+                            AttributeError)):
+            load_obs_manifest(str(path))

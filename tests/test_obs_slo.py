@@ -1,0 +1,130 @@
+"""Declarative SLOs: windows, burn rates, and two-window alerting."""
+
+import pytest
+
+from repro.obs.slo import (OK, PAGE, WARN, SLOEvaluator, SLOSpec,
+                           SLOTracker, read_latency_slo, staleness_slo,
+                           success_rate_slo)
+
+
+class TestSpec:
+    def test_threshold_classification(self):
+        spec = read_latency_slo(threshold_ms=100.0)
+        assert spec.good(100.0)
+        assert not spec.good(100.1)
+        assert spec.kind == "read_latency"
+
+    def test_boolean_classification(self):
+        spec = success_rate_slo()
+        assert spec.good(1.0)
+        assert not spec.good(0.0)
+
+    def test_error_budget_never_zero(self):
+        spec = SLOSpec(name="s", kind="success", target=1.0)
+        assert spec.error_budget > 0.0
+
+
+class TestTracker:
+    def test_requires_time_order(self):
+        tracker = SLOTracker(success_rate_slo())
+        tracker.record(10.0, True)
+        tracker.record(10.0, True)        # equal timestamps are fine
+        with pytest.raises(ValueError):
+            tracker.record(9.0, True)
+
+    def test_window_counts_slide(self):
+        tracker = SLOTracker(SLOSpec(name="s", kind="success",
+                                     target=0.9, window_ms=100.0))
+        tracker.record(0.0, False)
+        tracker.record(50.0, True)
+        tracker.record(120.0, False)
+        assert tracker.window_counts(120.0, 100.0) == (1, 2)
+        assert tracker.window_counts(120.0, 1_000.0) == (2, 3)
+
+    def test_burn_rate_relative_to_budget(self):
+        spec = SLOSpec(name="s", kind="success", target=0.9,
+                       window_ms=100.0)
+        tracker = SLOTracker(spec)
+        for index in range(9):
+            tracker.record(float(index), True)
+        tracker.record(9.0, False)
+        # 10% bad over a 10% budget: burn exactly 1.
+        assert tracker.burn_rate(9.0, 100.0) == pytest.approx(1.0)
+
+    def test_two_window_rule(self):
+        spec = SLOSpec(name="s", kind="success", target=0.9,
+                       window_ms=1_000.0, short_window_ms=100.0,
+                       page_burn=5.0, warn_burn=2.0)
+        tracker = SLOTracker(spec)
+        # An old burst of failures, then a long healthy stretch: the
+        # long window still burns but the short window is clean, so no
+        # alert fires for an incident that is already over.
+        for index in range(10):
+            tracker.record(float(index), False)
+        for index in range(10, 30):
+            tracker.record(float(index) * 30.0, True)
+        status = tracker.status(900.0)
+        assert status.burn_long >= spec.warn_burn
+        assert status.burn_short < spec.warn_burn
+        assert status.state == OK
+
+        # A fresh burst lights up both windows.
+        fresh = SLOTracker(spec)
+        for index in range(20):
+            fresh.record(float(index), index % 2 == 0)
+        status = fresh.status(19.0)
+        assert status.burn_long >= spec.page_burn
+        assert status.burn_short >= spec.page_burn
+        assert status.state == PAGE
+
+    def test_warn_between_thresholds(self):
+        spec = SLOSpec(name="s", kind="success", target=0.9,
+                       window_ms=100.0, short_window_ms=100.0,
+                       page_burn=5.0, warn_burn=2.0)
+        tracker = SLOTracker(spec)
+        for index in range(10):
+            tracker.record(float(index), index != 0)   # 10% bad: burn 1
+        assert tracker.status(9.0).state == OK
+        for index in range(10, 13):
+            tracker.record(float(index), False)        # now > 2x budget
+        status = tracker.status(13.0)
+        assert status.state == WARN
+
+    def test_empty_tracker_is_ok(self):
+        status = SLOTracker(success_rate_slo()).status(0.0)
+        assert status.state == OK
+        assert status.compliance == 1.0
+
+
+class TestEvaluator:
+    def test_fan_out_by_kind_and_worst_first(self):
+        evaluator = SLOEvaluator([
+            success_rate_slo(target=0.5),
+            read_latency_slo(threshold_ms=10.0, target=0.5,
+                             page_burn=1.5, warn_burn=1.1),
+            staleness_slo(),
+        ])
+        for index in range(10):
+            now = float(index)
+            evaluator.observe("success", now, 1.0)
+            evaluator.observe("read_latency", now, 999.0)  # all bad
+        statuses = evaluator.evaluate(10.0)
+        assert statuses[0].name.startswith("read-p99")
+        assert statuses[0].state == PAGE
+        assert evaluator.worst_state(10.0) == PAGE
+        rendered = evaluator.render(10.0)
+        assert "[PAGE]" in rendered
+        assert "op-success" in rendered
+
+    def test_deterministic_under_replay(self):
+        def run():
+            evaluator = SLOEvaluator([success_rate_slo(target=0.9),
+                                      read_latency_slo()])
+            for index in range(50):
+                now = float(index * 7)
+                evaluator.observe("success", now, float(index % 3 != 0))
+                evaluator.observe("read_latency", now,
+                                  float(index % 10) * 40.0)
+            return evaluator.render(350.0)
+
+        assert run() == run()
