@@ -14,6 +14,8 @@ A complete reproduction of the paper's system, bottom to top:
   reconfiguration, and the closed-form performance/availability model.
 * :mod:`repro.baselines` — read-one/write-all, primary copy, and
   majority consensus for comparison.
+* :mod:`repro.autonomy` — the vote autopilot: health-driven autonomous
+  weight reassignment through the live-reconfiguration path.
 * :mod:`repro.workload` — operation mixes and client drivers.
 * :mod:`repro.violet` — the calendar application layer of the paper's
   prototype.

@@ -1,0 +1,38 @@
+"""Autonomous weight reassignment: the health-driven vote autopilot.
+
+Gifford's central knob — the per-file vote assignment — is static in
+the paper: an administrator chooses weights once, from an external
+estimate of each host's reliability and speed.  This package closes
+the loop.  The telemetry the repo already collects (breaker state and
+flap history from :mod:`repro.chaos.health`, version lag from the obs
+gauges, blocking share from the quorum critical path) *is* that
+estimate, continuously refreshed; :class:`WeightAutopilot` turns it
+into vote reassignments executed through the ordinary old-quorum
+reconfiguration path (:func:`repro.core.reconfig.change_configuration`),
+so every autonomous change inherits the paper's safety argument
+verbatim.
+
+Layers (see ``docs/AUTONOMY.md``):
+
+* :mod:`~repro.autonomy.signals` — fold the registries into one
+  :class:`RepSignals` per representative;
+* :mod:`~repro.autonomy.policy` — score signals with hysteresis, and
+  the hard safety gate (``r + w > N``, ``2w > N``, survivability
+  floor) that no proposal can bypass;
+* :mod:`~repro.autonomy.controller` — the deterministic observe →
+  plan → gate → execute loop, runnable on both runtimes.
+"""
+
+from .controller import ReassignmentRecord, WeightAutopilot
+from .policy import AutopilotPolicy, gate_proposal, score_signals
+from .signals import RepSignals, collect_signals
+
+__all__ = [
+    "AutopilotPolicy",
+    "ReassignmentRecord",
+    "RepSignals",
+    "WeightAutopilot",
+    "collect_signals",
+    "gate_proposal",
+    "score_signals",
+]

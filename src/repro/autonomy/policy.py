@@ -1,0 +1,144 @@
+"""Scoring, hysteresis parameters, and the hard safety gate.
+
+Two separable concerns live here:
+
+**Scoring** maps one representative's signals to an instantaneous
+badness in ``[0, ~2]``: an open breaker or a dominant blocking share
+alone clears the demote threshold; flap history and version lag are
+supporting evidence that push a borderline case over.  The controller
+smooths instantaneous scores with an EWMA and requires
+``demote_patience`` consecutive hot observations, so one unlucky
+sample never moves votes.
+
+**The gate** is the last line: a pure function over the *proposed*
+vote vector that rejects anything violating Gifford's feasibility
+rules — ``r + w > N`` and ``2w > N`` with ``N`` the proposed total,
+quorums within ``[1, N]`` — or dropping the count of voting
+representatives below the survivability floor
+(``min_voting_reps``).  The controller consults it before every
+reconfiguration, and a rejection is recorded, not retried blindly.
+Because the gate checks the raw vote dictionary *before* a
+:class:`SuiteConfiguration` is constructed, an infeasible proposal is
+refused as data instead of exploding in the constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..chaos.health import HALF_OPEN, OPEN
+from ..core.votes import SuiteConfiguration
+from .signals import RepSignals
+
+
+@dataclass(frozen=True)
+class AutopilotPolicy:
+    """Tunable knobs; the defaults favour stability over reactivity."""
+
+    #: Signal weights.  Breaker and blocking each saturate at 1.0 — a
+    #: solidly open breaker or a monopolised critical path is on its
+    #: own enough to cross ``demote_threshold``; flap and lag are
+    #: corroborating evidence.
+    breaker_weight: float = 1.0
+    flap_weight: float = 0.35
+    lag_weight: float = 0.25
+    blocking_weight: float = 1.0
+    #: Versions-behind at which the lag term saturates.
+    lag_tolerance: float = 2.0
+    #: Windowed blocking mass (ms across the whole suite) at which the
+    #: blocking share counts at full confidence.  Below it the term is
+    #: scaled down: in a near-idle window *somebody* always arrives
+    #: last and holds 100% of the share, and that is not evidence.
+    blocking_floor_ms: float = 200.0
+    #: Per-window breaker opens at which the flap term saturates is
+    #: ``1 / flap_per_open`` opens.
+    flap_per_open: float = 0.5
+    #: EWMA smoothing factor (weight of the newest observation).
+    ewma_alpha: float = 0.5
+    #: Demotion needs the instantaneous score at or above this for
+    #: ``demote_patience`` consecutive observations *and* the EWMA
+    #: there too.
+    demote_threshold: float = 0.6
+    demote_patience: int = 2
+    #: Restoration needs the score at or below this (with the breaker
+    #: closed) for ``restore_patience`` consecutive observations.
+    restore_threshold: float = 0.2
+    restore_patience: int = 2
+    #: Votes moved by a single reassignment.
+    max_shift_per_round: int = 1
+    #: Quiet period after an applied reassignment (ms).
+    cooldown_ms: float = 1_500.0
+    #: Survivability floor: a proposal may never leave fewer voting
+    #: representatives than this.
+    min_voting_reps: int = 2
+    #: Default pacing of the background loop (ms between observations).
+    interval_ms: float = 500.0
+
+
+def _clamp01(value: float) -> float:
+    return 0.0 if value < 0.0 else (1.0 if value > 1.0 else value)
+
+
+def score_signals(signals: RepSignals, policy: AutopilotPolicy,
+                  opens_delta: int = 0, num_reps: int = 1) -> float:
+    """Instantaneous badness of one representative."""
+    if signals.breaker_state == OPEN:
+        breaker_term = 1.0
+    elif signals.breaker_state == HALF_OPEN:
+        breaker_term = 0.5
+    else:
+        breaker_term = 0.0
+    flap_term = min(1.0, max(0, opens_delta) * policy.flap_per_open)
+    lag_term = min(1.0, signals.lag / policy.lag_tolerance) \
+        if policy.lag_tolerance > 0 else 0.0
+    if num_reps > 1:
+        fair = 1.0 / num_reps
+        blocking_term = _clamp01(
+            (signals.blocking_share - fair) / (1.0 - fair))
+        if policy.blocking_floor_ms > 0:
+            blocking_term *= min(
+                1.0, signals.blocking_window_ms
+                / policy.blocking_floor_ms)
+    else:
+        blocking_term = 0.0
+    return (breaker_term * policy.breaker_weight
+            + flap_term * policy.flap_weight
+            + lag_term * policy.lag_weight
+            + blocking_term * policy.blocking_weight)
+
+
+def gate_proposal(current: SuiteConfiguration, votes: Dict[str, int],
+                  policy: AutopilotPolicy) -> Optional[str]:
+    """Why ``votes`` must be rejected, or ``None`` if it is safe.
+
+    ``votes`` maps every ``rep_id`` of ``current`` to its proposed
+    weight; the read/write quorum sizes are taken from ``current``
+    unchanged.  Pure and side-effect free — the caller decides what to
+    do with the verdict.
+    """
+    unknown = set(votes) - {rep.rep_id
+                            for rep in current.representatives}
+    if unknown:
+        return f"unknown representatives: {sorted(unknown)}"
+    if any(v < 0 for v in votes.values()):
+        return "negative votes"
+    total = sum(votes.values())
+    if total <= 0:
+        return "no votes left in the suite"
+    r, w = current.read_quorum, current.write_quorum
+    if not 1 <= r <= total:
+        return f"read quorum {r} outside [1, {total}]"
+    if not 1 <= w <= total:
+        return f"write quorum {w} outside [1, {total}]"
+    if r + w <= total:
+        return (f"r + w = {r + w} would not exceed total votes {total} "
+                "(a read quorum could miss the latest write)")
+    if 2 * w <= total:
+        return (f"2w = {2 * w} would not exceed total votes {total} "
+                "(two write quorums could be disjoint)")
+    voting = sum(1 for v in votes.values() if v > 0)
+    if voting < policy.min_voting_reps:
+        return (f"only {voting} voting representatives left, floor is "
+                f"{policy.min_voting_reps}")
+    return None

@@ -43,7 +43,18 @@ STATE_OF_VALUE = {value: state for state, value in _STATE_VALUE.items()}
 
 
 class CircuitBreaker:
-    """One server's breaker.  ``clock`` supplies "now" in ms."""
+    """One server's breaker.  ``clock`` supplies "now" in ms.
+
+    Besides the live state, the breaker keeps its *transition history*:
+    how many times it opened (``opens``), how many times it closed
+    again after being open (``closes``), and when the last open/close
+    transition happened (``last_transition``).  ``opens`` and
+    ``closes`` together distinguish a *flapping* representative (both
+    counters climbing — it keeps dying and recovering) from a solidly
+    dead one (``opens`` ahead of ``closes`` and the breaker still
+    open), which is exactly the evidence the vote autopilot and
+    ``repro doctor`` weigh.
+    """
 
     def __init__(self, clock: Callable[[], float],
                  failure_threshold: int = 3,
@@ -60,6 +71,8 @@ class CircuitBreaker:
         self.opened_at: Optional[float] = None
         self._probe_at: Optional[float] = None
         self.opens = 0
+        self.closes = 0
+        self.last_transition: Optional[float] = None
 
     def allow(self) -> bool:
         """May a call be sent now?  Claims the half-open probe slot.
@@ -89,6 +102,9 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self.closes += 1
+            self.last_transition = self.clock()
         self.state = CLOSED
         self.opened_at = None
         self._probe_at = None
@@ -105,6 +121,7 @@ class CircuitBreaker:
         self.opened_at = self.clock()
         self._probe_at = None
         self.opens += 1
+        self.last_transition = self.opened_at
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<CircuitBreaker {self.state} "
@@ -118,6 +135,12 @@ class HealthTracker:
     registry, each breaker's state is mirrored in a
     ``health.breaker_state[server=...]`` gauge (0 closed, 0.5
     half-open, 1 open) and trips count in ``health.breaker_opens``.
+    The transition history is mirrored too:
+    ``health.breaker_opens[server=...]`` /
+    ``health.breaker_closes[server=...]`` gauges carry the per-breaker
+    counters and ``health.breaker_last_transition_ms[server=...]``
+    the clock reading of the last open/close flip, so a scrape can
+    tell a flapping representative from a solidly dead one.
     """
 
     def __init__(self, clock: Callable[[], float],
@@ -148,7 +171,10 @@ class HealthTracker:
 
     def record_success(self, server: str) -> None:
         breaker = self.breaker(server)
+        before = breaker.closes
         breaker.record_success()
+        if self.metrics is not None and breaker.closes > before:
+            self.metrics.counter("health.breaker_closes").increment()
         self._mirror(server, breaker)
 
     def record_failure(self, server: str) -> None:
@@ -164,6 +190,16 @@ class HealthTracker:
             self.metrics.gauge(
                 f"health.breaker_state[server={server}]").set(
                 _STATE_VALUE[breaker.state])
+            self.metrics.gauge(
+                f"health.breaker_opens[server={server}]").set(
+                float(breaker.opens))
+            self.metrics.gauge(
+                f"health.breaker_closes[server={server}]").set(
+                float(breaker.closes))
+            if breaker.last_transition is not None:
+                self.metrics.gauge(
+                    f"health.breaker_last_transition_ms"
+                    f"[server={server}]").set(breaker.last_transition)
 
     def state(self, server: str) -> str:
         """The breaker state without claiming a probe slot."""
@@ -175,6 +211,8 @@ class HealthTracker:
         return {
             server: {"state": breaker.state,
                      "consecutive_failures": breaker.consecutive_failures,
-                     "opens": breaker.opens}
+                     "opens": breaker.opens,
+                     "closes": breaker.closes,
+                     "last_transition": breaker.last_transition}
             for server, breaker in sorted(self._breakers.items())
         }

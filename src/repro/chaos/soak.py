@@ -31,13 +31,15 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
+from ..autonomy.controller import WeightAutopilot
+from ..autonomy.policy import AutopilotPolicy
 from ..core.votes import Representative, SuiteConfiguration
 from ..errors import ReproError
 from ..sim.rng import RandomStreams
 from .health import HealthTracker
 from .invariants import InvariantReport, OpRecord, check_history
-from .nemesis import (NemesisScript, random_nemesis, run_live_nemesis,
-                      schedule_on_sim)
+from .nemesis import (NemesisScript, markov_nemesis, random_nemesis,
+                      run_live_nemesis, schedule_on_sim)
 from .policy import ChaosPolicy
 
 #: Payload installed at version 1.
@@ -62,9 +64,28 @@ class SoakConfig:
     duplicate_probability: float = 0.02
 
     # Nemesis (crash / restart / partition schedule).
+    nemesis_kind: str = "random"         # "random" | "markov" | "none"
     horizon: Optional[float] = None      # ms; default derived from ops
     mean_interval: float = 1_000.0
     max_down: Optional[int] = None       # default (reps - 1) // 2
+    markov_availability: float = 0.9
+    markov_mttr: float = 1_500.0
+
+    # Vote autopilot: step the controller from the op driver every
+    # ``autopilot_interval_ops`` operations (sequential with the ops,
+    # so each reassignment lands at a well-defined point of the
+    # history and the invariant checker covers it exactly).
+    autopilot: bool = False
+    autopilot_interval_ops: int = 10
+    autopilot_restore_rounds: int = 12
+
+    # Planted degradation for the known-answer scenario: ``slow_host``
+    # the server past the call timeout (every RPC to it times out, the
+    # breaker path), healed at op index ``degrade_heal_at`` (default
+    # halfway) so the tail of the run exercises restoration.
+    degrade_server: Optional[str] = None
+    degrade_delay_ms: float = 400.0
+    degrade_heal_at: Optional[int] = None
 
     # Read fast path: on by default (the production default); a soak
     # may turn it off to exercise the legacy two-trip path, or set
@@ -92,6 +113,14 @@ class SoakConfig:
             raise ValueError("need at least 3 representatives")
         if self.ops < 1:
             raise ValueError("need at least one operation")
+        if self.nemesis_kind not in ("random", "markov", "none"):
+            raise ValueError(
+                f"unknown nemesis kind {self.nemesis_kind!r}")
+        if self.degrade_server is not None \
+                and self.degrade_server not in self.server_names:
+            raise ValueError(
+                f"degrade server {self.degrade_server!r} not in the "
+                "cluster")
 
     @property
     def server_names(self) -> List[str]:
@@ -128,10 +157,31 @@ class SoakConfig:
                            duplicate_probability=self.duplicate_probability)
 
     def nemesis(self, streams: RandomStreams) -> NemesisScript:
+        if self.nemesis_kind == "none":
+            return NemesisScript(steps=[], horizon=0.0)
+        if self.nemesis_kind == "markov":
+            return markov_nemesis(self.server_names,
+                                  availability=self.markov_availability,
+                                  mttr=self.markov_mttr,
+                                  horizon=self.nemesis_horizon(),
+                                  streams=streams)
         return random_nemesis(self.server_names, streams=streams,
                               horizon=self.nemesis_horizon(),
                               mean_interval=self.mean_interval,
                               max_down=self.max_down)
+
+    def degrade_heal_index(self) -> Optional[int]:
+        if self.degrade_server is None:
+            return None
+        if self.degrade_heal_at is not None:
+            return self.degrade_heal_at
+        return self.ops // 2
+
+    def autopilot_policy(self) -> AutopilotPolicy:
+        """Soak tuning: the survivability floor is a full majority of
+        voting representatives, so even repeated demotions can never
+        leave the suite unable to lose one more server."""
+        return AutopilotPolicy(min_voting_reps=self.majority)
 
 
 @dataclass
@@ -146,6 +196,9 @@ class SoakReport:
     nemesis_steps: int
     breakers: Dict[str, Any] = field(default_factory=dict)
     elapsed_ms: float = 0.0
+    #: :meth:`WeightAutopilot.state` at the end of the run, when the
+    #: autopilot was enabled.
+    autopilot: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -161,27 +214,110 @@ class SoakReport:
     def summary(self) -> str:
         chaos = ", ".join(f"{name}={count}" for name, count
                           in sorted(self.chaos_stats.items()))
+        autopilot = ""
+        if self.autopilot is not None:
+            autopilot = (
+                f" | autopilot: {self.autopilot['applied']} applied, "
+                f"{self.autopilot['rejected_gate']} gate-rejected, "
+                f"{'at' if self.autopilot['at_seed_weights'] else 'OFF'}"
+                " seed weights")
         return (f"[{self.runtime}] seed={self.config.seed} "
                 f"{self.report.summary()} | nemesis steps: "
                 f"{self.nemesis_steps} | {chaos} | "
-                f"{self.elapsed_ms:.0f}ms")
+                f"{self.elapsed_ms:.0f}ms{autopilot}")
 
 
 # ---------------------------------------------------------------------------
 # The shared op driver (one generator, both runtimes)
 # ---------------------------------------------------------------------------
 
-def _drive_ops(suite, clock, config: SoakConfig,
-               rng) -> Generator[Any, Any, List[OpRecord]]:
-    """Issue the seeded op mix sequentially; record every outcome."""
+def _drive_ops(suite, clock, config: SoakConfig, rng,
+               autopilot: Optional[WeightAutopilot] = None,
+               policy: Optional[ChaosPolicy] = None,
+               ) -> Generator[Any, Any, List[OpRecord]]:
+    """Issue the seeded op mix sequentially; record every outcome.
+
+    With an ``autopilot``, the controller is stepped every
+    ``autopilot_interval_ops`` operations *between* ops — sequential
+    with the workload, so every reassignment lands at a well-defined
+    point of the history and is covered by the invariant checker (a
+    reconfiguration is a committed write; see
+    :func:`_autopilot_step`).  With a ``policy`` and a configured
+    ``degrade_server``, the planted slowdown is injected before the
+    first op and healed at ``degrade_heal_index()``.
+    """
     history: List[OpRecord] = []
+    heal_at = config.degrade_heal_index()
     for index in range(config.ops):
+        if policy is not None and config.degrade_server is not None:
+            if index == 0:
+                policy.slow_host(config.degrade_server,
+                                 config.degrade_delay_ms)
+            elif index == heal_at:
+                policy.clear_slow_hosts()
         if rng.random() < config.read_fraction:
             yield from _one_read(suite, clock, index, history)
         else:
             yield from _one_write(suite, clock, index, history,
                                   tag=f"soak-{index}")
+        if autopilot is not None and config.autopilot_interval_ops > 0 \
+                and (index + 1) % config.autopilot_interval_ops == 0:
+            yield from _autopilot_step(autopilot, clock, index, history)
     return history
+
+
+def _latest_commit(history: List[OpRecord]) -> "tuple[int, str]":
+    """The checker's latest committed ``(version, tag)`` so far.
+
+    The driver is sequential and failed writes are provably
+    uncommitted, so the highest committed write version *is* the
+    current version a reconfiguration bumps from.
+    """
+    version, tag = 1, INITIAL_TAG
+    for record in history:
+        if record.kind == "write" and record.ok \
+                and record.version is not None \
+                and record.version > version:
+            version, tag = record.version, record.tag
+    return version, tag
+
+
+def _autopilot_step(autopilot: WeightAutopilot, clock, index: int,
+                    history: List[OpRecord],
+                    ) -> Generator[Any, Any, None]:
+    """One control round, with the reconfiguration made visible to the
+    invariant checker: an applied reassignment re-stages the current
+    payload at ``version = current + 1``, i.e. it *is* a committed
+    write, so a synthetic committed-write record is appended (the same
+    bookkeeping as the cluster soak's mid-run join)."""
+    record = yield from autopilot.step()
+    if record is not None and record.applied:
+        version, tag = _latest_commit(history)
+        now = clock()
+        history.append(OpRecord(
+            index=index, kind="write", ok=True, started=now,
+            finished=now, version=version + 1, tag=tag))
+
+
+def _drive_autopilot_restore(suite, autopilot: WeightAutopilot, clock,
+                             config: SoakConfig,
+                             history: List[OpRecord],
+                             ) -> Generator[Any, Any, None]:
+    """Post-nemesis restoration rounds, appending to ``history``.
+
+    The healed cluster no longer fails foreground traffic, but the
+    demoted representative only proves itself through fresh evidence —
+    each round issues one read (whose weak-representative polling
+    probes the breaker and drains staleness), then steps the
+    controller.  Stops early once the vote vector is back at seed."""
+    index = history[-1].index + 1 if history else 0
+    for round_ in range(config.autopilot_restore_rounds):
+        if autopilot.at_seed_weights():
+            return
+        yield from _one_read(suite, clock, index + round_, history)
+        yield from _autopilot_step(autopilot, clock, index + round_,
+                                   history)
+        yield suite.sim.timeout(autopilot.policy.interval_ms)
 
 
 def _final_reads(suite, clock, config: SoakConfig,
@@ -267,20 +403,30 @@ def run_sim_soak(config: SoakConfig) -> SoakReport:
                         INITIAL_TAG.encode("utf-8"),
                         health=health, **_suite_kwargs(config))
     started = bed.sim.now
+    autopilot = None
+    if config.autopilot:
+        autopilot = WeightAutopilot(suite, health=health,
+                                    policy=config.autopilot_policy())
 
     policy.enabled = True
     adapter = schedule_on_sim(bed, script, policy, disable_at_end=False)
     ops_rng = streams.stream("soak:ops")
     history = bed.run(_drive_ops(suite, lambda: bed.sim.now, config,
-                                 ops_rng))
+                                 ops_rng, autopilot=autopilot,
+                                 policy=policy))
 
     # Let the nemesis script finish (heal + restart-all), then verify
     # convergence on the healed cluster without message-level faults.
     remaining = script.horizon - bed.sim.now
     bed.settle(grace=max(1_000.0, remaining + 1_000.0))
     policy.enabled = False
+    if autopilot is not None:
+        bed.run(_drive_autopilot_restore(suite, autopilot,
+                                         lambda: bed.sim.now, config,
+                                         history))
     history += bed.run(_final_reads(suite, lambda: bed.sim.now, config,
-                                    start_index=config.ops))
+                                    start_index=history[-1].index + 1
+                                    if history else config.ops))
 
     return SoakReport(
         runtime="sim", config=config,
@@ -288,7 +434,8 @@ def run_sim_soak(config: SoakConfig) -> SoakReport:
         history=history, chaos_stats=policy.stats(),
         nemesis_steps=len(adapter.applied),
         breakers=health.snapshot(),
-        elapsed_ms=bed.sim.now - started)
+        elapsed_ms=bed.sim.now - started,
+        autopilot=autopilot.state() if autopilot is not None else None)
 
 
 async def run_live_soak(config: SoakConfig,
@@ -314,6 +461,11 @@ async def run_live_soak(config: SoakConfig,
                                       **_suite_kwargs(config))
         kernel = cluster.client.kernel
         started = kernel.now
+        autopilot = None
+        if config.autopilot:
+            autopilot = WeightAutopilot(
+                suite, health=cluster.client.health,
+                policy=config.autopilot_policy())
 
         policy.enabled = True
         nemesis_task = asyncio.ensure_future(
@@ -322,15 +474,22 @@ async def run_live_soak(config: SoakConfig,
         ops_rng = streams.stream("soak:ops")
         try:
             history = await cluster.run(
-                _drive_ops(suite, lambda: kernel.now, config, ops_rng))
+                _drive_ops(suite, lambda: kernel.now, config, ops_rng,
+                           autopilot=autopilot, policy=policy))
         finally:
             # The op run never outlives this scope with servers down:
             # the script's tail heals and restarts everything.
             adapter = await nemesis_task
         policy.enabled = False
+        if autopilot is not None:
+            await cluster.run(
+                _drive_autopilot_restore(suite, autopilot,
+                                         lambda: kernel.now, config,
+                                         history))
         history += await cluster.run(
             _final_reads(suite, lambda: kernel.now, config,
-                         start_index=config.ops))
+                         start_index=history[-1].index + 1
+                         if history else config.ops))
         elapsed = kernel.now - started
         breakers = cluster.client.health.snapshot()
         if trace_path is not None:
@@ -341,4 +500,5 @@ async def run_live_soak(config: SoakConfig,
         report=check_history(history, initial_tag=INITIAL_TAG),
         history=history, chaos_stats=policy.stats(),
         nemesis_steps=len(adapter.applied),
-        breakers=breakers, elapsed_ms=elapsed)
+        breakers=breakers, elapsed_ms=elapsed,
+        autopilot=autopilot.state() if autopilot is not None else None)

@@ -12,6 +12,7 @@ Subcommands::
     python -m repro live-demo                  # quorum ops on real TCP
     python -m repro cluster                    # sharded namespace demo
     python -m repro chaos --seed 1             # fault-injected soak
+    python -m repro autopilot --degrade-server s4   # vote autopilot demo
     python -m repro trace spans.jsonl          # per-operation timelines
     python -m repro metrics --port 9464        # scrape a daemon
     python -m repro metrics n1:9464 n2:9465    # merged fleet view
@@ -323,6 +324,62 @@ def cmd_live_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_autopilot_state(state: Dict) -> None:
+    """Human-readable reassignment ledger + final posture."""
+    records = state.get("reassignments") or []
+    if records:
+        print("  reassignment ledger:")
+        for rec in records:
+            votes = " ".join(f"{rep}={count}" for rep, count
+                             in sorted(rec["votes_after"].items()))
+            if rec["applied"]:
+                fate = f"applied (config v{rec['config_version']})"
+            elif rec.get("rejected_by_gate"):
+                fate = f"gate-rejected: {rec['rejected_by_gate']}"
+            else:
+                fate = f"failed: {rec.get('error')}"
+            print(f"    t={rec['at']:.0f}ms {rec['kind']} "
+                  f"{rec['rep_id']} ({rec['server']}, score "
+                  f"{rec['score']:.2f}) -> {votes} — {fate}")
+    weights = " ".join(f"{rep}={count}" for rep, count
+                       in sorted(state["weights"].items()))
+    posture = ("at seed weights" if state["at_seed_weights"]
+               else "OFF seed weights")
+    print(f"  final votes: {weights} ({posture}); "
+          f"{state['applied']} applied, "
+          f"{state['rejected_gate']} gate-rejected, "
+          f"{state['errors']} errors")
+
+
+def _autopilot_shift_detected(state: Dict, server: str) -> bool:
+    """Did an applied demotion move votes off ``server``?"""
+    return any(rec["kind"] == "demote" and rec["applied"]
+               and rec["server"] == server
+               for rec in state.get("reassignments") or [])
+
+
+def _check_autopilot_expectations(runtime: str, state: "Optional[Dict]",
+                                  expect_shift: "Optional[str]",
+                                  expect_restore: bool) -> bool:
+    """Print known-answer verdicts; True when any expectation failed."""
+    if state is None:
+        print(f"  known-answer [{runtime}]: autopilot was not enabled "
+              "(pass --autopilot)")
+        return True
+    failed = False
+    if expect_shift:
+        detected = _autopilot_shift_detected(state, expect_shift)
+        print(f"  known-answer [{runtime}]: votes shifted off "
+              f"{expect_shift} {'DETECTED' if detected else 'MISSED'}")
+        failed |= not detected
+    if expect_restore:
+        restored = bool(state["at_seed_weights"])
+        print(f"  known-answer [{runtime}]: weights restored to seed "
+              f"{'CONFIRMED' if restored else 'MISSED'}")
+        failed |= not restored
+    return failed
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Invariant-checked soak under deterministic fault injection."""
     import json
@@ -331,9 +388,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .chaos.invariants import history_to_json
     from .chaos.soak import SoakConfig, run_live_soak, run_sim_soak
 
-    config = SoakConfig(reps=args.reps, ops=args.ops, seed=args.seed,
-                        read_fraction=args.read_fraction,
-                        loss=args.loss, horizon=args.horizon)
+    try:
+        config = SoakConfig(reps=args.reps, ops=args.ops, seed=args.seed,
+                            read_fraction=args.read_fraction,
+                            loss=args.loss, horizon=args.horizon,
+                            nemesis_kind=args.nemesis,
+                            autopilot=args.autopilot,
+                            degrade_server=args.degrade_server,
+                            degrade_delay_ms=args.degrade_delay_ms)
+    except ValueError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
     runtimes = (["live", "sim"] if args.runtime == "both"
                 else [args.runtime])
     export_dir = args.export_dir
@@ -347,10 +412,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                             f"chaos-seed{args.seed}-{name}")
 
     reports = {}
+    failed_expectation = False
     for runtime in runtimes:
+        extras = ""
+        if args.autopilot:
+            extras += " autopilot=on"
+        if args.degrade_server:
+            extras += (f" degrade={args.degrade_server}"
+                       f"(+{args.degrade_delay_ms:g}ms)")
         print(f"soak [{runtime}] seed={args.seed} ops={args.ops} "
               f"reps={args.reps} loss={config.loss} "
-              f"horizon={config.nemesis_horizon():.0f}ms ...",
+              f"nemesis={config.nemesis_kind} "
+              f"horizon={config.nemesis_horizon():.0f}ms{extras} ...",
               flush=True)
         if runtime == "live":
             report = asyncio.run(run_live_soak(
@@ -359,6 +432,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             report = run_sim_soak(config)
         reports[runtime] = report
         print(report.summary())
+        if report.autopilot is not None:
+            _render_autopilot_state(report.autopilot)
         history_path = _artifact(f"{runtime}-history.json")
         if history_path is not None or not report.ok:
             # Always dump the history on a violation, even without
@@ -371,12 +446,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                            "verdict": report.verdict,
                            "breakers": report.breakers,
                            "chaos": report.chaos_stats,
+                           "autopilot": report.autopilot,
                            "history": history_to_json(report.history)},
                           handle, indent=2)
             print(f"  history -> {history_path}")
         for violation in report.report.violations:
             print(f"  VIOLATION op {violation.index} "
                   f"[{violation.rule}]: {violation.detail}")
+        if args.expect_shift or args.expect_restore:
+            failed_expectation |= _check_autopilot_expectations(
+                runtime, report.autopilot, args.expect_shift,
+                args.expect_restore)
 
     if len(reports) == 2:
         live, sim = reports["live"], reports["sim"]
@@ -385,7 +465,63 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"-> {'MATCH' if match else 'MISMATCH'}")
         if not match:
             return 1
-    return 0 if all(report.ok for report in reports.values()) else 1
+    if not all(report.ok for report in reports.values()):
+        return 1
+    return 2 if failed_expectation else 0
+
+
+def cmd_autopilot(args: argparse.Namespace) -> int:
+    """Vote autopilot scenario: degrade, watch votes shift, heal,
+    watch them return — with the invariant checker over the whole run."""
+    import json
+
+    from .chaos.soak import SoakConfig, run_live_soak, run_sim_soak
+
+    degrade = (None if args.degrade_server in (None, "none")
+               else args.degrade_server)
+    try:
+        config = SoakConfig(reps=args.reps, ops=args.ops, seed=args.seed,
+                            nemesis_kind=args.nemesis, autopilot=True,
+                            degrade_server=degrade,
+                            degrade_delay_ms=args.degrade_delay_ms)
+    except ValueError as exc:
+        print(f"repro autopilot: {exc}", file=sys.stderr)
+        return 2
+    runtimes = (["live", "sim"] if args.runtime == "both"
+                else [args.runtime])
+    states: Dict[str, Dict] = {}
+    failed_expectation = False
+    all_ok = True
+    for runtime in runtimes:
+        scenario = f"nemesis={args.nemesis}"
+        if degrade:
+            scenario += (f" degrade={degrade} "
+                         f"(+{args.degrade_delay_ms:g}ms, heals at op "
+                         f"{config.degrade_heal_index()})")
+        print(f"autopilot [{runtime}] seed={args.seed} ops={args.ops} "
+              f"reps={args.reps} {scenario} ...", flush=True)
+        if runtime == "live":
+            report = asyncio.run(run_live_soak(config))
+        else:
+            report = run_sim_soak(config)
+        print(report.summary())
+        state = report.autopilot
+        states[runtime] = state
+        _render_autopilot_state(state)
+        all_ok &= report.ok
+        for violation in report.report.violations:
+            print(f"  VIOLATION op {violation.index} "
+                  f"[{violation.rule}]: {violation.detail}")
+        if args.expect_shift or args.expect_restore:
+            failed_expectation |= _check_autopilot_expectations(
+                runtime, state, args.expect_shift, args.expect_restore)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(states, handle, indent=2)
+        print(f"autopilot state -> {args.json}")
+    if not all_ok:
+        return 1
+    return 2 if failed_expectation else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -600,6 +736,7 @@ def _doctor_offline(args: argparse.Namespace) -> int:
     # Breaker evidence from chaos histories: a representative that died
     # mid-run shows up as a tripped breaker even if it healed later.
     tripped: Dict[str, Tuple[str, int]] = {}
+    autopilot_flagged: Dict[str, str] = {}   # server -> evidence
     verdicts = []
     for path in args.history or []:
         try:
@@ -621,6 +758,18 @@ def _doctor_offline(args: argparse.Namespace) -> int:
             tripped[server] = (
                 state if state != "closed" else seen_state,
                 max(opens, seen_opens))
+        pilot = payload.get("autopilot")
+        if isinstance(pilot, dict):
+            verdicts[-1] = (path, verdicts[-1][1] + (
+                f" | autopilot: {pilot.get('applied', 0)} applied, "
+                f"{pilot.get('rejected_gate', 0)} gate-rejected, "
+                + ("at" if pilot.get("at_seed_weights") else "OFF")
+                + " seed weights"))
+            for server in (pilot.get("flagged") or {}):
+                autopilot_flagged.setdefault(server, "flagged")
+            for rec in pilot.get("reassignments") or []:
+                if rec.get("kind") == "demote" and rec.get("applied"):
+                    autopilot_flagged[rec["server"]] = "votes shifted"
     if verdicts:
         print()
         for path, verdict in verdicts:
@@ -631,6 +780,10 @@ def _doctor_offline(args: argparse.Namespace) -> int:
         print("representatives with tripped breakers: " + ", ".join(
             f"{server} ({tripped[server][0]}, {tripped[server][1]} "
             f"opens)" for server in flagged))
+    if autopilot_flagged:
+        print("representatives flagged by the autopilot: " + ", ".join(
+            f"{server} ({evidence})" for server, evidence
+            in sorted(autopilot_flagged.items())))
 
     if args.expect_dead:
         detected = args.expect_dead in flagged
@@ -641,9 +794,11 @@ def _doctor_offline(args: argparse.Namespace) -> int:
     if args.expect_slow:
         top = report.top_blockers(1)
         rep = f"rep-{args.expect_slow}"
-        detected = bool(top) and top[0][0] in (rep, args.expect_slow)
+        detected = ((bool(top) and top[0][0] in (rep, args.expect_slow))
+                    or args.expect_slow in autopilot_flagged)
         print(f"known-answer: slow representative {args.expect_slow} "
-              f"{'DETECTED' if detected else 'MISSED'} as top blocker")
+              f"{'DETECTED' if detected else 'MISSED'} as top blocker "
+              f"or autopilot target")
         if not detected:
             return 2
     return 0
@@ -692,6 +847,16 @@ def _doctor_scenario(args: argparse.Namespace) -> int:
     suite_kwargs["health"] = health
 
     cluster.start()
+    pilots: Dict[str, "object"] = {}
+    if args.autopilot:
+        from .autonomy import WeightAutopilot
+        # Diagnosis-first posture: the default policy's survivability
+        # floor (min_voting_reps=2) can never be met by shifting votes
+        # inside a replication-2 suite, so the pilots observe, score
+        # and flag — and the gate records every demotion it refused.
+        pilots = {name: WeightAutopilot(cluster.handles[name],
+                                        health=health)
+                  for name in spec.suite_names}
     # Attribution covers the checkup workload, not the bootstrap.
     bed.collector.ring.clear()
     if args.kill_server:
@@ -702,10 +867,16 @@ def _doctor_scenario(args: argparse.Namespace) -> int:
                         success_rate_slo(), staleness_slo()])
     clock = lambda: bed.sim.now  # noqa: E731
     rng = streams.stream("doctor:ops")
+    rotation = sorted(pilots)
+    # Round-robin one pilot per interval: each pilot's observation
+    # window then spans len(pilots) intervals of traffic — enough
+    # blocking mass per suite for a confident verdict.
+    pilot_interval = max(1, args.ops // 12)
 
     def drive():
         names = spec.suite_names
         failures = 0
+        steps = 0
         for index in range(args.ops):
             name = rng.choice(names)
             handle = cluster.handles[name]
@@ -725,6 +896,10 @@ def _doctor_scenario(args: argparse.Namespace) -> int:
             if is_read:
                 slo.observe("read_latency", finished, finished - started)
             slo.observe("success", finished, 1.0 if ok else 0.0)
+            if rotation and (index + 1) % pilot_interval == 0:
+                target = rotation[steps % len(rotation)]
+                steps += 1
+                yield from pilots[target].step()
         return failures
 
     failures = bed.run(drive())
@@ -799,6 +974,27 @@ def _doctor_scenario(args: argparse.Namespace) -> int:
                         f"version(s) behind")
     if failures:
         findings.append(f"{failures}/{args.ops} operations failed")
+    pilot_flagged: Dict[str, List[str]] = {}
+    if pilots:
+        rejected = applied = 0
+        for name in rotation:
+            state = pilots[name].state()
+            rejected += state["rejected_gate"]
+            applied += state["applied"]
+            for server in state["flagged"]:
+                pilot_flagged.setdefault(server, []).append(name)
+        for server, suites in sorted(pilot_flagged.items()):
+            findings.append(
+                f"autopilot flagged {server} as unhealthy in "
+                f"{len(suites)} suite(s): {', '.join(suites)}")
+        if applied:
+            findings.append(
+                f"autopilot applied {applied} vote reassignment(s)")
+        if rejected:
+            findings.append(
+                f"autopilot held {rejected} demotion(s) at the safety "
+                f"gate (replication-2 suites sit on the "
+                f"min_voting_reps floor)")
 
     print()
     if findings:
@@ -818,6 +1014,12 @@ def _doctor_scenario(args: argparse.Namespace) -> int:
               f"{'DETECTED' if detected else 'MISSED'} as top blocker "
               f"in both planes")
         failed_expectation |= not detected
+        if pilots:
+            flagged_ap = args.expect_slow in pilot_flagged
+            print(f"known-answer: autopilot flagged slow server "
+                  f"{args.expect_slow} "
+                  f"{'DETECTED' if flagged_ap else 'MISSED'}")
+            failed_expectation |= not flagged_ap
     if args.expect_dead:
         flagged = {server for server, info in snapshot.items()
                    if info["state"] != "closed" or info["opens"]}
@@ -1142,7 +1344,56 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--export-dir", default=None, metavar="DIR",
                        help="write op history (and live trace) "
                             "artifacts here")
+    chaos.add_argument("--nemesis", choices=("random", "markov", "none"),
+                       default="random",
+                       help="crash/partition schedule generator")
+    chaos.add_argument("--autopilot", action="store_true",
+                       help="run the vote autopilot alongside the soak "
+                            "(reassignments are invariant-checked)")
+    chaos.add_argument("--degrade-server", default=None, metavar="NAME",
+                       help="slow this server past the call timeout "
+                            "from the first op; heals halfway")
+    chaos.add_argument("--degrade-delay-ms", type=float, default=400.0,
+                       help="extra per-message delay for "
+                            "--degrade-server")
+    chaos.add_argument("--expect-shift", default=None, metavar="NAME",
+                       help="known-answer: exit 2 unless the autopilot "
+                            "shifted votes off this server")
+    chaos.add_argument("--expect-restore", action="store_true",
+                       help="known-answer: exit 2 unless weights ended "
+                            "back at seed")
     chaos.set_defaults(handler=cmd_chaos)
+
+    autopilot = subparsers.add_parser(
+        "autopilot",
+        help="health-driven vote reassignment: degrade a "
+             "representative, watch votes shift and return")
+    autopilot.add_argument("--runtime", choices=("live", "sim", "both"),
+                           default="sim")
+    autopilot.add_argument("--seed", type=int, default=1)
+    autopilot.add_argument("--ops", type=int, default=300)
+    autopilot.add_argument("--reps", type=int, default=5)
+    autopilot.add_argument("--nemesis",
+                           choices=("random", "markov", "none"),
+                           default="none",
+                           help="optional fault schedule on top of the "
+                                "planted degradation")
+    autopilot.add_argument("--degrade-server", default="s4",
+                           metavar="NAME",
+                           help="server to slow past the call timeout "
+                                "('none' to disable)")
+    autopilot.add_argument("--degrade-delay-ms", type=float,
+                           default=400.0)
+    autopilot.add_argument("--expect-shift", default=None,
+                           metavar="NAME",
+                           help="known-answer: exit 2 unless votes "
+                                "shifted off this server")
+    autopilot.add_argument("--expect-restore", action="store_true",
+                           help="known-answer: exit 2 unless weights "
+                                "ended back at seed")
+    autopilot.add_argument("--json", default=None, metavar="PATH",
+                           help="write the final autopilot state here")
+    autopilot.set_defaults(handler=cmd_autopilot)
 
     trace = subparsers.add_parser(
         "trace", help="render exported JSONL spans as timelines")
@@ -1229,6 +1480,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "driving ops")
     doctor.add_argument("--slo-read-ms", type=float, default=250.0,
                         help="read-latency SLO threshold")
+    doctor.add_argument("--autopilot", action="store_true",
+                        help="scenario: run observe-only vote "
+                             "autopilots and report what they flagged")
     doctor.add_argument("--expect-slow", default=None, metavar="NAME",
                         help="known-answer: exit 2 unless this server "
                              "is the top quorum blocker")

@@ -18,13 +18,24 @@ configuration, adopts it
 (:class:`~repro.errors.StaleConfigurationError` → retry), and proceeds
 under the new rules.  Representatives dropped from the suite are
 deleted best-effort in the background after commit.
+
+One subtlety spans the two configurations: the commit set holds ``w``
+votes under the **old** weights, but when the weights themselves
+change it may hold fewer than ``w'`` under the **new** ones — a
+post-adoption read quorum could then be assembled entirely from
+representatives that missed the reconfiguration write and return the
+previous version.  After commit, :func:`_cover_new_write_quorum`
+synchronously tops the copy set up to a new-configuration write quorum
+(best-effort, ``only_if_newer`` per representative), with the
+background refresher as the backstop for whatever it could not reach.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from ..errors import InvalidConfigurationError, ReproError
+from ..errors import (InvalidConfigurationError, ReproError,
+                      StaleConfigurationError)
 from ..txn.coordinator import Transaction
 from ..txn.locks import EXCLUSIVE
 from .quorum import cheapest_quorum
@@ -58,7 +69,8 @@ def change_configuration(client: FileSuiteClient,
             suite_name=old_config.suite_name)
         txn = client.manager.begin()
         try:
-            yield from _reconfigure_once(client, txn, old_config, installed)
+            data, new_version, staged = yield from _reconfigure_once(
+                client, txn, old_config, installed)
             yield from txn.commit()
         except RETRYABLE as exc:
             yield from txn.abort()
@@ -67,11 +79,23 @@ def change_configuration(client: FileSuiteClient,
                 yield client.sim.timeout(
                     client.retry_backoff * (2 ** attempt))
             continue
+        except StaleConfigurationError as exc:
+            # A concurrent reconfiguration won the race.  ``_inquire``
+            # already adopted the newer configuration into
+            # ``client.config``, so the next attempt re-evolves from
+            # the winner's config_version — the concurrent change is
+            # layered on top of it instead of lost.
+            yield from txn.abort()
+            last_error = exc
+            continue
         except ReproError:
             yield from txn.abort()
             raise
-        # Adopt locally, propagate in the background, clean up removals.
+        # Adopt locally, cover the *new* write quorum, then propagate
+        # in the background and clean up removals.
         client.config = installed
+        yield from _cover_new_write_quorum(client, installed, staged,
+                                           data, new_version)
         _spread_and_cleanup(client, old_config, installed)
         return installed
     raise last_error if last_error is not None else \
@@ -81,7 +105,8 @@ def change_configuration(client: FileSuiteClient,
 def _reconfigure_once(client: FileSuiteClient, txn: Transaction,
                       old_config: SuiteConfiguration,
                       installed: SuiteConfiguration,
-                      ) -> Generator[Any, Any, None]:
+                      ) -> Generator[Any, Any,
+                                     "tuple[bytes, int, list]"]:
     # 1. Old-configuration write quorum, exclusive.
     gathered = yield from client._inquire(
         txn, old_config.write_quorum, mode=EXCLUSIVE, include_weak=False)
@@ -114,13 +139,64 @@ def _reconfigure_once(client: FileSuiteClient, txn: Transaction,
     targets = {rep.server for rep in quorum}
     new_servers = [rep.server for rep in installed.representatives
                    if rep.server not in old_servers]
+    staged = sorted(targets) + new_servers
     calls = [
         txn.call(server, "txn.stage_write", name=old_config.file_name,
                  data=data, version=new_version, properties=properties,
                  create=True, timeout=client.data_timeout)
-        for server in sorted(targets) + new_servers
+        for server in staged
     ]
     yield client.sim.all_of(calls)
+    return data, new_version, staged
+
+
+def _cover_new_write_quorum(client: FileSuiteClient,
+                            installed: SuiteConfiguration,
+                            staged: list, data: bytes, new_version: int,
+                            ) -> Generator[Any, Any, None]:
+    """Top the committed copy set up to a *new*-configuration write quorum.
+
+    The reconfiguration transaction commits at an **old**-configuration
+    write quorum, which under changed weights may hold fewer than the
+    new ``w`` votes — a later read quorum under the new configuration
+    could then miss ``new_version`` entirely.  Stage the same contents
+    at the cheapest additional voting representatives until the staged
+    set carries the new write quorum.  Each extra is a separate
+    transaction with ``only_if_newer``, so a concurrent foreground
+    write just turns the stage into a no-op; an unreachable extra is
+    tolerated (the background refresher remains the backstop) but we
+    keep going until the set is covered or no candidates remain.
+    """
+    staged_servers = set(staged)
+    covered = sum(rep.votes for rep in installed.representatives
+                  if rep.server in staged_servers)
+    if covered >= installed.write_quorum:
+        return
+    properties = {"config": installed.to_json(),
+                  "stamp": installed.config_version}
+    extras = sorted(
+        (rep for rep in installed.representatives
+         if rep.votes > 0 and rep.server not in staged_servers),
+        key=lambda rep: (rep.latency_hint, rep.rep_id))
+    for rep in extras:
+        if covered >= installed.write_quorum:
+            break
+        txn = client.manager.begin()
+        try:
+            yield txn.call(
+                rep.server, "txn.stage_write",
+                name=installed.file_name, data=data,
+                version=new_version, properties=properties,
+                create=True, only_if_newer=True,
+                timeout=client.data_timeout)
+            yield from txn.commit()
+        except ReproError:
+            try:
+                yield from txn.abort()
+            except ReproError:
+                pass  # the abort itself can time out on a dead host
+            continue
+        covered += rep.votes
 
 
 def _spread_and_cleanup(client: FileSuiteClient,
@@ -136,18 +212,37 @@ def _spread_and_cleanup(client: FileSuiteClient,
     for rep in removed:
         client.sim.spawn(
             _delete_representative(client, rep.server,
-                                   old_config.file_name),
+                                   old_config.file_name,
+                                   installed.config_version),
             name=f"reconfig-cleanup:{rep.rep_id}")
 
 
 def _delete_representative(client: FileSuiteClient, server: str,
-                           file_name: str) -> Generator[Any, Any, None]:
+                           file_name: str, installed_version: int,
+                           ) -> Generator[Any, Any, None]:
+    """Best-effort delete of a removed representative's copy.
+
+    Must never raise: a crashed or unreachable removed representative
+    keeps its (now unreferenced) copy, which can never affect a quorum
+    again.  Guards against the re-add race — if a *later*
+    reconfiguration brought the server back, its copy carries a
+    ``stamp`` at or above that configuration's version and is left
+    alone.
+    """
     txn = client.manager.begin()
     try:
+        stat = yield txn.call(server, "txn.stat", name=file_name,
+                              mode=EXCLUSIVE,
+                              timeout=client.data_timeout)
+        if stat.get("stamp", 0) > installed_version:
+            # Re-added by a newer configuration: not ours to delete.
+            yield from txn.abort()
+            return
         yield txn.call(server, "txn.stage_delete", name=file_name,
                        timeout=client.data_timeout)
         yield from txn.commit()
     except ReproError:
-        yield from txn.abort()
-        # Best effort: an unreachable removed representative keeps its
-        # (now unreferenced) copy; it can never affect a quorum again.
+        try:
+            yield from txn.abort()
+        except ReproError:
+            pass  # the abort itself can time out on a dead host

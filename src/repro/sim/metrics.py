@@ -171,6 +171,17 @@ class MetricsRegistry:
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Read a gauge without creating it (for signal consumers that
+        poll many label combinations which may never exist)."""
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else default
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        """Read a counter without creating it."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
             self._histograms[name] = Histogram(name)

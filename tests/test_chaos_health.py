@@ -97,11 +97,62 @@ class TestHealthTracker:
             "health.breaker_state[server=s1]").value == 0.0
 
     def test_snapshot_is_json_safe(self):
-        tracker = HealthTracker(FakeClock(), failure_threshold=1)
+        clock = FakeClock()
+        clock.now = 42.0
+        tracker = HealthTracker(clock, failure_threshold=1)
         tracker.record_failure("s2")
         snap = tracker.snapshot()
         assert snap == {"s2": {"state": OPEN,
-                               "consecutive_failures": 1, "opens": 1}}
+                               "consecutive_failures": 1, "opens": 1,
+                               "closes": 0, "last_transition": 42.0}}
+
+    def test_transition_history_counts_opens_and_closes(self):
+        """Two full open -> close cycles leave opens == closes == 2 and
+        the last-transition stamp at the final close."""
+        clock = FakeClock()
+        tracker = HealthTracker(clock, failure_threshold=1,
+                                cooldown=100.0)
+        for cycle in range(2):
+            clock.now = 1000.0 * cycle
+            tracker.record_failure("s3")
+            breaker = tracker.breaker("s3")
+            assert breaker.opens == cycle + 1
+            assert breaker.last_transition == clock.now
+            clock.now += 500.0
+            tracker.record_success("s3")
+            assert breaker.closes == cycle + 1
+            assert breaker.last_transition == clock.now
+        snap = tracker.snapshot()["s3"]
+        assert snap["opens"] == 2 and snap["closes"] == 2
+        assert snap["last_transition"] == 1500.0
+
+    def test_success_while_closed_is_not_a_transition(self):
+        clock = FakeClock()
+        tracker = HealthTracker(clock, failure_threshold=3)
+        tracker.record_failure("s1")      # below the threshold
+        tracker.record_success("s1")
+        breaker = tracker.breaker("s1")
+        assert breaker.opens == 0 and breaker.closes == 0
+        assert breaker.last_transition is None
+
+    def test_transition_gauges_are_mirrored(self):
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        tracker = HealthTracker(clock, failure_threshold=1,
+                                metrics=metrics)
+        clock.now = 7.0
+        tracker.record_failure("s1")
+        assert metrics.gauge(
+            "health.breaker_opens[server=s1]").value == 1.0
+        assert metrics.gauge(
+            "health.breaker_last_transition_ms[server=s1]").value == 7.0
+        clock.now = 9.0
+        tracker.record_success("s1")
+        assert metrics.gauge(
+            "health.breaker_closes[server=s1]").value == 1.0
+        assert metrics.gauge(
+            "health.breaker_last_transition_ms[server=s1]").value == 9.0
+        assert metrics.counter("health.breaker_closes").value == 1
 
 
 def five_rep_bed(call_timeout=400.0, cooldown=10**9):
