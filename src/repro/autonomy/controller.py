@@ -271,6 +271,7 @@ class WeightAutopilot:
             self.metrics.counter(
                 self._metric("rejected_gate")).increment()
             self.records.append(record)
+            self._record_flight(record)
             return record
         reps = tuple(
             Representative(rep_id=rep.rep_id, server=rep.server,
@@ -296,7 +297,19 @@ class WeightAutopilot:
             self._cool_streak[rep_id] = 0
         self._mirror_weights()
         self.records.append(record)
+        self._record_flight(record)
         return record
+
+    def _record_flight(self, record: ReassignmentRecord) -> None:
+        """Ledger entries double as black-box ``autopilot`` records —
+        the journal is how a reassignment is audited offline (total
+        votes conserved, config_version monotonic) after the process
+        that made it is gone."""
+        flight = getattr(self.suite, "flight", None)
+        if flight is None or flight.closed:
+            return
+        flight.emit("autopilot", suite=self.suite.config.suite_name,
+                    **record.to_json())
 
     def run(self, interval_ms: Optional[float] = None,
             ) -> Generator[Any, Any, None]:

@@ -151,6 +151,10 @@ class HealthTracker:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`: every
+        #: open/close transition appends one ``breaker`` record
+        #: (runtimes wire it after construction).
+        self.flight = None
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     def breaker(self, server: str) -> CircuitBreaker:
@@ -173,17 +177,28 @@ class HealthTracker:
         breaker = self.breaker(server)
         before = breaker.closes
         breaker.record_success()
-        if self.metrics is not None and breaker.closes > before:
-            self.metrics.counter("health.breaker_closes").increment()
+        if breaker.closes > before:
+            if self.metrics is not None:
+                self.metrics.counter("health.breaker_closes").increment()
+            self._record_flight(server, breaker, "close")
         self._mirror(server, breaker)
 
     def record_failure(self, server: str) -> None:
         breaker = self.breaker(server)
         before = breaker.opens
         breaker.record_failure()
-        if self.metrics is not None and breaker.opens > before:
-            self.metrics.counter("health.breaker_opens").increment()
+        if breaker.opens > before:
+            if self.metrics is not None:
+                self.metrics.counter("health.breaker_opens").increment()
+            self._record_flight(server, breaker, "open")
         self._mirror(server, breaker)
+
+    def _record_flight(self, server: str, breaker: CircuitBreaker,
+                       transition: str) -> None:
+        if self.flight is None or self.flight.closed:
+            return
+        self.flight.emit("breaker", server=server, transition=transition,
+                         opens=breaker.opens, closes=breaker.closes)
 
     def _mirror(self, server: str, breaker: CircuitBreaker) -> None:
         if self.metrics is not None:

@@ -49,7 +49,16 @@ class OpRecord:
     attempts: int = 1
 
     def to_json(self) -> Dict[str, object]:
-        return asdict(self)
+        # Hand-rolled (field order) rather than dataclasses.asdict:
+        # the flight recorder serialises every op as it happens, and
+        # asdict's recursive deep-copy costs ~100x a flat build.
+        return {"index": self.index, "kind": self.kind, "ok": self.ok,
+                "started": self.started, "finished": self.finished,
+                "version": self.version, "tag": self.tag,
+                "served_by": self.served_by,
+                "quorum": list(self.quorum),
+                "observed": dict(self.observed),
+                "error": self.error, "attempts": self.attempts}
 
     @classmethod
     def from_json(cls, raw: Dict[str, object]) -> "OpRecord":

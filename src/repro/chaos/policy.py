@@ -79,6 +79,14 @@ class ChaosPolicy:
         #: (the nemesis flips this off when its script ends, so a soak's
         #: final convergence reads run on a clean network).
         self.enabled = True
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`: fault
+        #: surface changes (partition/heal/slow) append ``chaos``
+        #: records, so a replay can line the injected faults up against
+        #: the protocol's decisions.  Per-message verdicts are *not*
+        #: journaled — they outnumber operations ~10:1 and would blow
+        #: the recorder's overhead budget; their totals (``stats()``)
+        #: ride in the journal's final ``metrics`` record instead.
+        self.flight = None
         self._partition_of: Dict[str, int] = {}
         self._slow_hosts: Dict[str, float] = {}
         self.dropped = 0
@@ -95,10 +103,14 @@ class ChaosPolicy:
         for index, group in enumerate(groups):
             for name in group:
                 self._partition_of[name] = index
+        self._record_flight("partition",
+                            groups={name: index for name, index
+                                    in sorted(self._partition_of.items())})
 
     def heal(self) -> None:
         """Remove the partition (message-level faults keep applying)."""
         self._partition_of = {}
+        self._record_flight("heal")
 
     @property
     def partitioned_hosts(self) -> Dict[str, int]:
@@ -127,9 +139,11 @@ class ChaosPolicy:
         if delay_ms < 0:
             raise ValueError("delay_ms must be >= 0")
         self._slow_hosts[host] = delay_ms
+        self._record_flight("slow_host", host=host, delay_ms=delay_ms)
 
     def clear_slow_hosts(self) -> None:
         self._slow_hosts = {}
+        self._record_flight("clear_slow_hosts")
 
     @property
     def slow_hosts(self) -> Dict[str, float]:
@@ -179,6 +193,11 @@ class ChaosPolicy:
             return PASS
         return ChaosVerdict(delay=delay, duplicate=duplicate,
                             duplicate_delay=duplicate_delay)
+
+    def _record_flight(self, what: str, **data: object) -> None:
+        if self.flight is None or self.flight.closed:
+            return
+        self.flight.emit("chaos", what=what, **data)
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for reports."""

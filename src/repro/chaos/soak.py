@@ -28,13 +28,14 @@ import it eagerly; reach it as ``repro.chaos.soak``.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from ..autonomy.controller import WeightAutopilot
 from ..autonomy.policy import AutopilotPolicy
 from ..core.votes import Representative, SuiteConfiguration
 from ..errors import ReproError
+from ..obs.flight import FlightHistory, FlightRecorder
 from ..sim.rng import RandomStreams
 from .health import HealthTracker
 from .invariants import InvariantReport, OpRecord, check_history
@@ -234,6 +235,7 @@ class SoakReport:
 def _drive_ops(suite, clock, config: SoakConfig, rng,
                autopilot: Optional[WeightAutopilot] = None,
                policy: Optional[ChaosPolicy] = None,
+               history: Optional[List[OpRecord]] = None,
                ) -> Generator[Any, Any, List[OpRecord]]:
     """Issue the seeded op mix sequentially; record every outcome.
 
@@ -245,8 +247,13 @@ def _drive_ops(suite, clock, config: SoakConfig, rng,
     :func:`_autopilot_step`).  With a ``policy`` and a configured
     ``degrade_server``, the planted slowdown is injected before the
     first op and healed at ``degrade_heal_index()``.
+
+    ``history`` lets the runner supply the record list — a
+    :class:`~repro.obs.flight.FlightHistory` journals every append as
+    an ``op`` event without the driver knowing.
     """
-    history: List[OpRecord] = []
+    if history is None:
+        history = []
     heal_at = config.degrade_heal_index()
     for index in range(config.ops):
         if policy is not None and config.degrade_server is not None:
@@ -320,10 +327,17 @@ def _drive_autopilot_restore(suite, autopilot: WeightAutopilot, clock,
         yield suite.sim.timeout(autopilot.policy.interval_ms)
 
 
-def _final_reads(suite, clock, config: SoakConfig,
-                 start_index: int) -> Generator[Any, Any, List[OpRecord]]:
-    """Convergence reads on the healed, chaos-free cluster."""
-    history: List[OpRecord] = []
+def _final_reads(suite, clock, config: SoakConfig, start_index: int,
+                 history: Optional[List[OpRecord]] = None,
+                 ) -> Generator[Any, Any, List[OpRecord]]:
+    """Convergence reads on the healed, chaos-free cluster.
+
+    Appends into ``history`` when the caller passes its run-long
+    record list (so a journaling history captures these too); returns
+    the list either way.
+    """
+    if history is None:
+        history = []
     for offset in range(config.final_reads):
         yield from _one_read(suite, clock, start_index + offset, history)
     return history
@@ -379,8 +393,33 @@ def _suite_kwargs(config: SoakConfig) -> Dict[str, Any]:
 # Runtime-specific runners
 # ---------------------------------------------------------------------------
 
-def run_sim_soak(config: SoakConfig) -> SoakReport:
-    """The soak on a simulated testbed, in virtual time."""
+def _flight_blocking_snapshot(metrics: Any) -> Dict[str, float]:
+    """The ``quorum.blocking.*`` plane as plain data, for the journal.
+
+    Recorded as the journal's final ``metrics`` event so ``repro
+    replay --verify`` can cross-check the attribution it re-derives
+    from ``quorum`` events against what the live counters actually
+    said — any disagreement means one plane lied.
+    """
+    snapshot: Dict[str, float] = {}
+    for name, value in metrics.counters().items():
+        if name.startswith("quorum.blocking."):
+            snapshot[name] = float(value)
+    for name, gauge in sorted(metrics._gauges.items()):
+        if name.startswith("quorum.blocking."):
+            snapshot[name] = float(gauge.value)
+    return snapshot
+
+
+def run_sim_soak(config: SoakConfig,
+                 flight_dir: Optional[str] = None) -> SoakReport:
+    """The soak on a simulated testbed, in virtual time.
+
+    With ``flight_dir``, every protocol decision is journaled to a
+    :class:`~repro.obs.flight.FlightRecorder` there.  The journal is
+    deterministic: same config + seed ⇒ byte-identical segments,
+    which is what ``repro replay --re-execute`` relies on.
+    """
     from ..testbed import Testbed
 
     streams = RandomStreams(seed=config.seed)
@@ -399,6 +438,16 @@ def run_sim_soak(config: SoakConfig) -> SoakReport:
                            metrics=bed.metrics)
     client.endpoint.health = health
 
+    recorder = None
+    if flight_dir is not None:
+        recorder = FlightRecorder(flight_dir,
+                                  clock=lambda: bed.sim.now)
+        recorder.emit("meta", runtime="sim", seed=config.seed,
+                      initial_tag=INITIAL_TAG, config=asdict(config))
+        bed.flight = recorder            # before install: suites inherit
+        policy.flight = recorder
+        health.flight = recorder
+
     suite = bed.install(config.suite_configuration(),
                         INITIAL_TAG.encode("utf-8"),
                         health=health, **_suite_kwargs(config))
@@ -411,9 +460,11 @@ def run_sim_soak(config: SoakConfig) -> SoakReport:
     policy.enabled = True
     adapter = schedule_on_sim(bed, script, policy, disable_at_end=False)
     ops_rng = streams.stream("soak:ops")
-    history = bed.run(_drive_ops(suite, lambda: bed.sim.now, config,
-                                 ops_rng, autopilot=autopilot,
-                                 policy=policy))
+    history: List[OpRecord] = FlightHistory(recorder) \
+        if recorder is not None else []
+    bed.run(_drive_ops(suite, lambda: bed.sim.now, config,
+                       ops_rng, autopilot=autopilot,
+                       policy=policy, history=history))
 
     # Let the nemesis script finish (heal + restart-all), then verify
     # convergence on the healed cluster without message-level faults.
@@ -424,9 +475,16 @@ def run_sim_soak(config: SoakConfig) -> SoakReport:
         bed.run(_drive_autopilot_restore(suite, autopilot,
                                          lambda: bed.sim.now, config,
                                          history))
-    history += bed.run(_final_reads(suite, lambda: bed.sim.now, config,
-                                    start_index=history[-1].index + 1
-                                    if history else config.ops))
+    bed.run(_final_reads(suite, lambda: bed.sim.now, config,
+                         start_index=history[-1].index + 1
+                         if history else config.ops,
+                         history=history))
+
+    if recorder is not None:
+        recorder.emit("metrics",
+                      blocking=_flight_blocking_snapshot(bed.metrics),
+                      chaos=policy.stats())
+        recorder.close()
 
     return SoakReport(
         runtime="sim", config=config,
@@ -438,10 +496,22 @@ def run_sim_soak(config: SoakConfig) -> SoakReport:
         autopilot=autopilot.state() if autopilot is not None else None)
 
 
+#: Default size cap for soak trace exports (bytes per file); keeps a
+#: long soak's JSONL artifact bounded without the CLIs having to pick.
+DEFAULT_TRACE_MAX_BYTES = 8 << 20
+
+
 async def run_live_soak(config: SoakConfig,
                         data_root: Optional[str] = None,
-                        trace_path: Optional[str] = None) -> SoakReport:
-    """The soak on a live loopback cluster, over real sockets."""
+                        trace_path: Optional[str] = None,
+                        flight_dir: Optional[str] = None) -> SoakReport:
+    """The soak on a live loopback cluster, over real sockets.
+
+    With ``flight_dir``, the client runtime journals its decisions
+    there.  Live journals are *not* byte-reproducible (wall clock,
+    fresh txn ids) — ``repro replay`` verifies them and re-executes
+    the recorded config on the sim kernel instead.
+    """
     from ..live.harness import LoopbackCluster
 
     streams = RandomStreams(seed=config.seed)
@@ -449,17 +519,29 @@ async def run_live_soak(config: SoakConfig,
     policy.enabled = False               # clean install first
     script = config.nemesis(streams)
 
+    recorder = None
+    if flight_dir is not None:
+        # Clock is rebound to the live kernel once the cluster is up;
+        # only the meta record (emitted below) sees the placeholder.
+        recorder = FlightRecorder(flight_dir, clock=lambda: 0.0)
+        recorder.emit("meta", runtime="live", seed=config.seed,
+                      initial_tag=INITIAL_TAG, config=asdict(config))
+        policy.flight = recorder
+
     async with LoopbackCluster(
             config.server_names, chaos=policy,
             call_timeout=config.call_timeout,
             transport_attempts=config.transport_attempts,
             lock_timeout=config.lock_timeout,
             idle_abort_after=config.idle_abort_after,
-            data_root=data_root, seed=config.seed) as cluster:
+            data_root=data_root, seed=config.seed,
+            flight=recorder) as cluster:
+        kernel = cluster.client.kernel
+        if recorder is not None:
+            recorder.clock = lambda: kernel.now
         suite = await cluster.install(config.suite_configuration(),
                                       INITIAL_TAG.encode("utf-8"),
                                       **_suite_kwargs(config))
-        kernel = cluster.client.kernel
         started = kernel.now
         autopilot = None
         if config.autopilot:
@@ -472,10 +554,13 @@ async def run_live_soak(config: SoakConfig,
             run_live_nemesis(cluster, script, policy,
                              disable_at_end=False))
         ops_rng = streams.stream("soak:ops")
+        history: List[OpRecord] = FlightHistory(recorder) \
+            if recorder is not None else []
         try:
-            history = await cluster.run(
+            await cluster.run(
                 _drive_ops(suite, lambda: kernel.now, config, ops_rng,
-                           autopilot=autopilot, policy=policy))
+                           autopilot=autopilot, policy=policy,
+                           history=history))
         finally:
             # The op run never outlives this scope with servers down:
             # the script's tail heals and restarts everything.
@@ -486,14 +571,20 @@ async def run_live_soak(config: SoakConfig,
                 _drive_autopilot_restore(suite, autopilot,
                                          lambda: kernel.now, config,
                                          history))
-        history += await cluster.run(
+        await cluster.run(
             _final_reads(suite, lambda: kernel.now, config,
                          start_index=history[-1].index + 1
-                         if history else config.ops))
+                         if history else config.ops,
+                         history=history))
         elapsed = kernel.now - started
         breakers = cluster.client.health.snapshot()
+        if recorder is not None:
+            recorder.emit("metrics", blocking=_flight_blocking_snapshot(
+                cluster.client.metrics), chaos=policy.stats())
+            recorder.close()
         if trace_path is not None:
-            cluster.export_trace_jsonl(trace_path)
+            cluster.export_trace_jsonl(
+                trace_path, max_bytes=DEFAULT_TRACE_MAX_BYTES)
 
     return SoakReport(
         runtime="live", config=config,

@@ -411,6 +411,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return os.path.join(export_dir,
                             f"chaos-seed{args.seed}-{name}")
 
+    def _flight_dir(runtime: str) -> "Optional[str]":
+        if args.flight_dir is None:
+            return None
+        return os.path.join(args.flight_dir,
+                            f"seed{args.seed}-{runtime}")
+
     reports = {}
     failed_expectation = False
     for runtime in runtimes:
@@ -427,11 +433,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               flush=True)
         if runtime == "live":
             report = asyncio.run(run_live_soak(
-                config, trace_path=_artifact("live-trace.jsonl")))
+                config, trace_path=_artifact("live-trace.jsonl"),
+                flight_dir=_flight_dir(runtime)))
         else:
-            report = run_sim_soak(config)
+            report = run_sim_soak(config,
+                                  flight_dir=_flight_dir(runtime))
         reports[runtime] = report
         print(report.summary())
+        if _flight_dir(runtime) is not None:
+            print(f"  flight journal -> {_flight_dir(runtime)}")
         if report.autopilot is not None:
             _render_autopilot_state(report.autopilot)
         history_path = _artifact(f"{runtime}-history.json")
@@ -474,6 +484,7 @@ def cmd_autopilot(args: argparse.Namespace) -> int:
     """Vote autopilot scenario: degrade, watch votes shift, heal,
     watch them return — with the invariant checker over the whole run."""
     import json
+    import os
 
     from .chaos.soak import SoakConfig, run_live_soak, run_sim_soak
 
@@ -500,11 +511,18 @@ def cmd_autopilot(args: argparse.Namespace) -> int:
                          f"{config.degrade_heal_index()})")
         print(f"autopilot [{runtime}] seed={args.seed} ops={args.ops} "
               f"reps={args.reps} {scenario} ...", flush=True)
+        flight_dir = None
+        if args.flight_dir is not None:
+            flight_dir = os.path.join(args.flight_dir,
+                                      f"seed{args.seed}-{runtime}")
         if runtime == "live":
-            report = asyncio.run(run_live_soak(config))
+            report = asyncio.run(run_live_soak(config,
+                                               flight_dir=flight_dir))
         else:
-            report = run_sim_soak(config)
+            report = run_sim_soak(config, flight_dir=flight_dir)
         print(report.summary())
+        if flight_dir is not None:
+            print(f"  flight journal -> {flight_dir}")
         state = report.autopilot
         states[runtime] = state
         _render_autopilot_state(state)
@@ -522,6 +540,54 @@ def cmd_autopilot(args: argparse.Namespace) -> int:
     if not all_ok:
         return 1
     return 2 if failed_expectation else 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Audit and deterministically re-execute flight journals."""
+    import os
+    import tempfile
+
+    from .obs.flight import FlightJournalError
+    from .replay import re_execute, verify_journal
+
+    if not args.verify and not args.re_execute:
+        print("repro replay: pass --verify DIR and/or "
+              "--re-execute DIR", file=sys.stderr)
+        return 2
+
+    failed = False
+    for directory in args.verify or []:
+        try:
+            verdict = verify_journal(
+                directory, read_threshold_ms=args.slo_read_ms)
+        except (OSError, FlightJournalError) as exc:
+            print(f"repro replay: cannot verify {directory}: {exc}",
+                  file=sys.stderr)
+            failed = True
+            continue
+        print(f"{directory}: {verdict.summary()}")
+        for finding in verdict.findings():
+            print(f"  - {finding}")
+        if args.slo:
+            for status in verdict.slos:
+                print(f"  slo {status.name}: {status.state} "
+                      f"({status.good}/{status.total} good)")
+        failed |= not verdict.ok
+
+    if args.re_execute:
+        out_dir = args.out_dir or os.path.join(
+            tempfile.mkdtemp(prefix="repro-replay-"), "journal")
+        try:
+            report = re_execute(args.re_execute, out_dir)
+        except (OSError, FlightJournalError, ValueError) as exc:
+            print(f"repro replay: cannot re-execute "
+                  f"{args.re_execute}: {exc}", file=sys.stderr)
+            return 1
+        print(report.summary())
+        print(f"  replay journal -> {out_dir}")
+        failed |= not report.ok
+
+    return 1 if failed else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -714,12 +780,20 @@ def cmd_top(args: argparse.Namespace) -> int:
 
 
 def _doctor_offline(args: argparse.Namespace) -> int:
-    """Diagnose exported artifacts: JSONL traces + chaos histories."""
+    """Diagnose exported artifacts: traces, histories, flight journals.
+
+    Exit contract (pinned by the test suite): 0 when the artifacts
+    look healthy, 1 when they contain *findings* (invariant
+    violations, failed journal verification), 2 when a known-answer
+    ``--expect-*`` check misses.  Unreadable artifacts are findings
+    too — a postmortem that cannot read its evidence has failed.
+    """
     import json
 
     from .obs import load_jsonl
     from .obs.critical_path import analyze_quorum_paths
 
+    findings: List[str] = []
     spans = []
     for path in args.trace or []:
         try:
@@ -746,7 +820,10 @@ def _doctor_offline(args: argparse.Namespace) -> int:
             print(f"repro doctor: cannot read {path}: {exc}",
                   file=sys.stderr)
             return 1
-        verdicts.append((path, str(payload.get("verdict", "?"))))
+        verdict = str(payload.get("verdict", "?"))
+        if verdict not in ("OK", "?"):
+            findings.append(f"history {path}: verdict {verdict}")
+        verdicts.append((path, verdict))
         for server, info in sorted(
                 (payload.get("breakers") or {}).items()):
             if isinstance(info, dict):
@@ -785,6 +862,26 @@ def _doctor_offline(args: argparse.Namespace) -> int:
             f"{server} ({evidence})" for server, evidence
             in sorted(autopilot_flagged.items())))
 
+    for directory in getattr(args, "flight", None) or []:
+        from .obs.flight import FlightJournalError
+        from .replay import verify_journal
+        print()
+        try:
+            verdict = verify_journal(directory)
+        except (OSError, FlightJournalError) as exc:
+            print(f"repro doctor: cannot verify flight journal "
+                  f"{directory}: {exc}", file=sys.stderr)
+            findings.append(f"flight {directory}: unreadable ({exc})")
+            continue
+        print(f"flight {directory}: {verdict.summary()}")
+        for finding in verdict.findings():
+            print(f"  - {finding}")
+            findings.append(f"flight {directory}: {finding}")
+
+    if findings:
+        print()
+        print(f"findings: {len(findings)}")
+
     if args.expect_dead:
         detected = args.expect_dead in flagged
         print(f"known-answer: dead representative {args.expect_dead} "
@@ -801,7 +898,7 @@ def _doctor_offline(args: argparse.Namespace) -> int:
               f"or autopilot target")
         if not detected:
             return 2
-    return 0
+    return 1 if findings else 0
 
 
 def _doctor_scenario(args: argparse.Namespace) -> int:
@@ -1032,7 +1129,7 @@ def _doctor_scenario(args: argparse.Namespace) -> int:
 
 def cmd_doctor(args: argparse.Namespace) -> int:
     """One-shot health report: offline artifacts or a seeded scenario."""
-    if args.trace or args.history:
+    if args.trace or args.history or args.flight:
         return _doctor_offline(args)
     return _doctor_scenario(args)
 
@@ -1344,6 +1441,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--export-dir", default=None, metavar="DIR",
                        help="write op history (and live trace) "
                             "artifacts here")
+    chaos.add_argument("--flight-dir", default=None, metavar="DIR",
+                       help="record a flight journal per runtime "
+                            "under DIR (see 'repro replay')")
     chaos.add_argument("--nemesis", choices=("random", "markov", "none"),
                        default="random",
                        help="crash/partition schedule generator")
@@ -1393,7 +1493,31 @@ def build_parser() -> argparse.ArgumentParser:
                                 "ended back at seed")
     autopilot.add_argument("--json", default=None, metavar="PATH",
                            help="write the final autopilot state here")
+    autopilot.add_argument("--flight-dir", default=None, metavar="DIR",
+                           help="record a flight journal per runtime "
+                                "under DIR (see 'repro replay')")
     autopilot.set_defaults(handler=cmd_autopilot)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="postmortem from flight journals: verify invariants and "
+             "plane agreement, re-execute incidents deterministically")
+    replay.add_argument("--verify", action="append", default=None,
+                        metavar="DIR",
+                        help="journal directory to audit (repeatable): "
+                             "invariants over the rebuilt history, "
+                             "attribution cross-check, ledger audit")
+    replay.add_argument("--re-execute", default=None, metavar="DIR",
+                        help="re-run this journal's recorded universe "
+                             "on the sim kernel and diff the journals")
+    replay.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="where --re-execute writes the replay "
+                             "journal (default: temp dir)")
+    replay.add_argument("--slo", action="store_true",
+                        help="also print re-derived SLO verdicts")
+    replay.add_argument("--slo-read-ms", type=float, default=250.0,
+                        help="read-latency threshold for --slo")
+    replay.set_defaults(handler=cmd_replay)
 
     trace = subparsers.add_parser(
         "trace", help="render exported JSONL spans as timelines")
@@ -1464,6 +1588,11 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="HISTORY.json",
                         help="offline mode: chaos soak histories with "
                              "breaker states (repeatable)")
+    doctor.add_argument("--flight", action="append", default=None,
+                        metavar="DIR",
+                        help="offline mode: verify flight journal "
+                             "directories via repro.replay "
+                             "(repeatable)")
     doctor.add_argument("--seed", type=int, default=7)
     doctor.add_argument("--ops", type=int, default=120,
                         help="scenario operations to drive")

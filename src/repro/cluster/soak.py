@@ -32,8 +32,9 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..autonomy.controller import WeightAutopilot
 from ..autonomy.policy import AutopilotPolicy
 from ..chaos.invariants import InvariantReport, OpRecord, check_history
-from ..chaos.soak import _one_read, _one_write
+from ..chaos.soak import _flight_blocking_snapshot, _one_read, _one_write
 from ..obs.critical_path import CriticalPathReport, analyze_quorum_paths
+from ..obs.flight import FlightHistory, FlightRecorder
 from ..sim.rng import RandomStreams
 from .harness import ClusterSpec, SimCluster, join_server
 from .placement import RebalancePlan
@@ -185,6 +186,7 @@ class ClusterSoakReport:
 def _drive_cluster(cluster: SimCluster, config: ClusterSoakConfig,
                    policy: Any, streams: RandomStreams,
                    autopilots: Optional[Dict[str, WeightAutopilot]] = None,
+                   histories: Optional[Dict[str, List[OpRecord]]] = None,
                    ) -> Generator[Any, Any, Tuple[Dict[str, List[OpRecord]],
                                                   RebalancePlan]]:
     """The whole soak as one generator on the cluster's client.
@@ -200,7 +202,8 @@ def _drive_cluster(cluster: SimCluster, config: ClusterSoakConfig,
     names = spec.suite_names
     clock = lambda: cluster.bed.sim.now  # noqa: E731
     rng = streams.stream("cluster-soak:ops")
-    histories: Dict[str, List[OpRecord]] = {name: [] for name in names}
+    if histories is None:
+        histories = {name: [] for name in names}
     # Latest committed (version, tag) per suite — the reconfiguration
     # records below need it, and failed writes never commit.
     latest: Dict[str, Tuple[int, str]] = {
@@ -319,8 +322,16 @@ def _join_mid_run(cluster: SimCluster, histories, latest, clock,
     return plan
 
 
-def run_cluster_sim_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
-    """The cluster soak on a simulated testbed, in virtual time."""
+def run_cluster_sim_soak(config: ClusterSoakConfig,
+                         flight_dir: Optional[str] = None,
+                         ) -> ClusterSoakReport:
+    """The cluster soak on a simulated testbed, in virtual time.
+
+    With ``flight_dir``, every suite's decisions land in one shared
+    :class:`~repro.obs.flight.FlightRecorder` — ``op`` events carry a
+    ``suite`` key so replay can demux the namespace's histories."""
+    from dataclasses import asdict
+
     streams = RandomStreams(seed=config.seed)
     policy = config.chaos_policy(streams)
     policy.enabled = False               # clean bootstrap first
@@ -339,6 +350,20 @@ def run_cluster_sim_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
                                metrics=cluster.bed.metrics)
         cluster.bed.clients["client"].endpoint.health = health
         cluster._suite_kwargs = dict(suite_kwargs, health=health)
+    recorder = None
+    if flight_dir is not None:
+        spec = config.spec()
+        recorder = FlightRecorder(flight_dir,
+                                  clock=lambda: cluster.bed.sim.now)
+        recorder.emit(
+            "meta", runtime="cluster-sim", seed=config.seed,
+            config=asdict(config),
+            initial_tags={name: spec.initial_data(name).decode()
+                          for name in spec.suite_names})
+        cluster.bed.flight = recorder    # before start: suites inherit
+        policy.flight = recorder
+        if health is not None:
+            health.flight = recorder
     cluster.start()
     autopilots: Optional[Dict[str, WeightAutopilot]] = None
     if config.autopilot:
@@ -351,9 +376,18 @@ def run_cluster_sim_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
     cluster.bed.collector.ring.clear()
 
     policy.enabled = True
+    journaled: Optional[Dict[str, List[OpRecord]]] = None
+    if recorder is not None:
+        journaled = {name: FlightHistory(recorder, suite=name)
+                     for name in config.spec().suite_names}
     histories, plan = cluster.bed.run(
         _drive_cluster(cluster, config, policy, streams,
-                       autopilots=autopilots))
+                       autopilots=autopilots, histories=journaled))
+
+    if recorder is not None:
+        recorder.emit("metrics", blocking=_flight_blocking_snapshot(
+            cluster.bed.metrics), chaos=policy.stats())
+        recorder.close()
 
     reports = {
         name: check_history(histories[name],

@@ -97,6 +97,13 @@ def change_configuration(client: FileSuiteClient,
         yield from _cover_new_write_quorum(client, installed, staged,
                                            data, new_version)
         _spread_and_cleanup(client, old_config, installed)
+        flight = getattr(client, "flight", None)
+        if flight is not None and not flight.closed:
+            flight.emit("reconfig", suite=installed.suite_name,
+                        config_version=installed.config_version,
+                        version=new_version,
+                        votes={rep.rep_id: rep.votes
+                               for rep in installed.representatives})
         return installed
     raise last_error if last_error is not None else \
         InvalidConfigurationError("reconfiguration failed")

@@ -128,7 +128,8 @@ class FileSuiteClient:
                  tracer: Optional[Tracer] = None,
                  collector: Optional[TraceCollector] = None,
                  health: Optional[Any] = None,
-                 profiler: Optional[Any] = None) -> None:
+                 profiler: Optional[Any] = None,
+                 flight: Optional[Any] = None) -> None:
         self.manager = manager
         self.sim = manager.sim
         self.config = config
@@ -172,6 +173,11 @@ class FileSuiteClient:
         #: Optional :class:`~repro.perf.PhaseProfiler`; when wired it
         #: aggregates quorum-assembly durations under "quorum.assemble".
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`: the
+        #: black-box journal.  Every finished quorum gather — satisfied
+        #: or not — appends one ``quorum`` record carrying the votes,
+        #: settle order and version stamps the client actually saw.
+        self.flight = flight
         streams = streams or RandomStreams(seed=0)
         self._rng = streams.stream(
             f"suite:{config.suite_name}:{manager.endpoint.host.name}")
@@ -589,6 +595,7 @@ class FileSuiteClient:
                                     waited=settled_at - started,
                                     error=type(exc).__name__)
             self._attribute_blocking(gathered, started, mode)
+            self._record_flight_quorum(gathered, started, mode, threshold)
             self._observe_lags(gathered)
             yield from self._check_configuration(txn, gathered)
             if not gathered.satisfied:
@@ -654,6 +661,34 @@ class FileSuiteClient:
             self.metrics.counter(
                 f"quorum.blocking.closed[suite={suite},"
                 f"rep={closer.rep_id}]").increment()
+
+    def _record_flight_quorum(self, gathered: GatherResult,
+                              started: float, mode: str,
+                              threshold: int) -> None:
+        """One black-box record per finished gather.
+
+        Emitted adjacent to :meth:`_attribute_blocking` from the same
+        ``GatherResult``, so the journal plane and the metrics plane
+        describe identical evidence — ``repro replay --verify``
+        re-derives the blocking attribution from these records and
+        cross-checks it against the scraped counters.
+        """
+        if self.flight is None or self.flight.closed:
+            return
+        closer = gathered.closed_by
+        self.flight.emit(
+            "quorum",
+            suite=self.config.suite_name,
+            mode="read" if mode == SHARED else "write",
+            threshold=threshold,
+            votes=sum(rep.votes for rep in gathered.successes),
+            satisfied=gathered.satisfied,
+            started=started,
+            order=[[rep.rep_id, settled_at, ok]
+                   for rep, settled_at, ok in gathered.order],
+            closed_by=closer.rep_id if closer is not None else None,
+            observed={rep.rep_id: stat["version"]
+                      for rep, stat in gathered.successes.items()})
 
     def _observe_lags(self, gathered: GatherResult) -> None:
         """Per-representative staleness gauges from the inquiry replies.

@@ -15,7 +15,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.suite import FileSuiteClient
 from ..core.votes import SuiteConfiguration
-from ..obs.collector import dump_jsonl
+from ..obs.collector import JsonlSink, dump_jsonl
 from ..obs.spans import Span
 from ..perf.profiler import PhaseProfiler
 from .runtime import LiveRuntime
@@ -49,7 +49,8 @@ class LoopbackCluster:
                  chaos: Optional[Any] = None,
                  lock_timeout: Optional[float] = 5_000.0,
                  idle_abort_after: Optional[float] = 60_000.0,
-                 profile: bool = False) -> None:
+                 profile: bool = False,
+                 flight: Optional[Any] = None) -> None:
         self._server_names = list(servers)
         self._obs = obs
         self._client_name = client_name
@@ -65,6 +66,10 @@ class LoopbackCluster:
         #: on every transport (client and servers): one object decides
         #: per-link drops, delays, duplicates and partitions.
         self.chaos = chaos
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`, handed
+        #: to the client runtime at :meth:`start` (the client is the
+        #: coordinator — it owns every journaled decision point).
+        self.flight = flight
         #: One shared :class:`~repro.perf.PhaseProfiler` across the
         #: whole cluster (``profile=True``).  Durations are clock
         #: differences, so mixing the client's and each server's kernel
@@ -92,7 +97,7 @@ class LoopbackCluster:
         self.client = LiveRuntime(
             self._client_name, call_timeout=self._call_timeout,
             transport_attempts=self._transport_attempts, seed=self._seed,
-            obs=self._obs, profiler=self.profiler)
+            obs=self._obs, profiler=self.profiler, flight=self.flight)
         self.client.transport.chaos = self.chaos
         for name, server in self.servers.items():
             host, port = server.address  # type: ignore[misc]
@@ -184,11 +189,24 @@ class LoopbackCluster:
                                      span.span_id))
         return spans
 
-    def export_trace_jsonl(self, path: str) -> int:
-        """Dump the merged cluster trace to ``path``; returns span count."""
+    def export_trace_jsonl(self, path: str,
+                           max_bytes: Optional[int] = None,
+                           keep: int = 4) -> int:
+        """Dump the merged cluster trace to ``path``; returns span count.
+
+        With ``max_bytes`` the export goes through a size-rotated
+        :class:`~repro.obs.collector.JsonlSink` (``path.1`` holds the
+        generation before ``path``, and so on, ``keep`` files total),
+        so arbitrarily long soaks leave a bounded artifact."""
         spans = self.merged_spans()
-        with open(path, "w", encoding="utf-8") as handle:
-            dump_jsonl(spans, handle)
+        if max_bytes is None:
+            with open(path, "w", encoding="utf-8") as handle:
+                dump_jsonl(spans, handle)
+            return len(spans)
+        open(path, "w", encoding="utf-8").close()  # fresh export
+        with JsonlSink(path, max_bytes=max_bytes, keep=keep) as sink:
+            for span in spans:
+                sink.emit(span)
         return len(spans)
 
     # -- protocol shortcuts ------------------------------------------------

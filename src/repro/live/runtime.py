@@ -246,7 +246,8 @@ class LiveRuntime:
                  metrics: Optional[MetricsRegistry] = None,
                  obs: bool = True,
                  loop: Optional[asyncio.AbstractEventLoop] = None,
-                 profiler: Optional[Any] = None) -> None:
+                 profiler: Optional[Any] = None,
+                 flight: Optional[Any] = None) -> None:
         if name is None:
             # Servers key at-most-once dedup state and transaction ids
             # by the client's source name, and a fresh runtime restarts
@@ -293,6 +294,14 @@ class LiveRuntime:
             profiler=profiler)
         self.refresher = BackgroundRefresher(self.manager,
                                              metrics=self.metrics)
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`: the live
+        #: black box.  Wiring it here covers every decision point this
+        #: runtime owns — 2PC outcomes, breaker transitions and (via
+        #: :meth:`suite`) quorum assemblies.
+        self.flight = flight
+        if flight is not None:
+            self.manager.flight = flight
+            self.health.flight = flight
 
     def _on_message(self, message: Any) -> None:
         self.host.deliver(message)
@@ -324,6 +333,7 @@ class LiveRuntime:
         kwargs.setdefault("collector", self.collector)
         kwargs.setdefault("health", self.health)
         kwargs.setdefault("profiler", self.profiler)
+        kwargs.setdefault("flight", self.flight)
         return FileSuiteClient(self.manager, config, **kwargs)
 
     async def install(self, config: SuiteConfiguration,

@@ -21,13 +21,23 @@ merges every daemon's exposition into one cluster view, and
 :mod:`~repro.obs.slo` evaluates declarative objectives with
 multi-window burn rates — all consumed by ``repro top`` and
 ``repro doctor``.
+
+Postmortem plane (PR 9): :mod:`~repro.obs.flight` is the black-box
+flight recorder — a crash-safe, checksummed, segment-rotated journal
+of protocol-level decisions that survives the process.
+:mod:`repro.replay` audits and deterministically re-executes incidents
+from it.
 """
 
 from .aggregate import (FleetView, MergedHistogram, render_fleet_view,
                         scrape_fleet, scrape_fleet_sync,
                         snapshot_registry, snapshot_sim_cluster)
-from .collector import (JsonlSink, RingBufferSink, TraceCollector,
-                        dump_jsonl, dumps_jsonl, load_jsonl)
+from .collector import (JsonlSink, RingBufferSink, SpanLog,
+                        TraceCollector, dump_jsonl, dumps_jsonl,
+                        load_jsonl)
+from .flight import (FlightHistory, FlightJournalError, FlightRecorder,
+                     JournalStats, load_flight_journal,
+                     read_journal_bytes)
 from .critical_path import (CriticalPathReport, QuorumPath, ReplyRecord,
                             analyze_quorum_paths, attribution_from_samples,
                             extract_phase_laggards, extract_quorum_paths)
@@ -47,7 +57,11 @@ __all__ = [
     "CriticalPathReport",
     "ERROR",
     "FleetView",
+    "FlightHistory",
+    "FlightJournalError",
+    "FlightRecorder",
     "INTERNAL",
+    "JournalStats",
     "JsonlSink",
     "MergedHistogram",
     "NOOP_SPAN",
@@ -64,6 +78,7 @@ __all__ = [
     "SLOTracker",
     "Span",
     "SpanEvent",
+    "SpanLog",
     "TraceCollector",
     "TraceContext",
     "analyze_quorum_paths",
@@ -76,8 +91,10 @@ __all__ = [
     "extract_quorum_paths",
     "fetch",
     "group_traces",
+    "load_flight_journal",
     "load_jsonl",
     "metric_name",
+    "read_journal_bytes",
     "parse_exposition",
     "read_latency_slo",
     "render_fleet_view",

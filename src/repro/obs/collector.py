@@ -22,6 +22,7 @@ and collision-free live because every process's origin name is unique
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from typing import (Any, Callable, Deque, Dict, IO, Iterable, List,
                     Optional, Union)
@@ -73,22 +74,70 @@ class JsonlSink:
     (a caller-provided handle is flushed but left open — the caller
     owns its lifetime).  ``close`` is idempotent, and always flushes
     before closing so no buffered span can be lost at shutdown.
+
+    With ``max_bytes`` (path targets only) the export is size-bounded:
+    when the active file would exceed the cap it is rotated to
+    ``path.1`` (older generations shift to ``path.2``, ...) and at most
+    ``keep`` files survive in total — a soak can run for hours without
+    growing its trace artifact without bound.  Readers that want the
+    whole retained window read ``path.N`` ... ``path.1`` then ``path``.
     """
 
-    def __init__(self, target: "str | IO[str]") -> None:
+    def __init__(self, target: "str | IO[str]",
+                 max_bytes: Optional[int] = None,
+                 keep: int = 4) -> None:
         if isinstance(target, str):
+            self._path: Optional[str] = target
             self._file: IO[str] = open(target, "a", encoding="utf-8")
             self._owned = True
         else:
+            if max_bytes is not None:
+                raise ValueError(
+                    "rotation requires a path target, not a handle")
+            self._path = None
             self._file = target
             self._owned = False
+        if max_bytes is not None and max_bytes < 1024:
+            raise ValueError("max_bytes must be at least 1024")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.rotations = 0
+        self._bytes = (os.path.getsize(self._path)
+                       if self._path is not None
+                       and os.path.exists(self._path) else 0)
         self._closed = False
 
     def emit(self, span: Span) -> None:
         if self._closed:
             raise ValueError("emit on a closed JsonlSink")
-        self._file.write(json.dumps(span.to_dict(),
-                                    separators=(",", ":")) + "\n")
+        line = json.dumps(span.to_dict(), separators=(",", ":")) + "\n"
+        size = len(line.encode("utf-8"))
+        if self.max_bytes is not None and self._bytes \
+                and self._bytes + size > self.max_bytes:
+            self._rotate()
+        self._file.write(line)
+        self._bytes += size
+
+    def _rotate(self) -> None:
+        """Shift the generation chain and reopen the active path."""
+        self._file.flush()
+        self._file.close()
+        oldest = f"{self._path}.{self.keep - 1}"
+        if self.keep > 1 and os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.keep - 2, 0, -1):
+            generation = f"{self._path}.{index}"
+            if os.path.exists(generation):
+                os.replace(generation, f"{self._path}.{index + 1}")
+        if self.keep > 1:
+            os.replace(self._path, f"{self._path}.1")
+        else:
+            os.remove(self._path)
+        self._file = open(self._path, "a", encoding="utf-8")
+        self._bytes = 0
+        self.rotations += 1
 
     def flush(self) -> None:
         if not self._closed:
@@ -211,14 +260,43 @@ def dumps_jsonl(spans: Iterable[Span]) -> str:
                    for span in spans)
 
 
-def load_jsonl(source: "str | IO[str]") -> List[Span]:
-    """Read spans back from a JSONL file or handle (blank lines skipped)."""
+class SpanLog(List[Span]):
+    """Loaded spans, plus how many torn trailing bytes were dropped.
+
+    A plain ``list`` of spans to every existing caller;
+    ``dropped_bytes`` is non-zero when the file ended in a truncated
+    record (a crash mid-write) that :func:`load_jsonl` discarded.
+    """
+
+    dropped_bytes: int = 0
+
+
+def load_jsonl(source: "str | IO[str]") -> SpanLog:
+    """Read spans back from a JSONL file or handle (blank lines skipped).
+
+    A process that dies mid-write leaves a truncated final line; that
+    is expected physics, not corruption, so the complete prefix is
+    returned with the torn tail counted in ``.dropped_bytes`` — the
+    same policy the flight journal applies to its torn trailing
+    record.  A malformed line with real records *after* it still
+    raises: nothing can truncate the middle of an append-only file.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
             return load_jsonl(handle)
-    spans = []
-    for line in source:
-        line = line.strip()
-        if line:
-            spans.append(Span.from_dict(json.loads(line)))
+    text = source.read()
+    lines = text.split("\n")
+    spans = SpanLog()
+    for position, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            spans.append(Span.from_dict(json.loads(stripped)))
+        except (ValueError, KeyError, TypeError):
+            if any(rest.strip() for rest in lines[position + 1:]):
+                raise
+            spans.dropped_bytes = len(
+                "\n".join(lines[position:]).encode("utf-8"))
+            break
     return spans

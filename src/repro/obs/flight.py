@@ -1,0 +1,298 @@
+"""Flight recorder: a crash-safe black box for protocol decisions.
+
+Spans and counters answer "what is the system doing *now*"; they die
+with the process.  The flight recorder is the postmortem plane: an
+always-on, bounded-overhead journal of every protocol-level *decision*
+— quorum assemblies with the votes and version stamps actually
+observed, 2PC outcomes, reconfigurations, autopilot ledger entries,
+breaker transitions, chaos injections — durable enough to reconstruct
+an incident from artifacts alone (see ``repro.replay``).
+
+Format
+------
+One record per line, in segment files ``flight-000001.jrnl``,
+``flight-000002.jrnl``, ... under the journal directory::
+
+    <crc32 of payload, 8 hex digits> <payload>\n
+
+where the payload is compact sorted-keys JSON::
+
+    {"at": <clock ms>, "data": {...}, "kind": "<kind>", "seq": <n>}
+
+``seq`` is a strictly monotonic record counter, ``at`` the recorder's
+clock (virtual ms on the simulator, loop ms on the live kernel).
+Everything in a record is derived from the run itself — no wall time,
+no hostnames, no git state — so two seeded simulator runs produce
+byte-identical journals.
+
+Durability
+----------
+Segments roll at ``max_segment_bytes``; the recorder flushes and
+fsyncs on every roll and on close, so at most the *tail of the last
+segment* can be lost or torn by a crash.  ``load_flight_journal``
+enforces exactly that failure model: a trailing record of the final
+segment that is truncated or fails its checksum is dropped (and
+counted), while corruption anywhere else raises — a torn tail is
+expected physics, a hole in the middle is not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "FlightJournalError",
+    "FlightRecorder",
+    "FlightHistory",
+    "load_flight_journal",
+    "read_journal_bytes",
+]
+
+SEGMENT_PREFIX = "flight-"
+SEGMENT_SUFFIX = ".jrnl"
+
+#: Default segment cap: small enough that a crash loses little, large
+#: enough that a 500-op soak fits in a handful of segments.
+DEFAULT_SEGMENT_BYTES = 256 * 1024
+
+
+class FlightJournalError(ValueError):
+    """A journal violates the recorder's failure model (corruption
+    anywhere but the trailing record of the final segment)."""
+
+
+@dataclass
+class JournalStats:
+    """What ``load_flight_journal`` found on disk."""
+
+    segments: int = 0
+    records: int = 0
+    dropped_bytes: int = 0
+
+    def summary(self) -> str:
+        torn = (f", {self.dropped_bytes} torn trailing bytes dropped"
+                if self.dropped_bytes else "")
+        return (f"{self.records} records over {self.segments} "
+                f"segment(s){torn}")
+
+
+class FlightRecorder:
+    """Appends checksummed decision records to a segmented journal.
+
+    ``clock`` supplies the ``at`` timestamp — pass the owning kernel's
+    clock so records sort with the run's own notion of time.  The
+    recorder owns the directory: any segments left by a previous run
+    are removed on open, so a journal directory always describes
+    exactly one run.
+    """
+
+    def __init__(self, directory: str, clock: Callable[[], float],
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 fsync: bool = True) -> None:
+        if max_segment_bytes < 1024:
+            raise ValueError("max_segment_bytes must be at least 1024")
+        self.directory = directory
+        self.clock = clock
+        self.max_segment_bytes = int(max_segment_bytes)
+        self.fsync = fsync
+        self.seq = 0
+        self.segments = 0
+        self.bytes_written = 0
+        self._segment_bytes = 0
+        self._file: Optional[Any] = None
+        os.makedirs(directory, exist_ok=True)
+        for name in _segment_names(directory):
+            os.remove(os.path.join(directory, name))
+        self._open_next_segment()
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def close(self) -> None:
+        """Flush, fsync and release the current segment.  Idempotent."""
+        if self._file is None:
+            return
+        self._sync()
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- recording ----------------------------------------------------
+
+    def emit(self, kind: str, /, **data: Any) -> None:
+        """Append one record.  Raises if the recorder is closed.
+
+        ``kind`` is positional-only so payload keys may shadow it
+        (``op`` records carry the operation's own ``kind`` field)."""
+        if self._file is None:
+            raise ValueError("flight recorder is closed")
+        record = {"at": float(self.clock()), "data": data,
+                  "kind": kind, "seq": self.seq}
+        payload = json.dumps(record, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        line = b"%08x %s\n" % (zlib.crc32(payload) & 0xFFFFFFFF, payload)
+        if self._segment_bytes \
+                and self._segment_bytes + len(line) > self.max_segment_bytes:
+            self._roll()
+        self._file.write(line)
+        self._segment_bytes += len(line)
+        self.bytes_written += len(line)
+        self.seq += 1
+
+    # -- internals ----------------------------------------------------
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(
+            self.directory, f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}")
+
+    def _open_next_segment(self) -> None:
+        self.segments += 1
+        self._file = open(self._segment_path(self.segments), "wb")
+        self._segment_bytes = 0
+
+    def _roll(self) -> None:
+        """Seal the current segment durably, then start the next one.
+
+        The fsync here is what confines torn records to the *final*
+        segment: every earlier segment was synced whole."""
+        self._sync()
+        self._file.close()
+        self._open_next_segment()
+
+    def _sync(self) -> None:
+        self._file.flush()
+        if self.fsync:
+            try:
+                os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+
+
+class FlightHistory(list):
+    """An ``OpRecord`` list that journals every append as an ``op`` event.
+
+    Soak drivers append each operation's record exactly once, so
+    routing the journal through ``append`` captures the complete
+    history — including the synthetic committed writes the drivers
+    record for autopilot reassignments and mid-run joins — without
+    touching any driver logic.
+    """
+
+    def __init__(self, recorder: Optional[FlightRecorder] = None,
+                 suite: Optional[str] = None) -> None:
+        super().__init__()
+        self.recorder = recorder
+        self.suite = suite
+
+    def append(self, record: Any) -> None:
+        super().append(record)
+        if self.recorder is not None and not self.recorder.closed:
+            data = record.to_json()
+            if self.suite is not None:
+                data["suite"] = self.suite
+            self.recorder.emit("op", **data)
+
+    def extend(self, records: Any) -> None:
+        for record in records:
+            self.append(record)
+
+    def __iadd__(self, records: Any) -> "FlightHistory":
+        self.extend(records)
+        return self
+
+
+def _segment_names(directory: str) -> List[str]:
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX))
+
+
+def read_journal_bytes(directory: str) -> bytes:
+    """All segments concatenated in order — the unit of byte-identity."""
+    chunks = []
+    for name in _segment_names(directory):
+        with open(os.path.join(directory, name), "rb") as handle:
+            chunks.append(handle.read())
+    return b"".join(chunks)
+
+
+def load_flight_journal(directory: str,
+                        ) -> Tuple[List[Dict[str, Any]], JournalStats]:
+    """Parse a journal directory back into records.
+
+    Returns ``(records, stats)`` where each record is the decoded
+    payload dict.  A torn or checksum-failing *trailing* record of the
+    *final* segment is dropped and counted in ``stats.dropped_bytes``
+    — that is the only damage the recorder's fsync discipline permits.
+    Corruption anywhere else, or a sequence-number gap, raises
+    :class:`FlightJournalError`.
+    """
+    names = _segment_names(directory)
+    if not names:
+        raise FlightJournalError(
+            f"no flight segments ({SEGMENT_PREFIX}*{SEGMENT_SUFFIX}) "
+            f"in {directory!r}")
+    records: List[Dict[str, Any]] = []
+    stats = JournalStats(segments=len(names))
+    for index, name in enumerate(names):
+        path = os.path.join(directory, name)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        final_segment = index == len(names) - 1
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            torn_tail = newline < 0
+            line = raw[offset:] if torn_tail else raw[offset:newline]
+            record = None if torn_tail else _decode_line(line)
+            if record is None:
+                # Only the unsynced tail of the journal may be damaged.
+                if final_segment and (torn_tail
+                                      or newline + 1 >= len(raw)):
+                    stats.dropped_bytes += len(raw) - offset
+                    offset = len(raw)
+                    break
+                raise FlightJournalError(
+                    f"corrupt record mid-journal in {path!r} "
+                    f"at byte {offset}")
+            records.append(record)
+            offset = newline + 1
+    for position, record in enumerate(records):
+        if record.get("seq") != position:
+            raise FlightJournalError(
+                f"sequence gap: record {position} carries "
+                f"seq={record.get('seq')!r}")
+    stats.records = len(records)
+    return records, stats
+
+
+def _decode_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """One framed record, or ``None`` if the frame does not verify."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        expected = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record

@@ -84,7 +84,41 @@ def metric_name(family: str, prefix: str = "repro_") -> str:
 
 
 def _escape(value: str) -> str:
-    return value.replace("\\", r"\\").replace('"', r'\"')
+    # Backslash first (it introduces the other escapes), then quote and
+    # newline — a raw newline would split the sample line in two.
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _unescape(value: str) -> str:
+    """Decode an escaped label value in one left-to-right pass.
+
+    Chained ``str.replace`` calls are position-sensitive and decode
+    mixed sequences wrongly: in ``\\\\\\"`` (an escaped backslash
+    followed by an escaped quote on the wire) a quote-first replace
+    pairs the *second* backslash with the quote, yielding ``\\"``'s
+    decode out of ``\\\\``'s bytes.  Scanning the escapes in order is
+    the only correct inverse of :func:`_escape`.
+    """
+    if "\\" not in value:
+        return value
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            successor = value[index + 1]
+            if successor in ('"', "\\"):
+                out.append(successor)
+                index += 2
+                continue
+            if successor == "n":
+                out.append("\n")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
 
 
 def _labels_text(labels: Mapping[str, str]) -> str:
@@ -194,8 +228,7 @@ def parse_exposition(text: str) -> List[Tuple[str, Dict[str, str], float]]:
             for piece in re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"',
                                     label_part):
                 key, value = piece
-                labels[key] = value.replace(r'\"', '"').replace(
-                    "\\\\", "\\")
+                labels[key] = _unescape(value)
         try:
             samples.append((name, labels, float(value_part)))
         except ValueError:

@@ -1,0 +1,28 @@
+"""Deterministic incident replay from flight journals.
+
+The consumer side of :mod:`repro.obs.flight`.  Given only a journal
+directory — no live process, no sockets — this package does three
+things:
+
+* :func:`verify_journal` rebuilds the run's operation history from
+  ``op`` records and runs the standard invariant checker over it (the
+  first time the checker sees a *live* run's evidence), re-derives the
+  quorum blocking attribution from ``quorum`` records and cross-checks
+  it against the counters the run itself exported, re-evaluates the
+  SLOs, and audits the autopilot/reconfiguration ledger.
+* :func:`re_execute` reconstructs the recorded configuration and
+  replays the whole op/fault sequence on the simulator kernel.  For a
+  journal recorded *on* the simulator the replay is byte-identical;
+  any divergence is reported keyed by the first mismatching version
+  stamp.
+"""
+
+from .reexec import ReexecReport, re_execute
+from .verify import ReplayVerdict, verify_journal
+
+__all__ = [
+    "ReexecReport",
+    "ReplayVerdict",
+    "re_execute",
+    "verify_journal",
+]

@@ -106,6 +106,11 @@ class Testbed:
         self.profiler: Optional[PhaseProfiler] = (
             PhaseProfiler(clock=lambda: self.sim.now) if profile
             else None)
+        #: Optional flight recorder (:class:`~repro.obs.flight.
+        #: FlightRecorder`).  Assign one before creating suites and
+        #: every suite client, transaction manager and health tracker
+        #: the testbed wires will journal its decisions to it.
+        self.flight: Optional[Any] = None
         self.call_timeout = call_timeout
         self.servers: Dict[str, ServerNode] = {}
         self.clients: Dict[str, ClientNode] = {}
@@ -175,6 +180,9 @@ class Testbed:
         kwargs.setdefault("tracer", self.tracer)
         kwargs.setdefault("collector", self.collector)
         kwargs.setdefault("profiler", self.profiler)
+        kwargs.setdefault("flight", self.flight)
+        if self.flight is not None:
+            node.manager.flight = self.flight
         return FileSuiteClient(node.manager, config, **kwargs)
 
     def install(self, config: SuiteConfiguration, initial_data: bytes = b"",

@@ -159,6 +159,10 @@ class TransactionManager:
         #: staged commit records "2pc.prepare" and "2pc.commit" phase
         #: durations.
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`: every
+        #: transaction termination appends one ``txn`` record with the
+        #: 2PC outcome (runtimes wire it after construction).
+        self.flight: Optional[Any] = None
         self.call_timeout = call_timeout
         #: Retransmissions per RPC (same call id; servers are
         #: at-most-once, so this is safe).  One lost datagram then costs
@@ -220,6 +224,7 @@ class TransactionManager:
                                   trace=release_trace)
             txn.state = COMMITTED
             self.commits += 1
+            self._record_flight_outcome(txn, "commit", read_only=True)
             txn._run_commit_hooks()
             return
 
@@ -245,6 +250,8 @@ class TransactionManager:
                                trace=txn.span.context if txn.span else None)
             txn.state = ABORTED
             self.aborts += 1
+            self._record_flight_outcome(txn, "abort",
+                                        prepare_failed_at=server)
             raise TransactionAborted(
                 txn.txn_id, f"prepare failed at {server}: {error}")
         prepare_span.set_attr("votes", len(votes))
@@ -270,7 +277,22 @@ class TransactionManager:
         commit_span.end()
         txn.state = COMMITTED
         self.commits += 1
+        self._record_flight_outcome(txn, "commit",
+                                    stragglers=len(stragglers))
         txn._run_commit_hooks()
+
+    def _record_flight_outcome(self, txn: Transaction, outcome: str,
+                               **extra: Any) -> None:
+        """Black-box record for one 2PC decision.
+
+        Transactions that touched no participant are skipped — they
+        decided nothing a postmortem could care about."""
+        if self.flight is None or self.flight.closed \
+                or not txn.participants:
+            return
+        self.flight.emit("txn", txn=str(txn.txn_id), outcome=outcome,
+                         participants=len(txn.participants),
+                         staged=len(txn.staged), **extra)
 
     def _phase_span(self, txn: Transaction, name: str):
         """A child span of ``txn.span`` for one 2PC phase (or a no-op)."""
@@ -292,6 +314,7 @@ class TransactionManager:
             return
         txn.state = ABORTED
         self.aborts += 1
+        self._record_flight_outcome(txn, "abort")
         abort_trace = txn.span.context if txn.span else None
         results = yield from self._broadcast(
             txn.txn_id, "txn.abort", sorted(txn.attempted),

@@ -22,9 +22,9 @@ from repro.core.examples import example_configuration
 from repro.live import LoopbackCluster
 from repro.obs import (NOOP_SPAN, JsonlSink, RingBufferSink,
                        TraceCollector, TraceContext, breakdown,
-                       dumps_jsonl, fetch, group_traces, load_jsonl,
-                       parse_exposition, render_registry, render_trace,
-                       split_labels, summarize)
+                       dump_jsonl, dumps_jsonl, fetch, group_traces,
+                       load_jsonl, parse_exposition, render_registry,
+                       render_trace, split_labels, summarize)
 from repro.sim.metrics import Histogram, MetricsRegistry
 from repro.sim.simulator import Simulator
 from repro.sim.trace import Tracer
@@ -227,6 +227,101 @@ class TestSatellites:
         assert summary["p50"] == 1.5
         histogram.samples = [5.0]  # wholesale assignment invalidates
         assert histogram.percentile(100) == 5.0
+
+
+class TestLabelEscaping:
+    """Round-trip of label values through the exposition format.
+
+    A chained-``replace`` unescape pairs the wrong backslash with the
+    quote in mixed sequences, so the decoder scans left to right; these
+    values are the ones that told the two apart."""
+
+    HOSTILE = ['plain', 'quo"te', 'back\\slash', 'both\\"mixed',
+               '\\\\"', 'trailing\\', 'new\nline', '\\"\\"\\"']
+
+    def test_values_survive_render_and_parse(self):
+        registry = MetricsRegistry()
+        for index, value in enumerate(self.HOSTILE):
+            registry.gauge(f"g{index}[v={value}]").set(float(index))
+        samples = parse_exposition(render_registry(registry))
+        decoded = {name: labels["v"] for name, labels, _value in samples
+                   if "v" in labels and not name.endswith("_max")}
+        for index, value in enumerate(self.HOSTILE):
+            assert decoded[f"repro_g{index}"] == value
+
+
+class TestTornJsonl:
+    def _spans(self, count=4):
+        clock = iter(range(100))
+        collector = TraceCollector(clock=lambda: float(next(clock)),
+                                   origin="p1")
+        for index in range(count):
+            collector.start_trace(f"op{index}").end()
+        return collector.spans()
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            dump_jsonl(self._spans(), handle)
+        raw = path.read_text()
+        path.write_text(raw[:-20])           # crash mid-final-record
+        log = load_jsonl(str(path))
+        assert len(log) == 3
+        assert log.dropped_bytes > 0
+        assert [span.name for span in log] == ["op0", "op1", "op2"]
+
+    def test_intact_file_reports_no_drops(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            dump_jsonl(self._spans(), handle)
+        log = load_jsonl(str(path))
+        assert len(log) == 4
+        assert log.dropped_bytes == 0
+
+    def test_corruption_before_real_records_still_raises(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            dump_jsonl(self._spans(), handle)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]             # a hole, not a torn tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            load_jsonl(str(path))
+
+
+class TestJsonlSinkRotation:
+    def _span(self):
+        clock = iter(range(100))
+        collector = TraceCollector(clock=lambda: float(next(clock)),
+                                   origin="p1")
+        collector.start_trace("op", pad="x" * 128).end()
+        return collector.spans()[0]
+
+    def test_rotation_bounds_retained_bytes(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path, max_bytes=1024, keep=3)
+        for _index in range(64):
+            sink.emit(self._span())
+        sink.close()
+        assert sink.rotations > 2
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["trace.jsonl", "trace.jsonl.1",
+                         "trace.jsonl.2"]
+        for name in names[1:]:
+            assert (tmp_path / name).stat().st_size <= 1024
+        # The retained window reads back oldest-first, torn-free.
+        retained = []
+        for name in ["trace.jsonl.2", "trace.jsonl.1", "trace.jsonl"]:
+            retained.extend(load_jsonl(str(tmp_path / name)))
+        assert len(retained) >= 6            # keep * (cap / span size)
+
+    def test_rotation_requires_a_path(self):
+        with pytest.raises(ValueError):
+            JsonlSink(io.StringIO(), max_bytes=4096)
+
+    def test_tiny_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(str(tmp_path / "t.jsonl"), max_bytes=10)
 
 
 # ---------------------------------------------------------------------------
