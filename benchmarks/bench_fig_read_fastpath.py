@@ -11,6 +11,12 @@ Shape assertions:
 * the fast path is strictly faster — by roughly one network round,
   since the bulk-transfer time is identical on both paths;
 * message budgets match the analytic model (12 versus 14 on a triple).
+
+The message budgets count protocol *messages*, not wire frames, so
+they are identical under the JSON and binary live codecs and under
+per-destination batching — the wire format is an encoding concern the
+sim kernel never sees.  A codec change that shifts these counts is a
+protocol regression, not an optimisation.
 """
 
 import pytest

@@ -4,16 +4,27 @@ Boots the real asyncio runtime — three storage daemons on loopback TCP
 sockets plus one client — and drives concurrent quorum reads (r = 2 of
 three single-vote representatives) for a fixed wall-clock window.  This
 is the live counterpart of the simulated latency experiments: the same
-protocol code, but every message is a length-prefixed JSON frame on a
-real socket and every timer is the event loop's clock.
+protocol code, but every message crosses a real socket (binary frames,
+quorum fan-outs batched per destination) and every timer is the event
+loop's clock.
 
-The acceptance floor is 1,000 sustained quorum reads per second; each
+The acceptance floor is 1,200 sustained quorum reads per second; each
 read is a full transaction (version inquiry gather, data read from the
-preferred representative, lock-releasing commit).
+preferred representative, lock-releasing commit).  The binary codec,
+per-destination batching and the kernel's fixpoint pump raised the
+measured capacity ~40% over the JSON transport (933 reads/s at the
+previous baseline); serialisation is no longer the constraint — the
+``frame.*`` phase-share gate below pins it under 10% — so the
+remaining cost is the protocol machinery itself (six RPCs and ~25
+generator resumes per read on one event loop).  ROADMAP's 10,000
+reads/s target needs the cluster's multi-process deployment (or a
+compiled kernel), not further wire-format work; the floor here is the
+capacity this in-process harness honestly sustains with CI headroom.
 """
 
 import asyncio
 import gc
+import os
 
 from _support import print_table, record
 from repro.core import make_configuration
@@ -22,7 +33,13 @@ from repro.live import LoopbackCluster
 WORKERS = 16
 WARMUP_SECONDS = 0.5
 MEASURE_SECONDS = 2.0
-FLOOR_READS_PER_SECOND = 1_000.0
+FLOOR_READS_PER_SECOND = 1_200.0
+
+#: Ceiling on the serialisation share of total phase time: the
+#: ``frame.encode``/``frame.decode`` phases (plus the legacy
+#: ``rpc.encode``/``rpc.decode`` names, should they ever reappear)
+#: must stay under this fraction of the profiler's accounted time.
+FRAME_SHARE_BUDGET = 0.10
 
 #: The phase profiler may not cost more than this fraction of the
 #: measurement window when enabled on the full hot path.
@@ -128,4 +145,33 @@ def test_live_profiler_overhead():
     record("live", "live_throughput", "profiler_overhead_fraction",
            overhead, "fraction", config=f"workers={WORKERS}",
            runtime="live", duration_s=elapsed, gate=False)
+
+    # -- frame phase share: serialisation must stay a rounding error --
+    stats = profiler.stats()
+    total = sum(stat.total for stat in stats.values())
+    codec_phases = ("frame.encode", "frame.decode",
+                    "rpc.encode", "rpc.decode")
+    codec_total = sum(stats[p].total for p in codec_phases if p in stats)
+    share = codec_total / total if total else 0.0
+    print_table(
+        "L1c — wire-codec share of accounted phase time",
+        ["codec ms", "total ms", "share", "budget"],
+        [(codec_total, total, share, FRAME_SHARE_BUDGET)])
+    record("live", "live_throughput", "frame_phase_share", share,
+           "fraction", config=f"workers={WORKERS}", runtime="live",
+           duration_s=elapsed, gate=False)
+
+    # The phase breakdown itself is the CI artifact: written next to
+    # the BENCH_*.json registry so the live-benchmark job can upload
+    # before/after serialisation profiles alongside the numbers.
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    if out_dir:
+        path = os.path.join(out_dir, "l1-phase-breakdown.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(profiler.render(top_n=20))
+            handle.write(f"\nreads/sec in profiled window: "
+                         f"{rate:,.0f}\n"
+                         f"codec share: {share:.4f} "
+                         f"(budget {FRAME_SHARE_BUDGET})\n")
+    assert share < FRAME_SHARE_BUDGET
     assert overhead < PROFILER_OVERHEAD_BUDGET

@@ -555,6 +555,13 @@ class FileSuiteClient:
                 raise QuorumUnattainableError(
                     "read" if mode == SHARED else "write", threshold,
                     attainable)
+            # One-pass fan-out contract: every inquiry is issued here,
+            # before the first yield below.  The live transport batches
+            # per destination on event-loop pass boundaries, so keeping
+            # the solicitations in a single synchronous burst is what
+            # lets all of a host's inquiries share one wire frame —
+            # interleaving a yield between calls would flush them as
+            # separate frames.
             for rep in admitted:
                 # Weak representatives only serve reads: shared mode.
                 rep_mode = SHARED if rep.weak else mode

@@ -1,0 +1,387 @@
+"""Wire codecs for the live transport: compact binary, JSON fallback.
+
+Every frame on a live connection is a 4-byte big-endian length followed
+by a *body*.  Two body encodings share that outer framing:
+
+**JSON** (the compatibility codec) — a UTF-8 JSON object mirroring
+:class:`~repro.rpc.messages.Request` / :class:`~repro.rpc.messages.Reply`;
+``bytes`` payloads are tagged base64 objects.  Any peer ever shipped
+understands it, so it is what a connection speaks until the other side
+has proven it can do better.
+
+**Binary** (the fast codec) — a struct-packed header carrying
+kind / call-id / method-id / flags, then a compact-JSON section for the
+irregular fields (source, non-registry method names, args sans bulk),
+then the ``bytes`` payloads appended raw: length-prefixed slices of the
+frame, no base64, no per-byte tagging.  A page payload costs its own
+size plus four bytes.  The first body byte (``0xB7``) can never start a
+JSON object, so a reader tells the codecs apart without negotiation
+state.
+
+**Batch** bodies carry several request/reply bodies in one frame — the
+transport packs everything queued for one destination in one event-loop
+pass (a quorum inquiry's whole per-host fan-out, a server's replies to
+it) into a single frame, so N messages cost one frame header, one
+socket write and one wake-up on the far side.
+
+**Negotiation** rides inside the JSON frames: a binary-capable node
+adds ``"bin": 1`` to every JSON body it sends.  Old decoders ignore
+unknown keys, so the advert is invisible to legacy peers; a new peer
+that sees it (or receives any binary frame) upgrades its *sending*
+codec for that connection.  Steady state between two new nodes is
+binary both ways after one frame each; a mixed fleet simply stays on
+JSON.  Frames are self-describing, so decoding never depends on the
+negotiation having happened.
+
+This module is the single decode path: :func:`decode_wire_body` is used
+by both the pull-style :func:`~repro.live.transport.read_frame` and the
+push-style :class:`~repro.live.transport.FrameParser`, so the two can
+never disagree about message shape again (they once diverged on
+``args: null`` handling).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Any, Dict, List, Tuple, Union
+
+from ..rpc.messages import METHOD_IDS, METHOD_NAMES, Reply, Request
+
+Message = Union[Request, Reply]
+
+#: Frames above this size are refused — a corrupt length prefix must
+#: not make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: First byte of every binary body.  0xB7 is not valid UTF-8 start
+#: byte and can never begin a JSON document, so the decoder can always
+#: tell the codecs apart from the first byte alone.
+MAGIC = 0xB7
+
+KIND_REQUEST = 1
+KIND_REPLY = 2
+KIND_BATCH = 3
+
+#: Reply flag bit: the call succeeded.
+_FLAG_OK = 0x01
+
+#: Binary body header: magic, kind, meta, blob count, call id, length
+#: of the JSON section.  ``meta`` is the method id for requests and the
+#: flag byte for replies; for batch bodies ``call id`` carries the
+#: sub-body count instead.
+_HEADER = struct.Struct("!BBBBQI")
+
+_BYTES_TAG = "__bytes_b64__"
+_BLOB_TAG = "__blob__"
+
+
+class FrameError(Exception):
+    """A malformed frame arrived (bad length, bad JSON, bad shape)."""
+
+
+# ---------------------------------------------------------------------------
+# JSON payload (de)serialisation — the compatibility codec
+# ---------------------------------------------------------------------------
+
+def jsonify(value: Any) -> Any:
+    """Make ``value`` JSON-safe: tag bytes, recurse into containers.
+
+    Tuples become lists — every protocol call site unpacks sequences
+    positionally, so the distinction never matters on the wire.
+    """
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, dict):
+        return {key: jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    return value
+
+
+def unjsonify(value: Any) -> Any:
+    """Invert :func:`jsonify` (bytes tags back to ``bytes``)."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {_BYTES_TAG}:
+            return base64.b64decode(value[_BYTES_TAG])
+        return {key: unjsonify(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [unjsonify(item) for item in value]
+    return value
+
+
+def message_to_wire(message: Message) -> Dict[str, Any]:
+    """Encode a Request/Reply dataclass as a JSON-safe dict."""
+    if isinstance(message, Request):
+        wire = {"kind": "request", "call_id": message.call_id,
+                "source": message.source, "method": message.method,
+                "args": jsonify(message.args)}
+        if message.trace is not None:
+            wire["trace"] = dict(message.trace)
+        return wire
+    if isinstance(message, Reply):
+        return {"kind": "reply", "call_id": message.call_id,
+                "ok": message.ok, "value": jsonify(message.value),
+                "error_type": message.error_type,
+                "error_detail": message.error_detail}
+    raise TypeError(f"cannot send {type(message).__name__} on the wire")
+
+
+def message_from_raw(raw: Dict[str, Any]) -> Message:
+    """The one JSON-dict decoder both wire paths share.
+
+    ``args`` handling is deliberately ``raw.get("args") or {}``: a
+    ``null`` on the wire and a missing key both mean "no arguments",
+    and having a single decoder is what keeps the streaming and the
+    pull-style paths from diverging on cases like this again.
+    """
+    kind = raw.get("kind")
+    if kind == "request":
+        return Request(call_id=raw["call_id"], source=raw["source"],
+                       method=raw["method"],
+                       args=raw.get("args") or {},
+                       trace=raw.get("trace"))
+    if kind == "reply":
+        return Reply(call_id=raw["call_id"], ok=raw["ok"],
+                     value=raw.get("value"),
+                     error_type=raw.get("error_type"),
+                     error_detail=raw.get("error_detail"))
+    raise FrameError(f"unknown frame kind {kind!r}")
+
+
+def message_from_wire(raw: Dict[str, Any]) -> Message:
+    """Decode a :func:`message_to_wire` dict (restores tagged bytes)."""
+    return message_from_raw(unjsonify(raw))
+
+
+def _json_default(value: Any) -> Any:
+    """``json.dumps`` fallback: tag bytes, leave the rest to fail."""
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
+    raise TypeError(f"cannot serialise {type(value).__name__} on the wire")
+
+
+def _json_object_hook(value: Dict[str, Any]) -> Any:
+    """``json.loads`` hook: restore tagged bytes in one C-driven pass."""
+    if len(value) == 1 and _BYTES_TAG in value:
+        return base64.b64decode(value[_BYTES_TAG])
+    return value
+
+
+#: Shared codec instances — ``json.dumps``/``loads`` with keyword
+#: options construct a fresh encoder/decoder per call, which is pure
+#: overhead on the frame hot path.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), default=_json_default)
+_DECODER = json.JSONDecoder(object_hook=_json_object_hook)
+
+
+def encode_json_body(message: Message, advert: bool = True) -> bytes:
+    """One JSON frame body.
+
+    ``advert`` adds the ``"bin": 1`` codec advertisement — a key legacy
+    decoders ignore and new peers read as "you may answer me in
+    binary".  The payload is not pre-walked: ``json.dumps`` descends
+    into it natively and only bytes values detour through
+    :func:`_json_default` (tuples become lists, as in :func:`jsonify`).
+    """
+    if isinstance(message, Request):
+        wire: Dict[str, Any] = {
+            "kind": "request", "call_id": message.call_id,
+            "source": message.source, "method": message.method,
+            "args": message.args}
+        if message.trace is not None:
+            wire["trace"] = message.trace
+    elif isinstance(message, Reply):
+        wire = {"kind": "reply", "call_id": message.call_id,
+                "ok": message.ok, "value": message.value,
+                "error_type": message.error_type,
+                "error_detail": message.error_detail}
+    else:
+        raise TypeError(f"cannot send {type(message).__name__} on the wire")
+    if advert:
+        wire["bin"] = 1
+    return _ENCODER.encode(wire).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Binary bodies — the fast codec
+# ---------------------------------------------------------------------------
+
+def _strip_blobs(value: Any, blobs: List[bytes]) -> Any:
+    """Replace every ``bytes`` in ``value`` with a blob reference.
+
+    The stripped structure is JSON-safe without base64; the payloads
+    travel appended to the frame as raw length-prefixed slices.  Tuples
+    become lists, exactly as the JSON codec does.
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        blobs.append(bytes(value))
+        return {_BLOB_TAG: len(blobs) - 1}
+    if isinstance(value, dict):
+        return {key: _strip_blobs(item, blobs)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_strip_blobs(item, blobs) for item in value]
+    return value
+
+
+def _restore_blobs(value: Any, blobs: List[bytes]) -> Any:
+    """Invert :func:`_strip_blobs` against the frame's blob table."""
+    if isinstance(value, dict):
+        if len(value) == 1 and _BLOB_TAG in value:
+            return blobs[value[_BLOB_TAG]]
+        return {key: _restore_blobs(item, blobs)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore_blobs(item, blobs) for item in value]
+    return value
+
+
+def encode_binary_body(message: Message) -> bytes:
+    """One binary frame body: packed header + JSON section + raw blobs."""
+    blobs: List[bytes] = []
+    if isinstance(message, Request):
+        kind = KIND_REQUEST
+        meta = METHOD_IDS.get(message.method, 0)
+        rest: Dict[str, Any] = {"source": message.source}
+        if meta == 0:
+            rest["method"] = message.method
+        if message.args:
+            rest["args"] = _strip_blobs(message.args, blobs)
+        if message.trace is not None:
+            rest["trace"] = message.trace
+        call_id = message.call_id
+    elif isinstance(message, Reply):
+        kind = KIND_REPLY
+        meta = _FLAG_OK if message.ok else 0
+        rest = {}
+        if message.value is not None:
+            rest["value"] = _strip_blobs(message.value, blobs)
+        if message.error_type is not None:
+            rest["error_type"] = message.error_type
+        if message.error_detail is not None:
+            rest["error_detail"] = message.error_detail
+        call_id = message.call_id
+    else:
+        raise TypeError(f"cannot send {type(message).__name__} on the wire")
+    if len(blobs) > 255:
+        raise FrameError(f"{len(blobs)} byte payloads in one message "
+                         "(255 max)")
+    section = _ENCODER.encode(rest).encode("utf-8") if rest else b""
+    parts = [_HEADER.pack(MAGIC, kind, meta, len(blobs), call_id,
+                          len(section)), section]
+    for blob in blobs:
+        parts.append(len(blob).to_bytes(4, "big"))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def encode_batch_body(bodies: List[bytes]) -> bytes:
+    """Pack several frame bodies into one batch body."""
+    parts = [_HEADER.pack(MAGIC, KIND_BATCH, 0, 0, len(bodies), 0)]
+    for body in bodies:
+        parts.append(len(body).to_bytes(4, "big"))
+        parts.append(body)
+    return b"".join(parts)
+
+
+def _decode_binary(body: memoryview) -> Tuple[List[Message], bool]:
+    if len(body) < _HEADER.size:
+        raise FrameError(f"binary frame of {len(body)} bytes is shorter "
+                         "than its header")
+    magic, kind, meta, nblobs, call_id, section_len = \
+        _HEADER.unpack_from(body, 0)
+    offset = _HEADER.size
+    if kind == KIND_BATCH:
+        messages: List[Message] = []
+        for _ in range(call_id):
+            if offset + 4 > len(body):
+                raise FrameError("batch frame truncated")
+            sub_len = int.from_bytes(body[offset:offset + 4], "big")
+            offset += 4
+            if offset + sub_len > len(body):
+                raise FrameError("batch frame truncated")
+            sub, _binary = decode_wire_body(body[offset:offset + sub_len])
+            messages.extend(sub)
+            offset += sub_len
+        return messages, True
+    if offset + section_len > len(body):
+        raise FrameError("binary frame truncated before its JSON section")
+    rest: Dict[str, Any] = {}
+    if section_len:
+        rest = _DECODER.decode(
+            bytes(body[offset:offset + section_len]).decode("utf-8"))
+        offset += section_len
+    blobs: List[bytes] = []
+    for _ in range(nblobs):
+        if offset + 4 > len(body):
+            raise FrameError("binary frame truncated in its blob table")
+        blob_len = int.from_bytes(body[offset:offset + 4], "big")
+        offset += 4
+        if offset + blob_len > len(body):
+            raise FrameError("binary frame truncated mid-payload")
+        blobs.append(bytes(body[offset:offset + blob_len]))
+        offset += blob_len
+    if kind == KIND_REQUEST:
+        method = METHOD_NAMES.get(meta) or rest.get("method")
+        if not method:
+            raise FrameError(f"unknown method id {meta}")
+        args = rest.get("args") or {}
+        if blobs:
+            args = _restore_blobs(args, blobs)
+        return [Request(call_id=call_id, source=rest.get("source", ""),
+                        method=method, args=args,
+                        trace=rest.get("trace"))], True
+    if kind == KIND_REPLY:
+        value = rest.get("value")
+        if blobs and value is not None:
+            value = _restore_blobs(value, blobs)
+        return [Reply(call_id=call_id, ok=bool(meta & _FLAG_OK),
+                      value=value, error_type=rest.get("error_type"),
+                      error_detail=rest.get("error_detail"))], True
+    raise FrameError(f"unknown binary frame kind {kind}")
+
+
+# ---------------------------------------------------------------------------
+# The one decode path
+# ---------------------------------------------------------------------------
+
+def decode_wire_body(body: Union[bytes, bytearray, memoryview],
+                     ) -> Tuple[List[Message], bool]:
+    """Decode one frame body into its messages.
+
+    Returns ``(messages, binary_peer)`` where ``binary_peer`` is True
+    when the body proves the sender speaks the binary codec — either
+    the body *is* binary, or it is a JSON body carrying the ``bin``
+    advert.  Both the pull-style reader and the streaming parser call
+    this, so there is exactly one place message shape is decided.
+    """
+    view = memoryview(body)
+    if len(view) == 0:
+        raise FrameError("empty frame")
+    try:
+        if view[0] == MAGIC:
+            return _decode_binary(view)
+        raw = _DECODER.decode(bytes(view).decode("utf-8"))
+        return [message_from_raw(raw)], bool(raw.get("bin"))
+    except FrameError:
+        raise
+    except (ValueError, KeyError, TypeError, AttributeError,
+            struct.error) as exc:
+        raise FrameError(f"malformed frame: {exc}") from exc
+
+
+def encode_frame(message: Message, binary: bool = False,
+                 advert: bool = True) -> bytes:
+    """One complete wire frame: 4-byte big-endian length + body.
+
+    Raises :class:`FrameError` when the encoded body would exceed
+    :data:`MAX_FRAME_BYTES` — the transport treats that message as a
+    dropped datagram rather than letting the error reach protocol code.
+    """
+    body = (encode_binary_body(message) if binary
+            else encode_json_body(message, advert=advert))
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds limit")
+    return len(body).to_bytes(4, "big") + body

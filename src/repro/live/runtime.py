@@ -61,6 +61,12 @@ class LiveKernel(Simulator):
     asyncio drives the callbacks, nobody pumps a queue.
     """
 
+    #: Resume processes inline through already-settled yields (see
+    #: ``Simulator.eager_resume``): wall-clock runs have no replayable
+    #: event order to protect, and the saved schedule/dispatch round
+    #: trips are real time on the hot path.
+    eager_resume = True
+
     def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None
                  ) -> None:
         super().__init__()
@@ -95,18 +101,34 @@ class LiveKernel(Simulator):
         # timers that will never need to fire.
         return self.loop.call_later(delay / 1000.0, callback, *args)
 
+    #: Zero-delay callbacks drained per pump before yielding the loop —
+    #: a backstop against a pathological zero-delay cycle starving I/O,
+    #: set far above any real protocol chain.
+    DRAIN_LIMIT = 100_000
+
     def _run_due(self) -> None:
-        # Snapshot semantics: callbacks scheduled while draining run on
-        # the next loop pass, exactly as per-callback call_soon handles
-        # would have.
-        self._pump_scheduled = False
-        for _ in range(len(self._due)):
-            callback, args = self._due.popleft()
+        # Drain to a fixpoint: a settled event resumes its waiter, which
+        # settles further events, and the whole dependent chain runs in
+        # this one pump instead of one asyncio pass per link.  FIFO
+        # order is exactly what per-callback call_soon handles would
+        # have given — the chain just no longer pays a loop iteration
+        # (selector poll included) per continuation.  ``_pump_scheduled``
+        # stays True while draining so schedule() calls from inside
+        # callbacks don't stack redundant pump handles.
+        due = self._due
+        drained = 0
+        while due and drained < self.DRAIN_LIMIT:
+            callback, args = due.popleft()
+            drained += 1
             try:
                 callback(*args)
             except Exception:
                 logger.exception("unhandled exception in scheduled "
                                  "callback %r", callback)
+        if due:
+            self.loop.call_soon(self._run_due)
+        else:
+            self._pump_scheduled = False
 
     # -- the sim's pumping API is meaningless here -------------------------
 

@@ -217,6 +217,23 @@ class LiveStorageServer:
         extra = {"obs.spans_buffered": float(len(self.collector.ring)),
                  "obs.spans_dropped": float(self.collector.dropped),
                  "server.up": 1.0 if self.host.up else 0.0}
+        # Transport counters mirror the wire: frames are what crossed
+        # (or failed to cross) a socket, batches/messages_batched show
+        # how well quorum fan-outs coalesce per destination.
+        transport = self.transport
+        extra.update({
+            "transport.frames_sent": float(transport.frames_sent),
+            "transport.frames_received": float(transport.frames_received),
+            "transport.frames_dropped": float(transport.frames_dropped),
+            "transport.frames_delayed": float(transport.frames_delayed),
+            "transport.frames_duplicated":
+                float(transport.frames_duplicated),
+            "transport.batches_sent": float(transport.batches_sent),
+            "transport.batches_received":
+                float(transport.batches_received),
+            "transport.messages_batched":
+                float(transport.messages_batched),
+        })
         if self.profiler is not None:
             self.profiler.publish(self.metrics)
         return prom.CONTENT_TYPE, prom.render_registry(self.metrics,

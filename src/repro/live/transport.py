@@ -1,4 +1,4 @@
-"""Length-prefixed JSON transport over asyncio TCP.
+"""Length-prefixed transport over asyncio TCP, binary codec negotiated.
 
 The live runtime keeps the *datagram* contract the simulated network
 gives :class:`~repro.rpc.endpoint.RpcEndpoint`: ``send`` is
@@ -10,159 +10,64 @@ the endpoint's retransmission (same call id) and the server's
 at-most-once dedup carry over unchanged.
 
 Wire format: each frame is a 4-byte big-endian length followed by a
-UTF-8 JSON object.  The JSON shapes mirror
-:class:`~repro.rpc.messages.Request` / :class:`~repro.rpc.messages.Reply`
-exactly; ``bytes`` payloads are tagged base64 objects and tuples become
-lists (callers already unpack sequences positionally).
+body in one of the two codecs of :mod:`repro.live.codec` — compact
+binary (struct header, raw byte payloads, batch frames) between peers
+that have negotiated it, JSON otherwise.  Encoding is deferred to the
+per-loop-pass flush, which is what makes batching free: everything a
+node sends to one destination in one event-loop pass — a coordinator's
+whole vote-inquiry fan-out to the representatives a host carries, a
+server's replies to that inquiry — lands in the queue before the flush
+runs and goes out as a single batch frame.  Deferred encoding also
+means a payload must not be mutated after ``send``; both runtimes
+construct fresh per-call payloads, and decoding from bytes preserves
+receiver isolation.
+
+Replies are never waited on at this layer, so independent transactions
+pipeline naturally on one connection: a slow reply holds back nothing
+that was sent after it.
 """
 
 from __future__ import annotations
 
 import asyncio
-import base64
-import json
 import logging
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from collections import deque
 
 from ..rpc.messages import Reply, Request
+from .codec import (FrameError, KIND_BATCH, MAGIC, MAX_FRAME_BYTES,
+                    decode_wire_body, encode_batch_body, encode_binary_body,
+                    encode_frame, encode_json_body, jsonify, message_from_wire,
+                    message_to_wire, unjsonify)
+
+__all__ = [
+    "FrameError", "FrameParser", "MAX_FRAME_BYTES", "TransportNode",
+    "encode_frame", "jsonify", "message_from_wire", "message_to_wire",
+    "read_frame", "unjsonify",
+]
 
 logger = logging.getLogger("repro.live.transport")
 
-#: Frames above this size are refused — a corrupt length prefix must
-#: not make a reader allocate gigabytes.
-MAX_FRAME_BYTES = 16 * 1024 * 1024
-
-_BYTES_TAG = "__bytes_b64__"
-
-
-class FrameError(Exception):
-    """A malformed frame arrived (bad length, bad JSON, bad shape)."""
-
-
-# ---------------------------------------------------------------------------
-# Payload (de)serialisation
-# ---------------------------------------------------------------------------
-
-def jsonify(value: Any) -> Any:
-    """Make ``value`` JSON-safe: tag bytes, recurse into containers.
-
-    Tuples become lists — every protocol call site unpacks sequences
-    positionally, so the distinction never matters on the wire.
-    """
-    if isinstance(value, (bytes, bytearray)):
-        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
-    if isinstance(value, dict):
-        return {key: jsonify(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [jsonify(item) for item in value]
-    return value
-
-
-def unjsonify(value: Any) -> Any:
-    """Invert :func:`jsonify` (bytes tags back to ``bytes``)."""
-    if isinstance(value, dict):
-        if set(value.keys()) == {_BYTES_TAG}:
-            return base64.b64decode(value[_BYTES_TAG])
-        return {key: unjsonify(item) for key, item in value.items()}
-    if isinstance(value, list):
-        return [unjsonify(item) for item in value]
-    return value
-
-
-def message_to_wire(message: "Request | Reply") -> Dict[str, Any]:
-    """Encode a Request/Reply dataclass as a JSON-safe dict."""
-    if isinstance(message, Request):
-        wire = {"kind": "request", "call_id": message.call_id,
-                "source": message.source, "method": message.method,
-                "args": jsonify(message.args)}
-        if message.trace is not None:
-            wire["trace"] = dict(message.trace)
-        return wire
-    if isinstance(message, Reply):
-        return {"kind": "reply", "call_id": message.call_id,
-                "ok": message.ok, "value": jsonify(message.value),
-                "error_type": message.error_type,
-                "error_detail": message.error_detail}
-    raise TypeError(f"cannot send {type(message).__name__} on the wire")
-
-
-def message_from_wire(raw: Dict[str, Any]) -> "Request | Reply":
-    """Decode a wire dict back into a Request or Reply."""
-    kind = raw.get("kind")
-    if kind == "request":
-        return Request(call_id=raw["call_id"], source=raw["source"],
-                       method=raw["method"],
-                       args=unjsonify(raw.get("args", {})),
-                       trace=raw.get("trace"))
-    if kind == "reply":
-        return Reply(call_id=raw["call_id"], ok=raw["ok"],
-                     value=unjsonify(raw.get("value")),
-                     error_type=raw.get("error_type"),
-                     error_detail=raw.get("error_detail"))
-    raise FrameError(f"unknown frame kind {kind!r}")
-
-
-def _json_default(value: Any) -> Any:
-    """``json.dumps`` fallback: tag bytes, leave the rest to fail."""
-    if isinstance(value, (bytes, bytearray)):
-        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
-    raise TypeError(f"cannot serialise {type(value).__name__} on the wire")
-
-
-def _json_object_hook(value: Dict[str, Any]) -> Any:
-    """``json.loads`` hook: restore tagged bytes in one C-driven pass."""
-    if len(value) == 1 and _BYTES_TAG in value:
-        return base64.b64decode(value[_BYTES_TAG])
-    return value
-
-
-#: Shared codec instances — ``json.dumps``/``loads`` with keyword
-#: options construct a fresh encoder/decoder per call, which is pure
-#: overhead on the frame hot path.
-_ENCODER = json.JSONEncoder(separators=(",", ":"), default=_json_default)
-_DECODER = json.JSONDecoder(object_hook=_json_object_hook)
-
-
-def encode_frame(message: "Request | Reply") -> bytes:
-    """One wire frame: 4-byte big-endian length + JSON body.
-
-    Hot path: the payload is not pre-walked — ``json.dumps`` descends
-    into it natively and only bytes values detour through
-    :func:`_json_default` (tuples become lists, as in :func:`jsonify`).
-    """
-    if isinstance(message, Request):
-        wire: Dict[str, Any] = {
-            "kind": "request", "call_id": message.call_id,
-            "source": message.source, "method": message.method,
-            "args": message.args}
-        if message.trace is not None:
-            wire["trace"] = message.trace
-    elif isinstance(message, Reply):
-        wire = {"kind": "reply", "call_id": message.call_id,
-                "ok": message.ok, "value": message.value,
-                "error_type": message.error_type,
-                "error_detail": message.error_detail}
-    else:
-        raise TypeError(f"cannot send {type(message).__name__} on the wire")
-    body = _ENCODER.encode(wire).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise FrameError(f"frame of {len(body)} bytes exceeds limit")
-    return len(body).to_bytes(4, "big") + body
-
 
 async def read_frame(reader: asyncio.StreamReader) -> "Request | Reply":
-    """Read one frame; raises ``IncompleteReadError`` at EOF."""
+    """Read one single-message frame; ``IncompleteReadError`` at EOF.
+
+    The pull-style path for tools and tests.  It shares
+    :func:`~repro.live.codec.decode_wire_body` with the streaming
+    :class:`FrameParser`, so the two readers cannot diverge on message
+    shape.  Batch frames are refused here — a one-message-at-a-time
+    reader has nowhere to put the rest.
+    """
     header = await reader.readexactly(4)
     length = int.from_bytes(header, "big")
     if length > MAX_FRAME_BYTES:
         raise FrameError(f"incoming frame of {length} bytes exceeds limit")
     body = await reader.readexactly(length)
-    try:
-        return message_from_wire(json.loads(body.decode("utf-8")))
-    except (ValueError, KeyError, TypeError) as exc:
-        raise FrameError(f"malformed frame: {exc}") from exc
+    messages, _binary = decode_wire_body(body)
+    if len(messages) != 1:
+        raise FrameError("batch frame on a single-message reader")
+    return messages[0]
 
 
 class FrameParser:
@@ -172,14 +77,21 @@ class FrameParser:
     several frames often arrive in one TCP segment, and parsing them in
     a single pass (no coroutine wake-up per frame) is what lets one
     event loop sustain thousands of messages per second.
+
+    The parser also carries the receive side of codec negotiation:
+    ``binary_seen`` latches True once the peer has sent anything that
+    proves it speaks the binary codec (a binary frame, or a JSON frame
+    with the ``bin`` advert), and ``batches`` counts batch frames.
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self.binary_seen = False
+        self.batches = 0
 
     def feed(self, data: bytes) -> "list[Request | Reply]":
         self._buffer.extend(data)
-        messages = []
+        messages: List["Request | Reply"] = []
         buffer = self._buffer
         offset = 0
         while len(buffer) - offset >= 4:
@@ -191,24 +103,13 @@ class FrameParser:
                 break
             body = bytes(buffer[offset + 4:offset + 4 + length])
             offset += 4 + length
-            try:
-                raw = _DECODER.decode(body.decode("utf-8"))
-                kind = raw.get("kind")
-                if kind == "request":
-                    messages.append(Request(
-                        call_id=raw["call_id"], source=raw["source"],
-                        method=raw["method"], args=raw.get("args") or {},
-                        trace=raw.get("trace")))
-                elif kind == "reply":
-                    messages.append(Reply(
-                        call_id=raw["call_id"], ok=raw["ok"],
-                        value=raw.get("value"),
-                        error_type=raw.get("error_type"),
-                        error_detail=raw.get("error_detail")))
-                else:
-                    raise FrameError(f"unknown frame kind {kind!r}")
-            except (ValueError, KeyError, TypeError, AttributeError) as exc:
-                raise FrameError(f"malformed frame: {exc}") from exc
+            if (len(body) >= 2 and body[0] == MAGIC
+                    and body[1] == KIND_BATCH):
+                self.batches += 1
+            decoded, binary = decode_wire_body(body)
+            if binary:
+                self.binary_seen = True
+            messages.extend(decoded)
         if offset:
             del buffer[:offset]
         return messages
@@ -226,9 +127,12 @@ class _Connection(asyncio.Protocol):
     in ``data_received``, so a frame costs no task wake-up and several
     frames arriving in one segment cost one callback.
 
-    Outbound messages queue until the dial completes; if the dial fails
-    every queued message is dropped, which is exactly what a datagram
-    network would have done with them.
+    Outbound *messages* (not frames) queue until the flush scheduled
+    for the end of the current loop pass: encoding at flush time is
+    what lets the connection pick the codec the peer has negotiated by
+    then and pack everything queued in one pass into one batch frame.
+    If the dial fails, every queued message is dropped and counted,
+    which is exactly what a datagram network would have done with them.
     """
 
     def __init__(self, node: "TransportNode",
@@ -236,12 +140,16 @@ class _Connection(asyncio.Protocol):
         self.node = node
         self.peer = peer                 # peer name, once known
         self.alive = True
+        #: True once the peer has proven it decodes the binary codec;
+        #: flips our *sending* codec for this connection.
+        self.peer_binary = False
         self._loop = asyncio.get_event_loop()
         self._transport: Optional[asyncio.Transport] = None
-        self._out: Deque[bytes] = deque()
+        self._out: Deque["Request | Reply"] = deque()
         self._flush_scheduled = False
         self._dial_task: Optional[asyncio.Task] = None
         self._parser = FrameParser()
+        self._batches_reported = 0
 
     # -- asyncio.Protocol callbacks ----------------------------------------
 
@@ -253,21 +161,28 @@ class _Connection(asyncio.Protocol):
         self._flush()
 
     def data_received(self, data: bytes) -> None:
-        profiler = self.node.profiler
+        node = self.node
+        profiler = node.profiler
         try:
             if profiler is not None:
                 token = profiler.start()
                 messages = self._parser.feed(data)
-                profiler.stop("rpc.decode", token)
+                profiler.stop("frame.decode", token)
             else:
                 messages = self._parser.feed(data)
         except FrameError as exc:
-            logger.warning("%s: dropping connection: %s",
-                           self.node.name, exc)
+            logger.warning("%s: dropping connection: %s", node.name, exc)
             self._drop()
             return
+        if self._parser.batches != self._batches_reported:
+            node.batches_received += (self._parser.batches
+                                      - self._batches_reported)
+            self._batches_reported = self._parser.batches
+        if (self._parser.binary_seen and not self.peer_binary
+                and node.binary):
+            self.peer_binary = True
         for message in messages:
-            self.node._inbound(self, message)
+            node._inbound(self, message)
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
         self._drop()
@@ -285,11 +200,17 @@ class _Connection(asyncio.Protocol):
         except OSError:
             self._drop()  # connect refused/failed: datagrams lost
 
+    def _discard_backlog(self) -> None:
+        """Drop (and count) every message that never reached the wire."""
+        if self._out:
+            self.node.frames_dropped += len(self._out)
+            self._out.clear()
+
     def _drop(self) -> None:
         if not self.alive:
             return
         self.alive = False
-        self._out.clear()
+        self._discard_backlog()
         if self._transport is not None:
             try:
                 self._transport.close()
@@ -298,8 +219,10 @@ class _Connection(asyncio.Protocol):
         self.node._connection_lost(self)
 
     def close(self) -> None:
+        if not self.alive:
+            return
         self.alive = False
-        self._out.clear()
+        self._discard_backlog()
         if self._dial_task is not None:
             self._dial_task.cancel()
         if self._transport is not None:
@@ -307,19 +230,23 @@ class _Connection(asyncio.Protocol):
                 self._transport.close()
             except Exception:  # pragma: no cover
                 pass
+        # Deregister immediately — a deliberately closed connection must
+        # not linger in the node's routing tables until (if ever) the
+        # connection_lost callback runs.
+        self.node._connection_lost(self)
 
     # -- sending -----------------------------------------------------------
 
-    def send(self, frame: bytes) -> None:
-        """Queue a frame; one coalesced write per loop pass.
+    def send(self, message: "Request | Reply") -> None:
+        """Queue a message; one encoded, coalesced write per loop pass.
 
-        Before the dial completes frames queue here too — if the dial
+        Before the dial completes messages queue here too — if the dial
         fails the queue is dropped wholesale, just as a datagram network
         would have lost them.
         """
         if not self.alive:
             return
-        self._out.append(frame)
+        self._out.append(message)
         if self._transport is not None and not self._flush_scheduled:
             self._flush_scheduled = True
             self._loop.call_soon(self._flush)
@@ -328,12 +255,67 @@ class _Connection(asyncio.Protocol):
         self._flush_scheduled = False
         if not self.alive or self._transport is None or not self._out:
             return
-        data = b"".join(self._out) if len(self._out) > 1 else self._out[0]
+        node = self.node
+        profiler = node.profiler
+        token = profiler.start() if profiler is not None else None
+        binary = node.binary and self.peer_binary
+        bodies: List[bytes] = []
+        for message in self._out:
+            try:
+                if binary:
+                    body = encode_binary_body(message)
+                else:
+                    body = encode_json_body(message, advert=node.binary)
+                if len(body) > MAX_FRAME_BYTES:
+                    raise FrameError(
+                        f"frame of {len(body)} bytes exceeds limit")
+            except FrameError as exc:
+                # A message too large for any frame behaves like a
+                # dropped datagram: counted, logged, never raised into
+                # the protocol layer above.
+                node.frames_dropped += 1
+                logger.warning("%s -> %s: dropping oversize message: %s",
+                               node.name, self.peer, exc)
+                continue
+            bodies.append(body)
         self._out.clear()
+        frames: List[bytes] = []
+        if binary and len(bodies) > 1:
+            # Everything this node queued for this destination in one
+            # loop pass rides one batch frame (split only if the batch
+            # itself would blow the frame limit).
+            batch: List[bytes] = []
+            batch_size = 0
+            for body in bodies:
+                if batch and batch_size + len(body) + 4 > MAX_FRAME_BYTES:
+                    frames.append(self._seal_batch(batch))
+                    batch, batch_size = [], 0
+                batch.append(body)
+                batch_size += len(body) + 4
+            if batch:
+                frames.append(self._seal_batch(batch))
+        else:
+            for body in bodies:
+                frames.append(len(body).to_bytes(4, "big") + body)
+        if profiler is not None:
+            profiler.stop("frame.encode", token)
+        if not frames:
+            return
+        node.frames_sent += len(frames)
+        data = b"".join(frames) if len(frames) > 1 else frames[0]
         try:
             self._transport.write(data)
         except Exception:
             self._drop()
+
+    def _seal_batch(self, bodies: List[bytes]) -> bytes:
+        node = self.node
+        if len(bodies) == 1:
+            return len(bodies[0]).to_bytes(4, "big") + bodies[0]
+        node.batches_sent += 1
+        node.messages_batched += len(bodies)
+        body = encode_batch_body(bodies)
+        return len(body).to_bytes(4, "big") + body
 
 
 class TransportNode:
@@ -344,12 +326,21 @@ class TransportNode:
     static ``register_peer`` table; inbound connections learn their peer
     name from the ``source`` field of the first request they carry, so
     replies can be routed back without the server ever dialling out.
+
+    ``binary=False`` pins the node to the JSON codec — it never
+    advertises and never upgrades, exactly like a node from before the
+    binary codec existed, which is how the mixed-fleet fallback tests
+    emulate a legacy peer.
     """
 
     def __init__(self, name: str,
-                 on_message: Callable[["Request | Reply"], None]) -> None:
+                 on_message: Callable[["Request | Reply"], None],
+                 binary: bool = True) -> None:
         self.name = name
         self.on_message = on_message
+        #: Whether this node speaks the binary codec at all (advertises
+        #: it on JSON frames, upgrades connections whose peer does).
+        self.binary = binary
         self.address: Optional[Tuple[str, int]] = None
         self._addresses: Dict[str, Tuple[str, int]] = {}
         self._connections: Dict[str, _Connection] = {}
@@ -362,15 +353,23 @@ class TransportNode:
         #: object fault-injects either runtime.
         self.chaos: Optional[Any] = None
         #: Optional :class:`~repro.perf.PhaseProfiler` timing frame
-        #: encode ("rpc.encode") and decode ("rpc.decode") on this
+        #: encode ("frame.encode") and decode ("frame.decode") on this
         #: node's hot path.  Attribute, not constructor arg, so the
         #: harness can attach one profiler across a whole cluster.
         self.profiler: Optional[Any] = None
-        self.frames_sent = 0
-        self.frames_received = 0
+        #: Message-level counters: a "frame" in the drop/delay/duplicate
+        #: counters is one protocol message (the datagram the contract
+        #: is written in terms of), regardless of how it was packed.
+        self.frames_sent = 0         # wire frames written (batch = 1)
+        self.frames_received = 0     # messages delivered up
         self.frames_dropped = 0
         self.frames_delayed = 0
         self.frames_duplicated = 0
+        #: Batching counters: batch frames sent/received, and how many
+        #: messages rode inside sent batches.
+        self.batches_sent = 0
+        self.batches_received = 0
+        self.messages_batched = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -428,6 +427,12 @@ class TransportNode:
 
     def _send_now(self, destination: str,
                   message: "Request | Reply") -> None:
+        """Queue one message for ``destination``.
+
+        Never raises into protocol code: unroutable destinations are
+        counted and forgotten here, and encode-time failures (oversize
+        messages) are absorbed the same way at flush time.
+        """
         connection = self._connections.get(destination)
         if connection is None or not connection.alive:
             address = self._addresses.get(destination)
@@ -437,14 +442,7 @@ class TransportNode:
             connection = _Connection(self, peer=destination)
             self._connections[destination] = connection
             connection.dial(address)
-        if self.profiler is not None:
-            token = self.profiler.start()
-            frame = encode_frame(message)
-            self.profiler.stop("rpc.encode", token)
-        else:
-            frame = encode_frame(message)
-        connection.send(frame)
-        self.frames_sent += 1
+        connection.send(message)
 
     # -- inbound plumbing --------------------------------------------------
 

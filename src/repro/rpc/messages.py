@@ -11,6 +11,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+#: Well-known protocol methods, assigned stable one-byte ids so the
+#: binary wire codec can carry the method in its packed header instead
+#: of as an inline string.  Ids are append-only: once shipped, an id's
+#: meaning never changes (a renumbered registry would make mixed-fleet
+#: frames decode to the wrong handler).  Methods outside this table —
+#: tests, experiments — still work: id 0 means "name inline in the
+#: frame's JSON section".
+METHOD_IDS: Dict[str, int] = {
+    "txn.read": 1,
+    "txn.read_version": 2,
+    "txn.stat": 3,
+    "txn.stage_write": 4,
+    "txn.stage_delete": 5,
+    "txn.prepare": 6,
+    "txn.commit": 7,
+    "txn.abort": 8,
+}
+
+#: Inverse of :data:`METHOD_IDS` (id -> method name).
+METHOD_NAMES: Dict[int, str] = {
+    method_id: name for name, method_id in METHOD_IDS.items()}
+
 
 @dataclass(frozen=True)
 class Request:

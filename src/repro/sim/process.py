@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..errors import Interrupt, ProcessKilled
-from .events import Event
+from .events import FAILED, PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .simulator import Simulator
@@ -97,45 +97,57 @@ class Process(Event):
             return
         self._waiting_on = None
         if event is not None and event.failed:
-            self._throw(event.value)
+            self._drive(None, event.value)
             return
-        value = event.value if event is not None else None
-        try:
-            target = self.generator.send(value)
-        except StopIteration as stop:
-            self._finish(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - must capture process crash
-            self._crash(exc)
-            return
-        self._wait_for(target)
+        self._drive(event.value if event is not None else None)
 
     def _throw(self, exception: BaseException) -> None:
+        self._drive(None, exception)
+
+    def _drive(self, value: Any,
+               exception: Optional[BaseException] = None) -> None:
+        """Advance the generator; inline through settled yields when
+        the kernel allows it (see ``Simulator.eager_resume``)."""
         if not self._alive:
             return
-        try:
-            target = self.generator.throw(exception)
-        except StopIteration as stop:
-            self._finish(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001
-            if exc is exception and isinstance(exc, Interrupt):
-                # Uncaught interrupt simply terminates the process.
-                self._finish(None)
+        eager = self.sim.eager_resume
+        while True:
+            throwing, exception = exception, None
+            try:
+                if throwing is not None:
+                    target = self.generator.throw(throwing)
+                else:
+                    target = self.generator.send(value)
+            except StopIteration as stop:
+                self._finish(stop.value)
                 return
-            self._crash(exc)
+            except BaseException as exc:  # noqa: BLE001 - capture crash
+                if (throwing is not None and exc is throwing
+                        and isinstance(exc, Interrupt)):
+                    # Uncaught interrupt simply terminates the process.
+                    self._finish(None)
+                    return
+                self._crash(exc)
+                return
+            if not self._alive:
+                # The step we just ran killed this process (host crash
+                # from inside a handler); the generator is closed.
+                return
+            if not isinstance(target, Event):
+                self._crash(TypeError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes may only yield Event instances"
+                ))
+                return
+            if eager and target._state is not PENDING:
+                if target._state is FAILED:
+                    value, exception = None, target._value
+                else:
+                    value = target._value
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
             return
-        self._wait_for(target)
-
-    def _wait_for(self, target: Event) -> None:
-        if not isinstance(target, Event):
-            self._crash(TypeError(
-                f"process {self.name!r} yielded {target!r}; "
-                "processes may only yield Event instances"
-            ))
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
 
     def _finish(self, value: Any) -> None:
         self._alive = False

@@ -39,6 +39,17 @@ class Simulator:
         assert sim.now == 5.0 and proc.value == "done at t=5"
     """
 
+    #: When True, a process whose yielded event has *already* settled is
+    #: resumed inline instead of through a scheduled callback.  The
+    #: discrete-event simulator keeps this off — every resume goes
+    #: through the queue, so event ordering (and with it every committed
+    #: baseline) is a pure function of the schedule.  The live kernel
+    #: turns it on: wall-clock runs have no replayable event order to
+    #: protect, and the skipped schedule/dispatch round trip per settled
+    #: yield (uncontended lock acquires, cached reads, empty waits) is
+    #: real time on the hot path.
+    eager_resume = False
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []

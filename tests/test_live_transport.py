@@ -155,3 +155,313 @@ class TestTransportNode:
             await server.close()
 
         asyncio.run(scenario())
+
+
+class TestTornAndCoalescedFrames:
+    def test_frame_torn_across_segments(self):
+        # TCP may deliver a frame in arbitrary chunks; the parser must
+        # reassemble across data_received calls.
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            reader, writer = await asyncio.open_connection(host, port)
+            frame = encode_frame(Request(call_id=1, source="raw",
+                                         method="m",
+                                         args={"blob": b"\x07" * 300}))
+            for i in range(0, len(frame), 7):  # 7-byte shreds
+                writer.write(frame[i:i + 7])
+                await writer.drain()
+                await asyncio.sleep(0)
+            for _ in range(200):
+                if inbox:
+                    break
+                await asyncio.sleep(0.005)
+            assert len(inbox) == 1 and inbox[0].call_id == 1
+            writer.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_multiple_frames_in_one_segment(self):
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            reader, writer = await asyncio.open_connection(host, port)
+            frames = b"".join(
+                encode_frame(Request(call_id=i, source="raw", method="m",
+                                     args={}))
+                for i in range(5))
+            writer.write(frames)  # one write, five frames
+            for _ in range(200):
+                if len(inbox) == 5:
+                    break
+                await asyncio.sleep(0.005)
+            assert [m.call_id for m in inbox] == [0, 1, 2, 3, 4]
+            writer.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestOversizeFrames:
+    def test_oversize_outbound_dropped_not_raised(self):
+        # Satellite fix: a message too large for any frame must behave
+        # like a dropped datagram — counted and logged, never raised
+        # into protocol code.
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            client = TransportNode("client", lambda message: None)
+            client.register_peer("server", host, port)
+            client.send("server", Request(
+                call_id=1, source="client", method="m",
+                args={"blob": b"\x00" * (MAX_FRAME_BYTES + 1)}))
+            client.send("server", Request(call_id=2, source="client",
+                                          method="m", args={}))
+            for _ in range(200):
+                if inbox:
+                    break
+                await asyncio.sleep(0.005)
+            # The oversize message vanished; the next one arrived.
+            assert [m.call_id for m in inbox] == [2]
+            assert client.frames_dropped == 1
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_oversize_inbound_drops_connection_only(self):
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            # The poisoned connection is gone, the listener survives.
+            assert inbox == []
+            assert server.listening
+            reader2, writer2 = await asyncio.open_connection(host, port)
+            writer2.write(encode_frame(Request(call_id=9, source="raw",
+                                               method="m", args={})))
+            for _ in range(200):
+                if inbox:
+                    break
+                await asyncio.sleep(0.005)
+            assert [m.call_id for m in inbox] == [9]
+            writer.close()
+            writer2.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestConnectionLifecycle:
+    def test_dial_failure_drops_and_counts_backlog(self):
+        async def scenario():
+            server = TransportNode("server", lambda message: None)
+            host, port = await server.listen()
+            await server.stop_listening()  # port now refuses connects
+
+            client = TransportNode("client", lambda message: None)
+            client.register_peer("server", host, port)
+            for i in range(3):
+                client.send("server", Request(call_id=i, source="client",
+                                              method="m", args={}))
+            await asyncio.sleep(0.05)  # dial fails in the background
+            assert client.frames_dropped == 3
+            assert "server" not in client._connections
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_close_deregisters_connection(self):
+        # Satellite fix: a deliberately closed connection must leave
+        # the node's routing tables immediately, not leak until
+        # stop_listening.
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            client = TransportNode("client", lambda message: None)
+            client.register_peer("server", host, port)
+            client.send("server", Request(call_id=1, source="client",
+                                          method="m", args={}))
+            for _ in range(200):
+                if inbox:
+                    break
+                await asyncio.sleep(0.005)
+            assert "client" in server._connections
+
+            client._connections["server"].close()
+            assert "server" not in client._connections
+            # The server side learns of the severed stream via its own
+            # connection_lost callback.
+            for _ in range(200):
+                if "client" not in server._connections:
+                    break
+                await asyncio.sleep(0.005)
+            assert "client" not in server._connections
+            assert not server._anonymous
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+
+async def _request_reply(client, server_name, call_id, method="ping"):
+    """Send one request and wait for its reply on ``client``."""
+    client.send(server_name, Request(call_id=call_id, source=client.name,
+                                     method=method, args={}))
+
+
+class TestCodecNegotiation:
+    def test_connection_upgrades_to_binary(self):
+        async def scenario():
+            replies = []
+
+            def serve(node):
+                def on_message(message):
+                    if isinstance(message, Request):
+                        node.send(message.source,
+                                  Reply.success(message.call_id, "pong"))
+                return on_message
+
+            server = TransportNode("server", lambda m: None)
+            server.on_message = serve(server)
+            host, port = await server.listen()
+            client = TransportNode("client", replies.append)
+            client.register_peer("server", host, port)
+
+            await _request_reply(client, "server", 1)
+            for _ in range(200):
+                if replies:
+                    break
+                await asyncio.sleep(0.005)
+            # The JSON advert upgraded both directions.
+            assert client._connections["server"].peer_binary
+            for _ in range(200):
+                if "client" in server._connections and \
+                        server._connections["client"].peer_binary:
+                    break
+                await asyncio.sleep(0.005)
+            assert server._connections["client"].peer_binary
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_legacy_peer_stays_on_json(self):
+        # A binary=False node emulates a peer from before the binary
+        # codec: it never advertises, so the fleet stays on JSON frames
+        # and everything keeps working.
+        async def scenario():
+            replies = []
+            server = TransportNode("server", lambda m: None, binary=False)
+
+            def on_message(message):
+                if isinstance(message, Request):
+                    server.send(message.source,
+                                Reply.success(message.call_id, "pong"))
+            server.on_message = on_message
+            host, port = await server.listen()
+            client = TransportNode("client", replies.append)
+            client.register_peer("server", host, port)
+
+            for call_id in range(3):
+                await _request_reply(client, "server", call_id)
+                for _ in range(200):
+                    if len(replies) > call_id:
+                        break
+                    await asyncio.sleep(0.005)
+            assert [r.call_id for r in replies] == [0, 1, 2]
+            assert not client._connections["server"].peer_binary
+            assert client.batches_sent == 0
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestBatchingAndPipelining:
+    def test_one_pass_fanout_shares_a_frame(self):
+        # Messages queued to one destination in one loop pass ride one
+        # batch frame once the connection is binary.
+        async def scenario():
+            inbox = []
+            server = TransportNode("server", inbox.append)
+            host, port = await server.listen()
+            client = TransportNode("client", lambda m: None)
+            client.register_peer("server", host, port)
+            # Prime the connection (JSON advert exchange needs a reply
+            # to flow back; send one and let the server learn us).
+            client.send("server", Request(call_id=0, source="client",
+                                          method="m", args={}))
+            for _ in range(200):
+                if inbox:
+                    break
+                await asyncio.sleep(0.005)
+            server.send("client", Reply.success(0, "ok"))
+            for _ in range(200):
+                if client._connections["server"].peer_binary:
+                    break
+                await asyncio.sleep(0.005)
+
+            before = client.batches_sent
+            for call_id in range(1, 5):  # one loop pass, four messages
+                client.send("server", Request(call_id=call_id,
+                                              source="client",
+                                              method="m", args={}))
+            for _ in range(200):
+                if len(inbox) == 5:
+                    break
+                await asyncio.sleep(0.005)
+            assert [m.call_id for m in inbox] == [0, 1, 2, 3, 4]
+            assert client.batches_sent == before + 1
+            assert client.messages_batched >= 4
+            assert server.batches_received >= 1
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_slow_reply_does_not_block_later_reply(self):
+        # Pipelining: two requests on one connection; the first reply
+        # is deliberately delayed, the second must not wait for it.
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            replies = []
+            server = TransportNode("server", lambda m: None)
+
+            def on_message(message):
+                if not isinstance(message, Request):
+                    return
+                reply = Reply.success(message.call_id, message.method)
+                if message.method == "slow":
+                    loop.call_later(0.2, server.send, message.source,
+                                    reply)
+                else:
+                    server.send(message.source, reply)
+            server.on_message = on_message
+            host, port = await server.listen()
+            client = TransportNode("client", replies.append)
+            client.register_peer("server", host, port)
+
+            await _request_reply(client, "server", 1, method="slow")
+            await _request_reply(client, "server", 2, method="fast")
+            for _ in range(400):
+                if len(replies) == 2:
+                    break
+                await asyncio.sleep(0.005)
+            # The fast reply overtook the slow one: no head-of-line
+            # blocking for independent calls on a shared connection.
+            assert [r.value for r in replies] == ["fast", "slow"]
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())

@@ -435,6 +435,6 @@ class TestPerfCli:
         assert cli_main(["perf", "profile", "--runtime", "live",
                          "--ops", "8", "--seed", "3"]) == 0
         out = capsys.readouterr().out
-        assert "rpc.encode" in out
-        assert "rpc.decode" in out
+        assert "frame.encode" in out
+        assert "frame.decode" in out
         assert "storage.page_write" in out
